@@ -1,0 +1,28 @@
+"""Helpers shared by the benchmark modules (kept out of conftest so imports
+are unambiguous when tests/ and benchmarks/ load in one session)."""
+
+from __future__ import annotations
+
+import pathlib
+
+from repro.experiments.figures import FigureResult
+from repro.experiments.report import figure_to_csv, render_figure
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def save_figure(figure: FigureResult) -> str:
+    """Persist a figure's table and CSV under benchmarks/results/ and echo
+    the table."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    table = render_figure(figure)
+    (RESULTS_DIR / f"{figure.figure_id}.txt").write_text(table)
+    (RESULTS_DIR / f"{figure.figure_id}.csv").write_text(figure_to_csv(figure))
+    print()
+    print(table)
+    return table
+
+
+def series_map(figure: FigureResult) -> dict[str, list[float]]:
+    """label -> ys, for curve-shape assertions."""
+    return {series.label: series.ys for series in figure.series}

@@ -1,0 +1,115 @@
+"""Micro-benchmarks of the core operations (not paper figures): synopsis
+insertion throughput, SEL latency per representation, exact matching, hash
+sample maintenance, and skeleton-path extraction.
+
+These use pytest-benchmark's statistical timing (multiple rounds), unlike
+the figure benches which run once and assert curve shapes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pattern_parser import parse_xpath
+from repro.core.selectivity import SelectivityEstimator
+from repro.dtd.builtin import nitf_dtd
+from repro.experiments.config import DOC_GENERATOR_PRESETS
+from repro.generators.docgen import generate_documents
+from repro.generators.querygen import PatternGenerator
+from repro.synopsis.hashes import DistinctHasher, HashSample
+from repro.synopsis.synopsis import DocumentSynopsis
+from repro.xmltree.matcher import PatternMatcher
+from repro.xmltree.skeleton import skeleton_paths
+
+
+@pytest.fixture(scope="module")
+def documents():
+    return generate_documents(
+        nitf_dtd(), 200, seed=17, config=DOC_GENERATOR_PRESETS["nitf"]
+    )
+
+
+@pytest.fixture(scope="module")
+def patterns():
+    return PatternGenerator(nitf_dtd(), seed=18).generate_many(20)
+
+
+@pytest.fixture(scope="module", params=["counters", "sets", "hashes"])
+def loaded_synopsis(request, documents):
+    synopsis = DocumentSynopsis(mode=request.param, capacity=100, seed=1)
+    for doc in documents:
+        synopsis.insert_document(doc)
+    synopsis_id = request.param
+    return synopsis_id, synopsis
+
+
+def test_skeleton_paths_throughput(benchmark, documents):
+    def run():
+        total = 0
+        for doc in documents[:50]:
+            total += sum(1 for _ in skeleton_paths(doc))
+        return total
+
+    assert benchmark(run) > 0
+
+
+def test_synopsis_insert_throughput(benchmark, documents):
+    def run():
+        synopsis = DocumentSynopsis(mode="hashes", capacity=100, seed=2)
+        for doc in documents[:100]:
+            synopsis.insert_document(doc)
+        return synopsis.n_nodes
+
+    assert benchmark(run) > 0
+
+
+def test_selectivity_latency(benchmark, loaded_synopsis, patterns):
+    _, synopsis = loaded_synopsis
+    estimator = SelectivityEstimator(synopsis)
+
+    def run():
+        estimator.clear_cache()
+        return [estimator.selectivity(p) for p in patterns]
+
+    values = benchmark(run)
+    assert all(0.0 <= v <= 1.0 for v in values)
+
+
+def test_exact_matcher_throughput(benchmark, documents, patterns):
+    matchers = [PatternMatcher(p) for p in patterns[:5]]
+
+    def run():
+        hits = 0
+        for matcher in matchers:
+            for doc in documents[:100]:
+                hits += matcher.matches(doc)
+        return hits
+
+    assert benchmark(run) >= 0
+
+
+def test_hash_sample_insert(benchmark):
+    hasher = DistinctHasher(seed=3)
+
+    def run():
+        sample = HashSample(hasher, capacity=128)
+        for x in range(5_000):
+            sample.insert(x)
+        return sample.estimate_cardinality()
+
+    assert benchmark(run) > 0
+
+
+def test_joint_selectivity_latency(benchmark, documents, patterns):
+    synopsis = DocumentSynopsis(mode="hashes", capacity=100, seed=4)
+    for doc in documents:
+        synopsis.insert_document(doc)
+    estimator = SelectivityEstimator(synopsis)
+    pairs = list(zip(patterns[:10], patterns[10:20]))
+
+    def run():
+        estimator.clear_cache()
+        return [estimator.joint_selectivity(p, q) for p, q in pairs]
+
+    values = benchmark(run)
+    assert all(0.0 <= v <= 1.0 for v in values)

@@ -1,0 +1,32 @@
+"""Shared benchmark fixtures.
+
+The figure benchmarks all use the quick-scale experiment configs; the
+harness caches preparations and evaluations in-process, so one pytest
+session re-uses the corpus, workloads and synopsis evaluations across every
+figure (exactly as the figures share them in the paper).
+
+Rendered result tables are written to ``benchmarks/results/`` and echoed to
+stdout (run with ``-s`` to watch them stream).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+
+
+@pytest.fixture(scope="session")
+def quick_configs() -> list[ExperimentConfig]:
+    """Both data sets at quick scale (shape-preserving reduction)."""
+    return [ExperimentConfig.quick("nitf"), ExperimentConfig.quick("xcbl")]
+
+
+@pytest.fixture(scope="session")
+def nitf_quick() -> ExperimentConfig:
+    return ExperimentConfig.quick("nitf")
+
+
+@pytest.fixture(scope="session")
+def xcbl_quick() -> ExperimentConfig:
+    return ExperimentConfig.quick("xcbl")

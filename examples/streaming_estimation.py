@@ -1,0 +1,83 @@
+"""Streaming estimation under distribution drift.
+
+The synopsis is an *online* structure: it is maintained incrementally as
+documents arrive, so estimates track the stream.  This example streams a
+news corpus whose topic mix drifts half-way through (sports coverage gets
+replaced by financial tables) and samples the estimated selectivity of two
+subscriptions as the stream evolves — in all three representations.
+
+Run:  python examples/streaming_estimation.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import DocumentSynopsis, SelectivityEstimator, parse_xml, parse_xpath
+
+SPORTS = """
+<nitf><body><body.content>
+  <block><p><classifier>sports</classifier><person>{person}</person></p></block>
+</body.content></body></nitf>
+"""
+
+FINANCE = """
+<nitf><body><body.content>
+  <block><table><tbody><tr><td><money>{amount}</money></td></tr></tbody></table></block>
+</body.content></body></nitf>
+"""
+
+N_DOCUMENTS = 600
+DRIFT_AT = 300
+CHECKPOINTS = (100, 200, 300, 400, 500, 600)
+
+
+def make_document(doc_id: int, rng: random.Random):
+    """Sports-heavy before the drift point, finance-heavy after."""
+    sports_share = 0.8 if doc_id < DRIFT_AT else 0.2
+    if rng.random() < sports_share:
+        return parse_xml(SPORTS.format(person=f"athlete-{rng.randrange(20)}"),
+                         doc_id=doc_id)
+    return parse_xml(FINANCE.format(amount=f"{rng.randrange(1000)}"),
+                     doc_id=doc_id)
+
+
+def main() -> None:
+    subscriptions = {
+        "sports  //classifier": parse_xpath("//classifier"),
+        "finance //table//money": parse_xpath("//table//money"),
+    }
+    synopses = {
+        mode: DocumentSynopsis(mode=mode, capacity=64, seed=41)
+        for mode in ("counters", "sets", "hashes")
+    }
+
+    rng = random.Random(40)
+    print(f"{'docs':>5s}", end="")
+    for name in subscriptions:
+        for mode in synopses:
+            print(f"  {mode[:4]}:{name.split()[0]:7s}"[:16].rjust(16), end="")
+    print()
+
+    for doc_id in range(N_DOCUMENTS):
+        document = make_document(doc_id, rng)
+        for synopsis in synopses.values():
+            synopsis.insert_document(document)
+        if doc_id + 1 in CHECKPOINTS:
+            print(f"{doc_id + 1:5d}", end="")
+            for pattern in subscriptions.values():
+                for synopsis in synopses.values():
+                    estimator = SelectivityEstimator(synopsis)
+                    print(f"{estimator.selectivity(pattern):16.3f}", end="")
+            print()
+
+    print(
+        "\nEstimates track the drift at document 300: the sports pattern's\n"
+        "selectivity decays toward the new mix while the finance pattern's\n"
+        "rises, in every representation — the synopsis is a true streaming\n"
+        "summary, not a one-shot index."
+    )
+
+
+if __name__ == "__main__":
+    main()

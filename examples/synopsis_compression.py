@@ -1,0 +1,82 @@
+"""Synopsis compression: accuracy under a shrinking space budget.
+
+Reproduces the Figure 10 story interactively on the xCBL data set: build a
+Hashes synopsis, compress it to a range of ratios α with the Section 3.3
+operators (lossless folds first, then lossy folds + low-cardinality
+deletions, then same-label merges), and watch the positive-query error grow
+as the budget shrinks while negative queries stay reliably identified.
+
+Run:  python examples/synopsis_compression.py
+"""
+
+from __future__ import annotations
+
+from repro import DocumentSynopsis, SelectivityEstimator, compress_to_ratio, measure
+from repro.core.errors import average_relative_error, root_mean_square_error
+from repro.dtd.builtin import xcbl_dtd
+from repro.experiments.config import DOC_GENERATOR_PRESETS
+from repro.generators.docgen import generate_documents
+from repro.generators.workload import WorkloadBuilder
+from repro.xmltree.corpus import DocumentCorpus
+
+N_DOCUMENTS = 250
+N_PATTERNS = 40
+HASH_SIZE = 50
+
+
+def build_synopsis(documents) -> DocumentSynopsis:
+    synopsis = DocumentSynopsis(mode="hashes", capacity=HASH_SIZE, seed=31)
+    for document in documents:
+        synopsis.insert_document(document)
+    return synopsis
+
+
+def main() -> None:
+    dtd = xcbl_dtd()
+    print(f"generating {N_DOCUMENTS} xCBL orders ...")
+    documents = generate_documents(
+        dtd, N_DOCUMENTS, seed=32, config=DOC_GENERATOR_PRESETS["xcbl"]
+    )
+    corpus = DocumentCorpus(documents)
+    workload = WorkloadBuilder(dtd, corpus, seed=33).build(
+        n_positive=N_PATTERNS, n_negative=N_PATTERNS
+    )
+    exact_positive = [corpus.selectivity(p) for p in workload.positive]
+    exact_negative = [0.0] * len(workload.negative)
+
+    baseline_size = measure(build_synopsis(documents)).total
+    print(f"uncompressed synopsis size |HS| = {baseline_size} words\n")
+
+    header = (
+        f"{'alpha':>6s} {'|HcS|':>8s} {'folds':>6s} {'deletes':>8s} "
+        f"{'merges':>7s} {'Erel+':>8s} {'Esqr-':>9s}"
+    )
+    print(header)
+    print("-" * len(header))
+    for alpha in (1.0, 0.8, 0.6, 0.4, 0.2):
+        synopsis = build_synopsis(documents)
+        report = compress_to_ratio(synopsis, alpha)
+        estimator = SelectivityEstimator(synopsis)
+        erel = average_relative_error(
+            exact_positive,
+            [estimator.selectivity(p) for p in workload.positive],
+        )
+        esqr = root_mean_square_error(
+            exact_negative,
+            [estimator.selectivity(p) for p in workload.negative],
+        )
+        print(
+            f"{alpha:6.1f} {report.final.total:8d} {report.folds:6d} "
+            f"{report.deletions:8d} {report.merges:7d} "
+            f"{erel.percent:7.2f}% {esqr.value:9.5f}"
+        )
+
+    print(
+        "\nAs in the paper's Figure 10: accuracy degrades gracefully down to\n"
+        "small fractions of the original budget, and negative queries stay\n"
+        "near-perfectly identified throughout."
+    )
+
+
+if __name__ == "__main__":
+    main()

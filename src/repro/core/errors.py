@@ -1,0 +1,85 @@
+"""Error metrics of the experimental evaluation (Section 5.1).
+
+* Positive queries (exact selectivity > 0) are scored by the **average
+  absolute relative error**::
+
+      Erel = (1/|SP|) * sum_p |P'(p) - P(p)| / P(p)
+
+* Negative queries (exact selectivity 0) are scored by the **root mean
+  square error**::
+
+      Esqr = sqrt( (1/|SN|) * sum_p (P'(p) - P(p))^2 )
+
+* Proximity metrics are scored by the average absolute relative error over
+  pattern pairs; pairs whose exact metric is zero are excluded (the relative
+  error is undefined there), and the count of exclusions is reported.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+__all__ = ["ErrorSummary", "average_relative_error", "root_mean_square_error"]
+
+
+@dataclass(frozen=True)
+class ErrorSummary:
+    """An aggregate error plus how many samples contributed to it."""
+
+    value: float
+    used: int
+    skipped: int = 0
+
+    def __float__(self) -> float:
+        return self.value
+
+    @property
+    def percent(self) -> float:
+        """The error as a percentage, as the paper's figures plot it."""
+        return 100.0 * self.value
+
+    @property
+    def log10(self) -> float:
+        """``log10`` of the error (Figure 5's y-axis); ``-inf`` for 0."""
+        if self.value <= 0.0:
+            return float("-inf")
+        return math.log10(self.value)
+
+
+def average_relative_error(
+    exact: Sequence[float], estimated: Sequence[float]
+) -> ErrorSummary:
+    """``Erel`` over aligned exact/estimated value sequences.
+
+    Entries with exact value 0 cannot be scored relatively and are skipped;
+    use :func:`root_mean_square_error` for negative-query workloads.
+    """
+    if len(exact) != len(estimated):
+        raise ValueError("exact and estimated sequences must align")
+    total = 0.0
+    used = 0
+    skipped = 0
+    for truth, estimate in zip(exact, estimated):
+        if truth == 0.0:
+            skipped += 1
+            continue
+        total += abs(estimate - truth) / truth
+        used += 1
+    value = total / used if used else 0.0
+    return ErrorSummary(value=value, used=used, skipped=skipped)
+
+
+def root_mean_square_error(
+    exact: Sequence[float], estimated: Sequence[float]
+) -> ErrorSummary:
+    """``Esqr`` over aligned exact/estimated value sequences."""
+    if len(exact) != len(estimated):
+        raise ValueError("exact and estimated sequences must align")
+    if not exact:
+        return ErrorSummary(value=0.0, used=0)
+    total = sum(
+        (estimate - truth) ** 2 for truth, estimate in zip(exact, estimated)
+    )
+    return ErrorSummary(value=math.sqrt(total / len(exact)), used=len(exact))

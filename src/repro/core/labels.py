@@ -1,0 +1,99 @@
+"""Label algebra for tree patterns and document trees.
+
+The paper (Section 2) defines three kinds of pattern-node labels:
+
+* a *tag name* — matches exactly that tag;
+* ``*`` (wildcard) — matches any single tag;
+* ``//`` (descendant operator) — matches some, possibly empty, path.
+
+Pattern roots carry the special label ``/.``, which exists so that patterns
+such as ``pc`` in Figure 1 can constrain nodes *anywhere* in the document,
+including the document root itself.
+
+A partial order ``a ≼ * ≼ //`` relates labels: a tag is below the wildcard,
+which is below the descendant operator, and two tags are comparable only when
+equal.  ``SEL`` (Algorithm 1) prunes a synopsis/pattern node pair exactly when
+the synopsis label is *not* below the pattern label.
+"""
+
+from __future__ import annotations
+
+from typing import Final
+
+WILDCARD: Final[str] = "*"
+DESCENDANT: Final[str] = "//"
+ROOT_LABEL: Final[str] = "/."
+
+#: Labels that are operators rather than tag names.
+SPECIAL_LABELS: Final[frozenset[str]] = frozenset({WILDCARD, DESCENDANT, ROOT_LABEL})
+
+# Characters that may not appear in a tag name.  The set mirrors what the
+# XPath-subset parser can re-serialise unambiguously.
+_FORBIDDEN_IN_TAG: Final[frozenset[str]] = frozenset('/[]*"\'() \t\n')
+
+
+def is_tag(label: str) -> bool:
+    """Return True when *label* is an ordinary tag name (not an operator)."""
+    return label not in SPECIAL_LABELS
+
+
+def is_wildcard(label: str) -> bool:
+    """Return True when *label* is the ``*`` wildcard."""
+    return label == WILDCARD
+
+
+def is_descendant(label: str) -> bool:
+    """Return True when *label* is the ``//`` descendant operator."""
+    return label == DESCENDANT
+
+
+def is_root_label(label: str) -> bool:
+    """Return True when *label* is the special pattern-root label ``/.``."""
+    return label == ROOT_LABEL
+
+
+def is_valid_tag(tag: str) -> bool:
+    """Return True when *tag* is usable as an XML element tag name.
+
+    The check is purposefully lenient (the paper's data sets use plain
+    NMTOKEN-like names) but rejects anything that would collide with the
+    pattern syntax (slashes, brackets, quotes, whitespace).
+    """
+    if not tag or tag in SPECIAL_LABELS:
+        return False
+    return not any(ch in _FORBIDDEN_IN_TAG for ch in tag)
+
+
+def label_below(lower: str, upper: str) -> bool:
+    """Return True when ``lower ≼ upper`` in the label partial order.
+
+    ``a ≼ a`` for equal tags, ``a ≼ * ≼ //`` and the order is reflexive and
+    transitive; distinct tags are incomparable.  The root label ``/.`` is only
+    below itself.
+    """
+    if upper == DESCENDANT:
+        return lower != ROOT_LABEL or lower == upper
+    if upper == WILDCARD:
+        return lower == WILDCARD or (is_tag(lower) and lower != ROOT_LABEL)
+    return lower == upper
+
+
+def doc_label_matches(doc_tag: str, pattern_label: str) -> bool:
+    """Return True when a document node labeled *doc_tag* can match a pattern
+    node labeled *pattern_label*.
+
+    This is the matching-side view of :func:`label_below`: document tags are
+    always plain tags, so ``*`` and ``//`` match any of them while a tag label
+    requires equality.
+    """
+    if pattern_label == WILDCARD or pattern_label == DESCENDANT:
+        return True
+    return doc_tag == pattern_label
+
+
+def validate_label(label: str) -> None:
+    """Raise ``ValueError`` unless *label* is a legal pattern-node label."""
+    if label in SPECIAL_LABELS:
+        return
+    if not is_valid_tag(label):
+        raise ValueError(f"invalid pattern label: {label!r}")

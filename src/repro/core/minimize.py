@@ -1,0 +1,79 @@
+"""Tree-pattern minimization.
+
+The related work the paper builds on (Amer-Yahia et al., SIGMOD'01; Wood,
+WebDB'01) minimizes tree-pattern queries by deleting *redundant* branches:
+a child subtree is redundant when a sibling subtree already implies it, so
+removing it leaves an equivalent — but smaller and cheaper to evaluate —
+pattern.  Smaller patterns matter here too: ``SEL`` is ``O(|HS|·|p|)`` and
+the root-merge construction for ``P(p ∧ q)`` doubles pattern sizes, so
+minimizing merged patterns before estimation saves real work.
+
+Redundancy is certified with the same sound homomorphism embedding used by
+:mod:`repro.core.containment`: if sibling ``B`` embeds into... precisely,
+if subtree ``A`` embeds into every document fragment satisfying ``B`` —
+checked as "A has a homomorphism into B" — then ``A`` is implied by ``B``
+and can be dropped.  Soundness of the embedding means minimization never
+changes a pattern's semantics; incompleteness only means some redundancy
+may be missed.
+"""
+
+from __future__ import annotations
+
+from repro.core.containment import _embeds, _root_embeds
+from repro.core.pattern import PatternNode, TreePattern
+
+__all__ = ["minimize", "is_minimal"]
+
+
+def _drop_redundant(
+    siblings: tuple[PatternNode, ...], root_level: bool
+) -> tuple[PatternNode, ...]:
+    """Remove every sibling implied by another sibling (keeping one witness
+    of each equivalence class, earliest first)."""
+    kept: list[PatternNode] = []
+    for candidate in siblings:
+        memo: dict = {}
+        implied = any(
+            (_root_embeds(candidate, other, memo) if root_level
+             else _embeds(candidate, other, memo))
+            for other in kept
+        )
+        if implied:
+            continue
+        # The candidate may retroactively imply earlier keepers.
+        memo = {}
+        kept = [
+            other
+            for other in kept
+            if not (
+                _root_embeds(other, candidate, memo) if root_level
+                else _embeds(other, candidate, memo)
+            )
+        ]
+        kept.append(candidate)
+    return tuple(kept)
+
+
+def _minimize_node(node: PatternNode) -> PatternNode:
+    children = tuple(_minimize_node(child) for child in node.children)
+    children = _drop_redundant(children, root_level=False)
+    return PatternNode(node.label, children)
+
+
+def minimize(pattern: TreePattern) -> TreePattern:
+    """Return an equivalent pattern with redundant branches removed.
+
+    >>> from repro.core.pattern_parser import parse_xpath, to_xpath
+    >>> to_xpath(minimize(parse_xpath("/a[b][b/c][*]")))
+    '/a/b/c'
+    """
+    children = tuple(
+        _minimize_node(child) for child in pattern.root_children
+    )
+    children = _drop_redundant(children, root_level=True)
+    return TreePattern(children)
+
+
+def is_minimal(pattern: TreePattern) -> bool:
+    """True when :func:`minimize` would leave *pattern* unchanged."""
+    return minimize(pattern) == pattern

@@ -1,0 +1,198 @@
+"""Tree-pattern data model.
+
+A tree pattern (Section 2 of the paper) is an unordered node-labeled tree
+that constrains the content and structure of an XML document.  Node labels
+are tag names, ``*`` (wildcard), or ``//`` (descendant); the root carries the
+special label ``/.``.  A ``//`` node must have exactly one child, which is a
+regular node or a ``*``.
+
+Patterns are immutable.  Because they are *unordered*, two patterns that
+differ only in sibling order are equal; equality and hashing go through a
+canonical form that recursively sorts children.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.core.labels import (
+    DESCENDANT,
+    ROOT_LABEL,
+    WILDCARD,
+    is_tag,
+    validate_label,
+)
+
+__all__ = ["PatternNode", "TreePattern", "PatternError"]
+
+
+class PatternError(ValueError):
+    """Raised when a structurally invalid tree pattern is constructed."""
+
+
+class PatternNode:
+    """One node of a tree pattern: a label plus zero or more children.
+
+    Instances are immutable; build patterns bottom-up::
+
+        leaf = PatternNode("Mozart")
+        last = PatternNode("last", (leaf,))
+    """
+
+    __slots__ = ("label", "children", "_hash")
+
+    def __init__(self, label: str, children: tuple["PatternNode", ...] = ()):
+        validate_label(label)
+        if label == DESCENDANT:
+            if len(children) != 1:
+                raise PatternError(
+                    f"a '//' node must have exactly one child, got {len(children)}"
+                )
+            child = children[0]
+            if child.label == DESCENDANT:
+                raise PatternError("the child of a '//' node must be a tag or '*'")
+        if label == ROOT_LABEL:
+            raise PatternError(
+                "the '/.' label is reserved for pattern roots; "
+                "use TreePattern(children=...)"
+            )
+        object.__setattr__(self, "label", label)
+        object.__setattr__(self, "children", tuple(children))
+        object.__setattr__(self, "_hash", None)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("PatternNode is immutable")
+
+    # -- structure ---------------------------------------------------------
+
+    @property
+    def is_leaf(self) -> bool:
+        """True when the node has no children."""
+        return not self.children
+
+    def iter_subtree(self) -> Iterator["PatternNode"]:
+        """Yield this node and every descendant, pre-order."""
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node.children))
+
+    def size(self) -> int:
+        """Number of nodes in the subtree rooted here."""
+        return sum(1 for _ in self.iter_subtree())
+
+    def height(self) -> int:
+        """Number of nodes on the longest root-to-leaf path of this subtree."""
+        if not self.children:
+            return 1
+        return 1 + max(child.height() for child in self.children)
+
+    def tags(self) -> frozenset[str]:
+        """All plain tag names occurring in the subtree."""
+        return frozenset(
+            node.label for node in self.iter_subtree() if is_tag(node.label)
+        )
+
+    # -- canonical form / equality ------------------------------------------
+
+    def _canonical_key(self) -> tuple:
+        return (self.label, tuple(sorted(c._canonical_key() for c in self.children)))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PatternNode):
+            return NotImplemented
+        return self._canonical_key() == other._canonical_key()
+
+    def __hash__(self) -> int:
+        cached = self._hash
+        if cached is None:
+            cached = hash(self._canonical_key())
+            object.__setattr__(self, "_hash", cached)
+        return cached
+
+    def __repr__(self) -> str:
+        return f"PatternNode({self.label!r}, {len(self.children)} children)"
+
+
+class TreePattern:
+    """A complete tree pattern: a ``/.`` root with constraint subtrees below.
+
+    The root's children are the top-level constraints on a document.  A child
+    carrying a tag label constrains the *document root's* tag (Section 2's
+    special treatment of ``root(p)``); a ``//`` child lets its subtree match
+    anywhere in the document, including at the root.
+    """
+
+    __slots__ = ("root_children", "_hash")
+
+    def __init__(self, children: tuple[PatternNode, ...] | list[PatternNode]):
+        children = tuple(children)
+        if not children:
+            raise PatternError("a tree pattern needs at least one constraint")
+        object.__setattr__(self, "root_children", children)
+        object.__setattr__(self, "_hash", None)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("TreePattern is immutable")
+
+    # -- structure ---------------------------------------------------------
+
+    @property
+    def root_label(self) -> str:
+        """The special root label ``/.``."""
+        return ROOT_LABEL
+
+    def iter_nodes(self) -> Iterator[PatternNode]:
+        """Yield every non-root node, pre-order."""
+        for child in self.root_children:
+            yield from child.iter_subtree()
+
+    def size(self) -> int:
+        """Number of nodes including the ``/.`` root."""
+        return 1 + sum(child.size() for child in self.root_children)
+
+    def height(self) -> int:
+        """Nodes on the longest root-to-leaf path, including the root."""
+        return 1 + max(child.height() for child in self.root_children)
+
+    def tags(self) -> frozenset[str]:
+        """All plain tag names occurring anywhere in the pattern.
+
+        Any document matching the pattern must contain every one of these
+        tags, which makes this set useful for candidate pruning.
+        """
+        result: frozenset[str] = frozenset()
+        for child in self.root_children:
+            result |= child.tags()
+        return result
+
+    def has_descendant_ops(self) -> bool:
+        """True when the pattern uses ``//`` anywhere."""
+        return any(node.label == DESCENDANT for node in self.iter_nodes())
+
+    def has_wildcards(self) -> bool:
+        """True when the pattern uses ``*`` anywhere."""
+        return any(node.label == WILDCARD for node in self.iter_nodes())
+
+    # -- equality ------------------------------------------------------------
+
+    def _canonical_key(self) -> tuple:
+        return tuple(sorted(c._canonical_key() for c in self.root_children))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TreePattern):
+            return NotImplemented
+        return self._canonical_key() == other._canonical_key()
+
+    def __hash__(self) -> int:
+        cached = self._hash
+        if cached is None:
+            cached = hash(self._canonical_key())
+            object.__setattr__(self, "_hash", cached)
+        return cached
+
+    def __repr__(self) -> str:
+        from repro.core.pattern_parser import to_xpath
+
+        return f"TreePattern({to_xpath(self)!r})"

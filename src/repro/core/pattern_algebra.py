@@ -1,0 +1,146 @@
+"""Operations that combine or transform tree patterns.
+
+The proximity metrics of Section 4 need the joint probability ``P(p ∧ q)``,
+which the paper computes "by simply merging the root nodes of p and q": the
+resulting pattern's root carries the union of both patterns' root constraint
+subtrees, so a document satisfies it exactly when it satisfies both p and q.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.core.labels import DESCENDANT, WILDCARD
+from repro.core.pattern import PatternError, PatternNode, TreePattern
+
+__all__ = [
+    "merge_patterns",
+    "path_pattern",
+    "pattern_from_paths",
+    "relabel",
+    "trivially_contains",
+]
+
+
+def merge_patterns(*patterns: TreePattern) -> TreePattern:
+    """Return the conjunction pattern matching documents that satisfy *all*
+    of the given patterns (root-merge construction of Section 4).
+
+    >>> from repro.core.pattern_parser import parse_xpath, to_xpath
+    >>> to_xpath(merge_patterns(parse_xpath("//a"), parse_xpath("/b")))
+    '/.[.//a][b]'
+    """
+    if not patterns:
+        raise PatternError("merge_patterns needs at least one pattern")
+    children: list[PatternNode] = []
+    for pattern in patterns:
+        children.extend(pattern.root_children)
+    # Duplicate constraint subtrees are redundant under conjunction.
+    unique: list[PatternNode] = []
+    seen: set[PatternNode] = set()
+    for child in children:
+        if child not in seen:
+            seen.add(child)
+            unique.append(child)
+    return TreePattern(tuple(unique))
+
+
+def path_pattern(steps: Sequence[str], rooted: bool = True) -> TreePattern:
+    """Build a single-path pattern from a sequence of step labels.
+
+    Each step is a tag, ``*``, or ``//``.  With ``rooted=False`` a leading
+    ``//`` is prepended, so the path may occur anywhere in the document.
+
+    >>> from repro.core.pattern_parser import to_xpath
+    >>> to_xpath(path_pattern(["a", "//", "b"]))
+    '/a//b'
+    """
+    if not steps:
+        raise PatternError("a path pattern needs at least one step")
+    node: PatternNode | None = None
+    for label in reversed(steps):
+        children = (node,) if node is not None else ()
+        node = PatternNode(label, children)
+    assert node is not None
+    if not rooted and node.label != DESCENDANT:
+        node = PatternNode(DESCENDANT, (node,))
+    return TreePattern((node,))
+
+
+def pattern_from_paths(paths: Iterable[Sequence[str]]) -> TreePattern:
+    """Build the conjunction of several single-path patterns.
+
+    Useful for constructing branching patterns programmatically, e.g. the
+    Section 3.2 counter-failure example ``a[b][d]`` is
+    ``pattern_from_paths([["a", "b"], ["a", "d"]])`` *after* merging common
+    prefixes — which this function performs.
+    """
+    merged = merge_patterns(*(path_pattern(path) for path in paths))
+    return TreePattern(_merge_prefixes(merged.root_children))
+
+
+def _merge_prefixes(nodes: Sequence[PatternNode]) -> tuple[PatternNode, ...]:
+    """Recursively merge sibling nodes with identical labels.
+
+    Only safe for conjunction semantics when each input node lies on a single
+    path, which holds for the output of :func:`path_pattern`.
+    """
+    by_label: dict[str, list[PatternNode]] = {}
+    order: list[str] = []
+    for node in nodes:
+        if node.label not in by_label:
+            by_label[node.label] = []
+            order.append(node.label)
+        by_label[node.label].append(node)
+    result: list[PatternNode] = []
+    for label in order:
+        group = by_label[label]
+        if len(group) == 1:
+            result.append(group[0])
+            continue
+        children: list[PatternNode] = []
+        for member in group:
+            children.extend(member.children)
+        if label == DESCENDANT:
+            # '//' admits a single child only; keep the group unmerged.
+            result.extend(group)
+        else:
+            result.append(PatternNode(label, _merge_prefixes(children)))
+    return tuple(result)
+
+
+def relabel(pattern: TreePattern, mapping: dict[str, str]) -> TreePattern:
+    """Return a copy of *pattern* with tag labels substituted via *mapping*.
+
+    Labels absent from the mapping (including ``*`` and ``//``) are kept.
+    Used by the workload generator to derive negative queries from positive
+    ones.
+    """
+
+    def rebuild(node: PatternNode) -> PatternNode:
+        label = mapping.get(node.label, node.label)
+        return PatternNode(label, tuple(rebuild(c) for c in node.children))
+
+    return TreePattern(tuple(rebuild(c) for c in pattern.root_children))
+
+
+def trivially_contains(outer: PatternNode, inner: PatternNode) -> bool:
+    """Conservative structural containment test between pattern subtrees.
+
+    Returns True only when every document matching *inner* provably matches
+    *outer* by direct structural embedding (label subsumption along identical
+    shapes).  This is *not* a complete containment decision procedure — the
+    paper points out containment is the wrong tool for similarity — but it is
+    handy for sanity checks and tests.
+    """
+    if outer.label == DESCENDANT:
+        target = outer.children[0]
+        if trivially_contains(target, inner):
+            return True
+        return any(trivially_contains(outer, child) for child in inner.children)
+    if outer.label != WILDCARD and outer.label != inner.label:
+        return False
+    return all(
+        any(trivially_contains(oc, ic) for ic in inner.children)
+        for oc in outer.children
+    )

@@ -1,0 +1,151 @@
+"""Tree-pattern proximity metrics (Section 4).
+
+Given any provider of selectivities — a synopsis-backed
+:class:`~repro.core.selectivity.SelectivityEstimator` or the exact
+:class:`~repro.experiments.ground_truth.GroundTruth` — three metrics estimate
+``(p ∼ q)``:
+
+* ``M1(p, q) = P(p | q) = P(p ∧ q) / P(q)`` — asymmetric conditional;
+* ``M2(p, q) = (P(p|q) + P(q|p)) / 2`` — symmetrised conditional;
+* ``M3(p, q) = P(p ∧ q) / P(p ∨ q)`` — joint-to-union ratio (a Jaccard
+  index over the matched document sets).
+
+``P(p ∧ q)`` uses the root-merge construction; ``P(p ∨ q)`` follows by
+inclusion-exclusion.  All metrics return values in [0, 1]; pairs whose
+denominator is zero (a pattern that matches nothing) evaluate to 0.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol
+
+from repro.core.pattern import TreePattern
+
+__all__ = [
+    "SelectivityProvider",
+    "m1_conditional",
+    "m2_mean_conditional",
+    "m3_joint_over_union",
+    "METRICS",
+    "SimilarityEstimator",
+]
+
+
+class SelectivityProvider(Protocol):
+    """Anything that can score patterns: estimators and ground truth alike."""
+
+    def selectivity(self, pattern: TreePattern) -> float: ...
+
+    def joint_selectivity(self, p: TreePattern, q: TreePattern) -> float: ...
+
+
+def _clamp(value: float) -> float:
+    return 0.0 if value < 0.0 else 1.0 if value > 1.0 else value
+
+
+def m1_conditional(
+    provider: SelectivityProvider, p: TreePattern, q: TreePattern
+) -> float:
+    """``M1(p, q) = P(p ∧ q) / P(q)`` — probability of p given q."""
+    denominator = provider.selectivity(q)
+    if denominator <= 0.0:
+        return 0.0
+    return _clamp(provider.joint_selectivity(p, q) / denominator)
+
+
+def m2_mean_conditional(
+    provider: SelectivityProvider, p: TreePattern, q: TreePattern
+) -> float:
+    """``M2(p, q) = (P(p|q) + P(q|p)) / 2`` — symmetric mean conditional."""
+    sel_p = provider.selectivity(p)
+    sel_q = provider.selectivity(q)
+    if sel_p <= 0.0 or sel_q <= 0.0:
+        return 0.0
+    joint = provider.joint_selectivity(p, q)
+    return _clamp(joint * (1.0 / sel_p + 1.0 / sel_q) / 2.0)
+
+
+def m3_joint_over_union(
+    provider: SelectivityProvider, p: TreePattern, q: TreePattern
+) -> float:
+    """``M3(p, q) = P(p ∧ q) / P(p ∨ q)`` — Jaccard over matched documents."""
+    joint = provider.joint_selectivity(p, q)
+    union = provider.selectivity(p) + provider.selectivity(q) - joint
+    if union <= 0.0:
+        return 0.0
+    return _clamp(joint / union)
+
+
+#: Registry keyed by the paper's metric names.
+METRICS: dict[str, Callable[[SelectivityProvider, TreePattern, TreePattern], float]] = {
+    "M1": m1_conditional,
+    "M2": m2_mean_conditional,
+    "M3": m3_joint_over_union,
+}
+
+
+class SimilarityEstimator:
+    """Convenience wrapper evaluating proximity metrics over one provider.
+
+    >>> # with `est` a SelectivityEstimator or GroundTruth:
+    >>> # SimilarityEstimator(est).similarity(p, q, metric="M3")
+    """
+
+    def __init__(self, provider: SelectivityProvider):
+        self.provider = provider
+
+    def similarity(
+        self, p: TreePattern, q: TreePattern, metric: str = "M3"
+    ) -> float:
+        """Proximity of *p* and *q* under the chosen metric."""
+        try:
+            fn = METRICS[metric]
+        except KeyError:
+            raise ValueError(
+                f"unknown metric {metric!r}; choose from {sorted(METRICS)}"
+            ) from None
+        return fn(self.provider, p, q)
+
+    def top_k(
+        self,
+        pattern: TreePattern,
+        candidates: list[TreePattern],
+        k: int,
+        metric: str = "M3",
+    ) -> list[tuple[int, float]]:
+        """The *k* most similar candidates to *pattern*.
+
+        Returns ``(candidate index, similarity)`` pairs in decreasing
+        similarity — the primitive an online broker uses to place a newly
+        arriving subscription into its best-fitting semantic community.
+        """
+        if k < 1:
+            raise ValueError("k must be at least 1")
+        scored = [
+            (index, self.similarity(pattern, candidate, metric))
+            for index, candidate in enumerate(candidates)
+        ]
+        scored.sort(key=lambda pair: (-pair[1], pair[0]))
+        return scored[:k]
+
+    def matrix(
+        self, patterns: list[TreePattern], metric: str = "M3"
+    ) -> list[list[float]]:
+        """Pairwise similarity matrix over *patterns*.
+
+        Symmetric metrics fill both triangles from one evaluation; M1 is
+        evaluated in both directions.
+        """
+        n = len(patterns)
+        result = [[0.0] * n for _ in range(n)]
+        symmetric = metric in ("M2", "M3")
+        for i in range(n):
+            result[i][i] = self.similarity(patterns[i], patterns[i], metric)
+            for j in range(i + 1, n):
+                value = self.similarity(patterns[i], patterns[j], metric)
+                result[i][j] = value
+                if symmetric:
+                    result[j][i] = value
+                else:
+                    result[j][i] = self.similarity(patterns[j], patterns[i], metric)
+        return result

@@ -1,0 +1,33 @@
+"""DTD substrate: model, parser, and the built-in NITF/xCBL-scale document
+types used by the paper's evaluation."""
+
+from repro.dtd.builtin import (
+    BUILTIN_DTD_NAMES,
+    NITF_ELEMENT_COUNT,
+    XCBL_ELEMENT_COUNT,
+    builtin_dtd,
+    nitf_dtd,
+    xcbl_dtd,
+)
+from repro.dtd.model import DTD, DTDError, ElementType, Occurs, Particle
+from repro.dtd.parser import parse_content_model, parse_dtd
+from repro.dtd.validate import ValidationError, ValidationReport, validate_tree
+
+__all__ = [
+    "DTD",
+    "DTDError",
+    "ElementType",
+    "Occurs",
+    "Particle",
+    "parse_dtd",
+    "parse_content_model",
+    "validate_tree",
+    "ValidationReport",
+    "ValidationError",
+    "builtin_dtd",
+    "nitf_dtd",
+    "xcbl_dtd",
+    "BUILTIN_DTD_NAMES",
+    "NITF_ELEMENT_COUNT",
+    "XCBL_ELEMENT_COUNT",
+]

@@ -1,0 +1,698 @@
+"""Built-in document types at the scale of the paper's data sets.
+
+The paper evaluates on two DTDs: **NITF** (News Industry Text Format,
+123 elements) and the **xCBL Order** schema (569 elements).  Neither file
+ships with this reproduction, so this module synthesises equivalents with
+
+* exactly the same element counts (asserted by the test suite),
+* comparable depth (about 10 levels of nesting) and branching character —
+  NITF-like: a news document with heavy mixed/enriched text content;
+  xCBL-like: a business order with wide, repetitive record structures built
+  from replicated families (parties, references, amounts, item details), the
+  way the real xCBL is generated from shared modules.
+
+What the experiments depend on — vocabulary size, fan-out, path depth, and
+the ratio of mandatory to optional content — is preserved; exact element
+names are not load-bearing.  See DESIGN.md, "Substitutions".
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.dtd.model import DTD
+from repro.dtd.parser import parse_dtd
+
+__all__ = ["nitf_dtd", "xcbl_dtd", "dblp_dtd", "builtin_dtd", "BUILTIN_DTD_NAMES"]
+
+BUILTIN_DTD_NAMES = ("nitf", "xcbl", "dblp")
+
+#: Element count targets from Section 5.1 of the paper.
+NITF_ELEMENT_COUNT = 123
+XCBL_ELEMENT_COUNT = 569
+
+
+# ---------------------------------------------------------------------------
+# NITF-like news DTD (123 elements)
+# ---------------------------------------------------------------------------
+
+_ENRICHED_TEXT = (
+    "(#PCDATA | em | q | a | br | chron | classifier | city | country | "
+    "state | region | sub | sup | num | money | frac | event | function | "
+    "org | person | location | object.title | alt-code | lang | pronounce | "
+    "copyrite | virtloc)*"
+)
+
+_BLOCK_CONTENT = "(p | table | media | ol | ul | dl | bq | fn | note | hr)*"
+
+_NITF_DECLS: tuple[tuple[str, str], ...] = (
+    # document structure
+    ("nitf", "(head?, body)"),
+    ("head", "(title?, meta*, tobject?, iim?, docdata?, pubdata*)"),
+    ("title", "(#PCDATA)"),
+    ("meta", "EMPTY"),
+    ("tobject", "(tobject.property*, tobject.subject*)"),
+    ("tobject.property", "EMPTY"),
+    ("tobject.subject", "EMPTY"),
+    ("iim", "(ds*)"),
+    ("ds", "EMPTY"),
+    ("pubdata", "EMPTY"),
+    # docdata
+    ("docdata", "(correction?, evloc?, doc-id?, del-list?, urgency?, fixture?, "
+                "date.issue?, date.release?, date.expire?, doc-scope?, series?, "
+                "ed-msg?, du-key?, doc.copyright?, doc.rights?, key-list?, "
+                "identified-content?)"),
+    ("correction", "EMPTY"),
+    ("evloc", "EMPTY"),
+    ("doc-id", "EMPTY"),
+    ("del-list", "(from-src*)"),
+    ("from-src", "EMPTY"),
+    ("urgency", "EMPTY"),
+    ("fixture", "EMPTY"),
+    ("date.issue", "EMPTY"),
+    ("date.release", "EMPTY"),
+    ("date.expire", "EMPTY"),
+    ("doc-scope", "EMPTY"),
+    ("series", "EMPTY"),
+    ("ed-msg", "EMPTY"),
+    ("du-key", "EMPTY"),
+    ("doc.copyright", "EMPTY"),
+    ("doc.rights", "EMPTY"),
+    ("key-list", "(keyword*)"),
+    ("keyword", "EMPTY"),
+    ("identified-content", "(classifier | city | country | state | region | "
+                           "org | person | event | function | location | "
+                           "object.title | chron)*"),
+    # body
+    ("body", "(body.head?, body.content*, body.end?)"),
+    ("body.head", "(hedline?, note*, rights?, byline*, distributor?, "
+                  "dateline*, abstract?)"),
+    ("hedline", "(hl1, hl2*)"),
+    ("hl1", _ENRICHED_TEXT),
+    ("hl2", _ENRICHED_TEXT),
+    ("note", "(body.content)"),
+    ("rights", "(#PCDATA | rights.owner | rights.startdate | rights.enddate | "
+               "rights.agent | rights.geography | rights.type | "
+               "rights.limitations)*"),
+    ("rights.owner", "(#PCDATA)"),
+    ("rights.startdate", "(#PCDATA)"),
+    ("rights.enddate", "(#PCDATA)"),
+    ("rights.agent", "(#PCDATA)"),
+    ("rights.geography", "(#PCDATA)"),
+    ("rights.type", "(#PCDATA)"),
+    ("rights.limitations", "(#PCDATA)"),
+    ("byline", "(#PCDATA | person | byttl | virtloc | location)*"),
+    ("byttl", "(#PCDATA | org)*"),
+    ("distributor", "(#PCDATA | org)*"),
+    ("dateline", "(#PCDATA | location | story.date)*"),
+    ("story.date", "(#PCDATA)"),
+    ("abstract", _BLOCK_CONTENT),
+    ("body.content", "(block | p | media | table | ol | ul)*"),
+    ("block", "(tagline?, " + _BLOCK_CONTENT + ", datasource?)"),
+    ("p", _ENRICHED_TEXT),
+    ("body.end", "(tagline?, bibliography?)"),
+    ("tagline", _ENRICHED_TEXT),
+    ("bibliography", "(#PCDATA)"),
+    ("datasource", "(#PCDATA)"),
+    # media
+    ("media", "(media-reference | media-metadata | media-object | "
+              "media-caption | media-producer)+"),
+    ("media-reference", "(#PCDATA)"),
+    ("media-metadata", "EMPTY"),
+    ("media-object", "(#PCDATA)"),
+    ("media-caption", _BLOCK_CONTENT),
+    ("media-producer", "(#PCDATA | person | org)*"),
+    ("credit", "(#PCDATA | person | org)*"),
+    # tables
+    ("table", "(caption?, col*, colgroup*, thead?, tfoot?, tbody+)"),
+    ("caption", _ENRICHED_TEXT),
+    ("col", "EMPTY"),
+    ("colgroup", "(col*)"),
+    ("thead", "(tr+)"),
+    ("tfoot", "(tr+)"),
+    ("tbody", "(tr+)"),
+    ("tr", "(td | th)+"),
+    ("td", _BLOCK_CONTENT[:-2] + " | #PCDATA)*"),
+    ("th", _BLOCK_CONTENT[:-2] + " | #PCDATA)*"),
+    # lists
+    ("ol", "(li+)"),
+    ("ul", "(li+)"),
+    ("li", _ENRICHED_TEXT),
+    ("dl", "(dt | dd)+"),
+    ("dt", _ENRICHED_TEXT),
+    ("dd", _BLOCK_CONTENT),
+    ("bq", "(block*, credit?)"),
+    ("fn", _ENRICHED_TEXT),
+    ("hr", "EMPTY"),
+    # inline enrichment
+    ("em", "(#PCDATA)"),
+    ("lang", "(#PCDATA)"),
+    ("pronounce", "EMPTY"),
+    ("q", _ENRICHED_TEXT),
+    ("a", "(#PCDATA)"),
+    ("br", "EMPTY"),
+    ("chron", "(#PCDATA)"),
+    ("classifier", "(#PCDATA)"),
+    ("city", "(#PCDATA | sublocation)*"),
+    ("country", "(#PCDATA | alt-code)*"),
+    ("state", "(#PCDATA | alt-code)*"),
+    ("region", "(#PCDATA | alt-code)*"),
+    ("sublocation", "(#PCDATA)"),
+    ("sub", "(#PCDATA)"),
+    ("sup", "(#PCDATA)"),
+    ("num", "(#PCDATA | frac | sub | sup)*"),
+    ("money", "(#PCDATA | num)*"),
+    ("frac", "(frac-num, frac-sep?, frac-den)"),
+    ("frac-num", "(#PCDATA)"),
+    ("frac-sep", "(#PCDATA)"),
+    ("frac-den", "(#PCDATA)"),
+    ("event", "(#PCDATA | object.title | alt-code)*"),
+    ("function", "(#PCDATA)"),
+    ("org", "(#PCDATA | alt-code)*"),
+    ("person", "(#PCDATA | name.given | name.family | function | alt-code)*"),
+    ("name.given", "(#PCDATA)"),
+    ("name.family", "(#PCDATA)"),
+    ("object.title", "(#PCDATA)"),
+    ("alt-code", "EMPTY"),
+    ("location", "(#PCDATA | sublocation | city | state | region | country | "
+                 "postaddr)*"),
+    ("virtloc", "(#PCDATA)"),
+    ("postaddr", "(addressee, care.of?, street*, postcode?, delivery.point?)"),
+    ("addressee", "(person | org)"),
+    ("care.of", "(#PCDATA)"),
+    ("street", "(#PCDATA)"),
+    ("postcode", "(#PCDATA)"),
+    ("delivery.point", "(#PCDATA)"),
+    ("copyrite", "(#PCDATA | copyrite.year | copyrite.holder)*"),
+    ("copyrite.year", "(#PCDATA)"),
+    ("copyrite.holder", "(#PCDATA)"),
+)
+
+
+@lru_cache(maxsize=None)
+def nitf_dtd() -> DTD:
+    """The NITF-scale news DTD (123 elements, root ``nitf``)."""
+    text = "\n".join(f"<!ELEMENT {name} {model}>" for name, model in _NITF_DECLS)
+    dtd = parse_dtd(text, root="nitf")
+    assert len(dtd) == NITF_ELEMENT_COUNT, (
+        f"NITF-like DTD drifted: {len(dtd)} elements, expected {NITF_ELEMENT_COUNT}"
+    )
+    return dtd
+
+
+# ---------------------------------------------------------------------------
+# xCBL-Order-like commerce DTD (569 elements)
+# ---------------------------------------------------------------------------
+
+_PARTY_ROLES = (
+    "Buyer", "Seller", "ShipTo", "BillTo", "RemitTo", "Manufacturer",
+    "Carrier", "Warehouse", "Supplier", "Payer", "Payee", "Consignee",
+    "FreightForwarder", "OrderIssuer",
+)
+
+_REFERENCE_KINDS = (
+    "Contract", "Quote", "PriceList", "Invoice", "BlanketOrder", "Promotion",
+    "Requisition", "SalesOrder", "Delivery", "Shipment", "Account",
+    "Customer", "Project", "Budget", "LetterOfCredit", "Release", "Tender",
+    "ProForma", "Booking", "Manifest", "CustomsDeclaration", "ExportLicense",
+    "ImportLicense", "Waybill", "BillOfLading", "PackingList", "ReturnAuth",
+    "CreditMemo", "DebitMemo", "Statement", "ASN", "GoodsReceipt",
+    "Inspection", "Insurance", "Payment", "Remittance", "TaxExemption",
+    "Ledger", "CostCenter", "GLAccount", "WorkOrder", "ServiceOrder",
+    "MaintenanceOrder", "Lease", "Warranty", "Registration", "Certification",
+    "Inventory", "Forecast", "Replenishment", "Consignment",
+)
+
+_DATE_KINDS = (
+    "OrderIssue", "RequestedShip", "RequestedDeliver", "PromisedShip",
+    "PromisedDeliver", "CancelBy", "Expiration", "EffectiveFrom",
+    "EffectiveTo", "LastModified", "Confirmed", "Printed", "Received",
+    "Approved", "Dispatched", "Loading", "Arrival", "Pickup", "Customs",
+    "Inspection",
+)
+
+_AMOUNT_KINDS = (
+    "Total", "Subtotal", "TaxTotal", "Freight", "Handling", "Discount",
+    "Allowance", "Charge", "Net", "Gross", "Prepaid", "Balance", "Insurance",
+    "Packing", "Deposit", "Duty",
+)
+
+_CONTACT_KINDS = ("Order", "Receiving", "Shipping", "Billing", "Technical", "Sales")
+
+
+def _xcbl_declarations() -> list[tuple[str, str]]:
+    decls: list[tuple[str, str]] = []
+
+    def leaf(name: str) -> None:
+        decls.append((name, "(#PCDATA)"))
+
+    def node(name: str, model: str) -> None:
+        decls.append((name, model))
+
+    # --- top-level order structure -------------------------------------
+    node("Order", "(OrderHeader, OrderDetail, OrderSummary?)")
+    node(
+        "OrderHeader",
+        "(OrderNumber, OrderReferences?, Purpose?, "
+        "OrderType?, OrderCurrency?, LanguageCode?, OrderDates?, "
+        "OrderParty, OrderPaymentInstructions?, OrderTermsOfDelivery?, "
+        "OrderTransportRouting?, OrderTaxSummary?, OrderAllowancesOrCharges?, "
+        "OrderAttachments?, OrderNotes?, OrderHeaderUserArea?)",
+    )
+    node("OrderNumber", "(BuyerOrderNumber, SellerOrderNumber?, ChangeOrderSequence?)")
+    leaf("BuyerOrderNumber")
+    leaf("SellerOrderNumber")
+    leaf("ChangeOrderSequence")
+    leaf("Purpose")
+    leaf("OrderType")
+    node("OrderCurrency", "(CurrencyCoded, CurrencyCodedOther?, RateOfExchange?)")
+    leaf("CurrencyCoded")
+    leaf("CurrencyCodedOther")
+    leaf("RateOfExchange")
+    leaf("LanguageCode")
+    node("OrderNotes", "(GeneralNote*, StructuredNote*)")
+    leaf("GeneralNote")
+    node("StructuredNote", "(NoteID?, NoteText, NoteLanguage?)")
+    leaf("NoteID")
+    leaf("NoteText")
+    leaf("NoteLanguage")
+    leaf("OrderHeaderUserArea")
+
+    # --- references ------------------------------------------------------
+    node(
+        "OrderReferences",
+        "(" + ", ".join(f"{kind}Reference?" for kind in _REFERENCE_KINDS) + ")",
+    )
+    for kind in _REFERENCE_KINDS:
+        node(f"{kind}Reference", f"({kind}RefNum, {kind}RefDate?, {kind}RefNotes?)")
+        leaf(f"{kind}RefNum")
+        leaf(f"{kind}RefDate")
+        leaf(f"{kind}RefNotes")
+
+    # --- dates -----------------------------------------------------------
+    node(
+        "OrderDates",
+        "(" + ", ".join(f"{kind}Date?" for kind in _DATE_KINDS) + ")",
+    )
+    for kind in _DATE_KINDS:
+        node(f"{kind}Date", f"({kind}DateValue, {kind}DateQualifier?)")
+        leaf(f"{kind}DateValue")
+        leaf(f"{kind}DateQualifier")
+
+    # --- parties -----------------------------------------------------------
+    node(
+        "OrderParty",
+        "(" + ", ".join(
+            f"{role}Party{'?' if role != 'Buyer' and role != 'Seller' else ''}"
+            for role in _PARTY_ROLES
+        ) + ")",
+    )
+    for role in _PARTY_ROLES:
+        node(f"{role}Party", "(Party)")
+    node(
+        "Party",
+        "(PartyID, MDFBusiness?, NameAddress?, OrderContact?, "
+        "OtherContacts?, PartyTaxInformation?, CorrespondenceLanguage?)",
+    )
+    node("PartyID", "(Identifier+)")
+    node("Identifier", "(Agency?, Ident)")
+    node("Agency", "(AgencyCoded, AgencyCodedOther?, AgencyDescription?)")
+    leaf("AgencyCoded")
+    leaf("AgencyCodedOther")
+    leaf("AgencyDescription")
+    leaf("Ident")
+    leaf("MDFBusiness")
+    node(
+        "NameAddress",
+        "(ExternalAddressID?, Name1, Name2?, Name3?, Identification?, "
+        "POBox?, Street?, HouseNumber?, StreetSupplement1?, "
+        "StreetSupplement2?, Building?, Floor?, RoomNumber?, InhouseMail?, "
+        "Department?, PostalCode?, City, County?, Region?, District?, "
+        "Country, Timezone?)",
+    )
+    leaf("ExternalAddressID")
+    leaf("Name1")
+    leaf("Name2")
+    leaf("Name3")
+    leaf("Identification")
+    leaf("POBox")
+    leaf("Street")
+    leaf("HouseNumber")
+    leaf("StreetSupplement1")
+    leaf("StreetSupplement2")
+    leaf("Building")
+    leaf("Floor")
+    leaf("RoomNumber")
+    leaf("InhouseMail")
+    leaf("Department")
+    leaf("PostalCode")
+    leaf("City")
+    leaf("County")
+    node("Region", "(RegionCoded, RegionCodedOther?)")
+    leaf("RegionCoded")
+    leaf("RegionCodedOther")
+    leaf("District")
+    node("Country", "(CountryCoded, CountryCodedOther?)")
+    leaf("CountryCoded")
+    leaf("CountryCodedOther")
+    leaf("Timezone")
+    node("OrderContact", "(Contact)")
+    node(
+        "OtherContacts",
+        "(" + " | ".join(f"{kind}ContactRef" for kind in _CONTACT_KINDS) + ")*",
+    )
+    for kind in _CONTACT_KINDS:
+        node(f"{kind}ContactRef", "(Contact)")
+    node(
+        "Contact",
+        "(ContactID?, ContactName, ContactFunction?, ListOfContactNumber?, "
+        "ContactDescription?)",
+    )
+    leaf("ContactID")
+    leaf("ContactName")
+    leaf("ContactFunction")
+    leaf("ContactDescription")
+    node("ListOfContactNumber", "(ContactNumber+)")
+    node("ContactNumber", "(ContactNumberValue, ContactNumberTypeCoded?)")
+    leaf("ContactNumberValue")
+    leaf("ContactNumberTypeCoded")
+    node("PartyTaxInformation", "(TaxIdentifier?, RegisteredName?, RegisteredOffice?)")
+    leaf("TaxIdentifier")
+    leaf("RegisteredName")
+    leaf("RegisteredOffice")
+    leaf("CorrespondenceLanguage")
+
+    # --- payment -----------------------------------------------------------
+    node(
+        "OrderPaymentInstructions",
+        "(PaymentTerms?, PaymentMethod?, FinancialInstitution?)",
+    )
+    node(
+        "PaymentTerms",
+        "(PaymentTermCoded?, DiscountPercent?, DiscountDaysDue?, "
+        "NetDaysDue?, PaymentTermDescription?)",
+    )
+    leaf("PaymentTermCoded")
+    leaf("DiscountPercent")
+    leaf("DiscountDaysDue")
+    leaf("NetDaysDue")
+    leaf("PaymentTermDescription")
+    node("PaymentMethod", "(PaymentMeanCoded, PaymentMeanReference?)")
+    leaf("PaymentMeanCoded")
+    leaf("PaymentMeanReference")
+    node(
+        "FinancialInstitution",
+        "(FinancialInstitutionID?, FinancialInstitutionName?, AccountDetail?)",
+    )
+    leaf("FinancialInstitutionID")
+    leaf("FinancialInstitutionName")
+    node("AccountDetail", "(AccountID, AccountName?, AccountTypeCoded?, IBAN?)")
+    leaf("AccountID")
+    leaf("AccountName")
+    leaf("AccountTypeCoded")
+    leaf("IBAN")
+
+    # --- delivery terms / transport ----------------------------------------
+    node(
+        "OrderTermsOfDelivery",
+        "(TermsOfDeliveryFunctionCoded?, TransportTermsCoded?, "
+        "ShipmentMethodOfPaymentCoded?, TermsOfDeliveryDescription?, "
+        "RiskOfLossCoded?)",
+    )
+    leaf("TermsOfDeliveryFunctionCoded")
+    leaf("TransportTermsCoded")
+    leaf("ShipmentMethodOfPaymentCoded")
+    leaf("TermsOfDeliveryDescription")
+    leaf("RiskOfLossCoded")
+    node(
+        "OrderTransportRouting",
+        "(TransportRouting*, TransportRequirement*)",
+    )
+    node(
+        "TransportRouting",
+        "(TransportMode?, TransportMeans?, CarrierName?, CarrierID?, "
+        "TransitDirection?, TransitTime?, ShippingInstructions?)",
+    )
+    node("TransportMode", "(TransportModeCoded, TransportModeCodedOther?)")
+    leaf("TransportModeCoded")
+    leaf("TransportModeCodedOther")
+    node("TransportMeans", "(TransportMeansCoded, TransportMeansIdentifier?)")
+    leaf("TransportMeansCoded")
+    leaf("TransportMeansIdentifier")
+    leaf("CarrierName")
+    leaf("CarrierID")
+    leaf("TransitDirection")
+    leaf("TransitTime")
+    leaf("ShippingInstructions")
+    node("TransportRequirement", "(RequirementCoded, RequirementDescription?)")
+    leaf("RequirementCoded")
+    leaf("RequirementDescription")
+
+    # --- taxes ---------------------------------------------------------------
+    node("OrderTaxSummary", "(Tax+)")
+    node(
+        "Tax",
+        "(TaxTypeCoded?, TaxFunctionQualifierCoded?, TaxCategoryCoded?, "
+        "TaxPercent?, TaxableAmount?, TaxPaymentMethodCoded?, TaxLocation?, "
+        "TaxAmounts?)",
+    )
+    leaf("TaxTypeCoded")
+    leaf("TaxFunctionQualifierCoded")
+    leaf("TaxCategoryCoded")
+    leaf("TaxPercent")
+    leaf("TaxableAmount")
+    leaf("TaxPaymentMethodCoded")
+    node("TaxLocation", "(TaxJurisdiction?, TaxLocationCoded?)")
+    leaf("TaxJurisdiction")
+    leaf("TaxLocationCoded")
+    node("TaxAmounts", "(TaxAmountValue, TaxAmountCurrency?)")
+    leaf("TaxAmountValue")
+    leaf("TaxAmountCurrency")
+
+    # --- allowances / charges ----------------------------------------------
+    node("OrderAllowancesOrCharges", "(AllowOrCharge+)")
+    node(
+        "AllowOrCharge",
+        "(AllowChargeIndicatorCoded, MethodOfHandlingCoded?, "
+        "AllowanceChargeDescription?, BasisCoded?, "
+        "AllowChargeRate?, AllowChargeQuantity?, AllowChargeAmounts?)",
+    )
+    leaf("AllowChargeIndicatorCoded")
+    leaf("MethodOfHandlingCoded")
+    leaf("AllowanceChargeDescription")
+    leaf("BasisCoded")
+    leaf("AllowChargeRate")
+    leaf("AllowChargeQuantity")
+    node("AllowChargeAmounts", "(AllowChargeAmountValue, AllowChargeAmountCurrency?)")
+    leaf("AllowChargeAmountValue")
+    leaf("AllowChargeAmountCurrency")
+
+    # --- attachments ----------------------------------------------------------
+    node("OrderAttachments", "(Attachment+)")
+    node(
+        "Attachment",
+        "(AttachmentPurpose?, FileName, MIMEType?, AttachmentTitle?, "
+        "AttachmentDescription?, URI?)",
+    )
+    leaf("AttachmentPurpose")
+    leaf("FileName")
+    leaf("MIMEType")
+    leaf("AttachmentTitle")
+    leaf("AttachmentDescription")
+    leaf("URI")
+
+    # --- item details ----------------------------------------------------------
+    node("OrderDetail", "(ListOfItemDetail)")
+    node("ListOfItemDetail", "(ItemDetail+)")
+    node(
+        "ItemDetail",
+        "(BaseItemDetail, PricingDetail?, DeliveryDetail?, "
+        "LineItemNotes?, PackagingDetail?, HazardDetail?, "
+        "ItemTaxInformation?, LineItemAllowancesOrCharges?, "
+        "LineItemAttachments?, ItemDetailUserArea?)",
+    )
+    node(
+        "BaseItemDetail",
+        "(LineItemNum, PartNumbers?, ItemIdentifiers?, "
+        "TotalQuantity, MaxBackOrderQuantity?, ItemDescriptions?)",
+    )
+    leaf("LineItemNum")
+    node(
+        "PartNumbers",
+        "(SellerPartNumber?, BuyerPartNumber?, ManufacturerPartNumber?, "
+        "StandardPartNumber?, SubstitutePartNumbers?)",
+    )
+    node("SellerPartNumber", "(PartNum)")
+    node("BuyerPartNumber", "(PartNum)")
+    node("ManufacturerPartNumber", "(PartNum)")
+    node("StandardPartNumber", "(PartNum)")
+    node("SubstitutePartNumbers", "(PartNum+)")
+    node("PartNum", "(PartID, RevisionNumber?)")
+    leaf("PartID")
+    leaf("RevisionNumber")
+    node("ItemIdentifiers", "(ItemCommodityCode*, ItemBatchNumber?, ItemSerialNumber*)")
+    node("ItemCommodityCode", "(CommodityCodeValue, CommodityCodeQualifier?)")
+    leaf("CommodityCodeValue")
+    leaf("CommodityCodeQualifier")
+    leaf("ItemBatchNumber")
+    leaf("ItemSerialNumber")
+    node("TotalQuantity", "(Quantity)")
+    node("MaxBackOrderQuantity", "(Quantity)")
+    node("Quantity", "(QuantityValue, UnitOfMeasurement?)")
+    leaf("QuantityValue")
+    node("UnitOfMeasurement", "(UOMCoded, UOMCodedOther?)")
+    leaf("UOMCoded")
+    leaf("UOMCodedOther")
+    node("ItemDescriptions", "(ItemDescription+)")
+    node("ItemDescription", "(DescriptionValue, DescriptionLanguage?)")
+    leaf("DescriptionValue")
+    leaf("DescriptionLanguage")
+    node(
+        "PricingDetail",
+        "(ListOfPrice, TotalValue?, ItemAllowancesOrCharges?, PricingNotes?)",
+    )
+    node("ListOfPrice", "(Price+)")
+    node(
+        "Price",
+        "(PriceTypeCoded?, UnitPrice, PriceBasisQuantity?, PriceMultiplier?, "
+        "ValidityDates?)",
+    )
+    leaf("PriceTypeCoded")
+    node("UnitPrice", "(UnitPriceValue, UnitPriceCurrency?)")
+    leaf("UnitPriceValue")
+    leaf("UnitPriceCurrency")
+    node("PriceBasisQuantity", "(Quantity)")
+    leaf("PriceMultiplier")
+    node("ValidityDates", "(ValidFromDate?, ValidToDate?)")
+    leaf("ValidFromDate")
+    leaf("ValidToDate")
+    node("TotalValue", "(MonetaryValue)")
+    node("MonetaryValue", "(MonetaryAmount, MonetaryCurrency?)")
+    leaf("MonetaryAmount")
+    leaf("MonetaryCurrency")
+    node("ItemAllowancesOrCharges", "(AllowOrCharge+)")
+    leaf("PricingNotes")
+    node(
+        "DeliveryDetail",
+        "(ListOfScheduleLine?, ShipToLocation?, DeliveryInstructions?)",
+    )
+    node("ListOfScheduleLine", "(ScheduleLine+)")
+    node(
+        "ScheduleLine",
+        "(ScheduleLineID?, ScheduleQuantity, ScheduleDates?, ScheduleNotes?)",
+    )
+    leaf("ScheduleLineID")
+    node("ScheduleQuantity", "(Quantity)")
+    node("ScheduleDates", "(RequestedDeliveryDate?, PromisedDeliveryDate?)")
+    leaf("RequestedDeliveryDate")
+    leaf("PromisedDeliveryDate")
+    leaf("ScheduleNotes")
+    node("ShipToLocation", "(LocationID?, LocationName?, NameAddress?)")
+    leaf("LocationID")
+    leaf("LocationName")
+    leaf("DeliveryInstructions")
+    leaf("LineItemNotes")
+    node(
+        "PackagingDetail",
+        "(PackageTypeCoded?, PackagingDescription?, PackageDimensions?, "
+        "PackageWeight?, PackageMarking?)",
+    )
+    leaf("PackageTypeCoded")
+    leaf("PackagingDescription")
+    node(
+        "PackageDimensions",
+        "(PackageLength?, PackageWidth?, PackageHeight?, DimensionUOM?)",
+    )
+    leaf("PackageLength")
+    leaf("PackageWidth")
+    leaf("PackageHeight")
+    leaf("DimensionUOM")
+    node("PackageWeight", "(WeightValue, WeightUOM?)")
+    leaf("WeightValue")
+    leaf("WeightUOM")
+    leaf("PackageMarking")
+    node(
+        "HazardDetail",
+        "(HazardTypeCoded?, HazardDescription?, HazardClassification?, "
+        "HazardPageNumber?)",
+    )
+    leaf("HazardTypeCoded")
+    leaf("HazardDescription")
+    leaf("HazardClassification")
+    leaf("HazardPageNumber")
+    node("ItemTaxInformation", "(Tax+)")
+    node("LineItemAllowancesOrCharges", "(AllowOrCharge+)")
+    node("LineItemAttachments", "(Attachment+)")
+    leaf("ItemDetailUserArea")
+
+    # --- order summary ---------------------------------------------------------
+    node(
+        "OrderSummary",
+        "(NumberOfLines?, TotalOrderQuantity?, OrderAmounts?, SummaryNotes?)",
+    )
+    leaf("NumberOfLines")
+    node("TotalOrderQuantity", "(Quantity)")
+    node(
+        "OrderAmounts",
+        "(" + ", ".join(f"{kind}Amount?" for kind in _AMOUNT_KINDS) + ")",
+    )
+    for kind in _AMOUNT_KINDS:
+        node(f"{kind}Amount", f"({kind}AmountValue, {kind}AmountCurrency?)")
+        leaf(f"{kind}AmountValue")
+        leaf(f"{kind}AmountCurrency")
+    leaf("SummaryNotes")
+
+    return decls
+
+
+@lru_cache(maxsize=None)
+def xcbl_dtd() -> DTD:
+    """The xCBL-Order-scale commerce DTD (569 elements, root ``Order``)."""
+    decls = _xcbl_declarations()
+    text = "\n".join(f"<!ELEMENT {name} {model}>" for name, model in decls)
+    dtd = parse_dtd(text, root="Order")
+    assert len(dtd) == XCBL_ELEMENT_COUNT, (
+        f"xCBL-like DTD drifted: {len(dtd)} elements, expected {XCBL_ELEMENT_COUNT}"
+    )
+    return dtd
+
+
+# ---------------------------------------------------------------------------
+# DBLP-like bibliography DTD (for the Section 5.1 compaction anecdote)
+# ---------------------------------------------------------------------------
+
+_DBLP_RECORD_TYPES = (
+    "article", "inproceedings", "proceedings", "book", "incollection",
+    "phdthesis", "mastersthesis", "www",
+)
+
+_DBLP_FIELDS = (
+    "author", "editor", "title", "booktitle", "pages", "year", "address",
+    "journal", "volume", "number", "month", "url", "ee", "cdrom", "cite",
+    "publisher", "note", "crossref", "isbn", "series", "school", "chapter",
+)
+
+
+@lru_cache(maxsize=None)
+def dblp_dtd() -> DTD:
+    """A DBLP-like bibliography DTD: one huge ``dblp`` root holding highly
+    repetitive publication records — the extreme-compaction case the paper
+    cites (7,991,221 tag nodes collapsing into a 137-node synopsis)."""
+    fields = ", ".join(f"{field}*" for field in _DBLP_FIELDS)
+    decls = [f"<!ELEMENT dblp ({' | '.join(_DBLP_RECORD_TYPES)})*>"]
+    decls.extend(
+        f"<!ELEMENT {record} ({fields})>" for record in _DBLP_RECORD_TYPES
+    )
+    decls.extend(f"<!ELEMENT {field} (#PCDATA)>" for field in _DBLP_FIELDS)
+    return parse_dtd("\n".join(decls), root="dblp")
+
+
+def builtin_dtd(name: str) -> DTD:
+    """Look up a built-in DTD by name (``"nitf"``, ``"xcbl"`` or ``"dblp"``)."""
+    if name == "nitf":
+        return nitf_dtd()
+    if name == "xcbl":
+        return xcbl_dtd()
+    if name == "dblp":
+        return dblp_dtd()
+    raise ValueError(f"unknown built-in DTD {name!r}; choose from {BUILTIN_DTD_NAMES}")

@@ -1,0 +1,226 @@
+"""Document Type Definition (DTD) model.
+
+The workload generators of Section 5.1 are DTD-driven: documents are random
+instances of a DTD, and tree patterns are random walks over the DTD's
+element graph.  This module models the subset of DTDs those generators need:
+element declarations with content particles (sequences, choices, repetition
+operators) plus ``EMPTY``/``#PCDATA`` leaves.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+__all__ = ["Occurs", "Particle", "ElementType", "DTD", "DTDError"]
+
+
+class DTDError(ValueError):
+    """Raised for structurally invalid DTDs."""
+
+
+class Occurs(enum.Enum):
+    """Repetition operator attached to a content particle."""
+
+    ONE = ""
+    OPTIONAL = "?"
+    STAR = "*"
+    PLUS = "+"
+
+    @property
+    def min_count(self) -> int:
+        return 1 if self in (Occurs.ONE, Occurs.PLUS) else 0
+
+    @property
+    def unbounded(self) -> bool:
+        return self in (Occurs.STAR, Occurs.PLUS)
+
+
+@dataclass(frozen=True)
+class Particle:
+    """One content-model particle: an element reference, a sequence, or a
+    choice, each with a repetition operator.
+
+    ``kind`` is ``"element"``, ``"seq"``, ``"choice"`` or ``"pcdata"``.
+    Element particles carry ``name``; group particles carry ``children``.
+    """
+
+    kind: str
+    occurs: Occurs = Occurs.ONE
+    name: Optional[str] = None
+    children: tuple["Particle", ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind == "element":
+            if not self.name:
+                raise DTDError("element particle needs a name")
+        elif self.kind in ("seq", "choice"):
+            if not self.children:
+                raise DTDError(f"{self.kind} particle needs children")
+        elif self.kind == "pcdata":
+            pass
+        else:
+            raise DTDError(f"unknown particle kind {self.kind!r}")
+
+    def element_names(self) -> Iterator[str]:
+        """Yield every element name referenced below this particle."""
+        if self.kind == "element":
+            assert self.name is not None
+            yield self.name
+        for child in self.children:
+            yield from child.element_names()
+
+    def render(self) -> str:
+        """Back to DTD content-model syntax."""
+        if self.kind == "element":
+            return f"{self.name}{self.occurs.value}"
+        if self.kind == "pcdata":
+            return "#PCDATA"
+        separator = ", " if self.kind == "seq" else " | "
+        inner = separator.join(child.render() for child in self.children)
+        return f"({inner}){self.occurs.value}"
+
+
+@dataclass(frozen=True)
+class ElementType:
+    """One ``<!ELEMENT name content>`` declaration.
+
+    ``content`` is ``None`` for ``EMPTY`` elements and for pure
+    ``(#PCDATA)`` elements (the generators treat both as structural leaves;
+    ``has_pcdata`` distinguishes them for value generation).
+    """
+
+    name: str
+    content: Optional[Particle] = None
+    has_pcdata: bool = False
+
+    def child_names(self) -> tuple[str, ...]:
+        """Distinct element names that can appear as children, in
+        declaration order."""
+        if self.content is None:
+            return ()
+        seen: list[str] = []
+        for name in self.content.element_names():
+            if name not in seen:
+                seen.append(name)
+        return tuple(seen)
+
+    def render(self) -> str:
+        """Back to ``<!ELEMENT ...>`` syntax.
+
+        Mixed content is rendered without its ``#PCDATA`` alternative (the
+        generators treat text as an element-level property), so rendering is
+        structure-preserving but not byte-identical.
+        """
+        if self.content is None and not self.has_pcdata:
+            return f"<!ELEMENT {self.name} EMPTY>"
+        if self.content is None:
+            return f"<!ELEMENT {self.name} (#PCDATA)>"
+        body = self.content.render()
+        if self.content.kind == "element":
+            body = f"({body})"
+        return f"<!ELEMENT {self.name} {body}>"
+
+
+class DTD:
+    """A set of element declarations with a designated root element."""
+
+    def __init__(self, root: str, elements: dict[str, ElementType]):
+        if root not in elements:
+            raise DTDError(f"root element {root!r} is not declared")
+        undeclared = {
+            name
+            for element in elements.values()
+            for name in element.child_names()
+            if name not in elements
+        }
+        if undeclared:
+            raise DTDError(
+                f"content models reference undeclared elements: {sorted(undeclared)[:5]}"
+            )
+        self.root = root
+        self.elements = dict(elements)
+
+    def __len__(self) -> int:
+        return len(self.elements)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.elements
+
+    def element(self, name: str) -> ElementType:
+        """Declaration of *name*; KeyError if undeclared."""
+        return self.elements[name]
+
+    def child_graph(self) -> dict[str, tuple[str, ...]]:
+        """Element name → distinct possible child element names."""
+        return {
+            name: element.child_names() for name, element in self.elements.items()
+        }
+
+    def reachable_elements(self) -> frozenset[str]:
+        """Element names reachable from the root (a well-formed DTD for our
+        generators should reach everything)."""
+        seen: set[str] = set()
+        stack = [self.root]
+        while stack:
+            name = stack.pop()
+            if name in seen:
+                continue
+            seen.add(name)
+            stack.extend(self.elements[name].child_names())
+        return frozenset(seen)
+
+    def max_depth(self, limit: int = 64) -> int:
+        """Length of the longest root path through the child graph.
+
+        Recursive DTDs admit unbounded documents, so a cycle reachable from
+        the root yields *limit*; otherwise the child graph restricted to
+        reachable elements is a DAG and its longest path is computed by a
+        topological dynamic program.
+        """
+        reachable = self.reachable_elements()
+        graph = {
+            name: tuple(c for c in children if c in reachable)
+            for name, children in self.child_graph().items()
+            if name in reachable
+        }
+        # Depth-first cycle detection + post-order for the DP.
+        WHITE, GRAY, BLACK = 0, 1, 2
+        color = {name: WHITE for name in graph}
+        post_order: list[str] = []
+        stack: list[tuple[str, int]] = [(self.root, 0)]
+        while stack:
+            name, child_index = stack.pop()
+            if child_index == 0:
+                if color[name] == BLACK:
+                    continue
+                if color[name] == GRAY:
+                    continue
+                color[name] = GRAY
+            children = graph[name]
+            if child_index < len(children):
+                stack.append((name, child_index + 1))
+                child = children[child_index]
+                if color[child] == GRAY:
+                    return limit  # cycle reachable from the root
+                if color[child] == WHITE:
+                    stack.append((child, 0))
+            else:
+                color[name] = BLACK
+                post_order.append(name)
+        height: dict[str, int] = {}
+        for name in post_order:
+            height[name] = 1 + max(
+                (height[c] for c in graph[name]), default=0
+            )
+        return min(height.get(self.root, 1), limit)
+
+    def render(self) -> str:
+        """The whole DTD back in ``<!ELEMENT ...>`` syntax."""
+        return "\n".join(
+            element.render() for element in self.elements.values()
+        )
+
+    def __repr__(self) -> str:
+        return f"DTD(root={self.root!r}, elements={len(self.elements)})"

@@ -1,0 +1,215 @@
+"""Validating documents against a DTD's content models.
+
+The document generator promises DTD-valid output; this module provides the
+independent check.  Each element's children must match its content model —
+a regular expression over element names — which is decided by compiling the
+content particle to a Thompson-style NFA (epsilon transitions for
+``?``/``*``/``+``, alternation for choices, concatenation for sequences)
+and simulating it over the child-tag sequence.
+
+``#PCDATA`` and attribute declarations are outside the model (the library's
+trees are element-structure only), so mixed-content elements validate
+purely on their element children, in any order for choice-star models —
+matching how the generators emit them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.dtd.model import DTD, ElementType, Occurs, Particle
+from repro.xmltree.tree import XMLTree
+
+__all__ = ["ValidationError", "ValidationReport", "validate_tree"]
+
+
+@dataclass(frozen=True)
+class ValidationError:
+    """One violation: an element whose children do not fit its model."""
+
+    node: int
+    element: str
+    children: tuple[str, ...]
+    reason: str
+
+    def __str__(self) -> str:
+        kids = "/".join(self.children) or "(none)"
+        return f"<{self.element}> node {self.node}: {self.reason} (children: {kids})"
+
+
+@dataclass
+class ValidationReport:
+    """All violations found in one document."""
+
+    errors: list[ValidationError] = field(default_factory=list)
+
+    @property
+    def valid(self) -> bool:
+        return not self.errors
+
+    def __bool__(self) -> bool:
+        return self.valid
+
+    def __str__(self) -> str:
+        if self.valid:
+            return "valid"
+        return "\n".join(str(error) for error in self.errors)
+
+
+class _NFA:
+    """Thompson NFA over element-name symbols.
+
+    States are integers; transitions are ``(state, symbol) -> {states}``
+    plus epsilon edges.  Built once per element type and cached on the
+    validator.
+    """
+
+    def __init__(self) -> None:
+        self.transitions: list[dict[str, set[int]]] = []
+        self.epsilons: list[set[int]] = []
+
+    def new_state(self) -> int:
+        self.transitions.append({})
+        self.epsilons.append(set())
+        return len(self.transitions) - 1
+
+    def add_edge(self, source: int, symbol: str, target: int) -> None:
+        self.transitions[source].setdefault(symbol, set()).add(target)
+
+    def add_epsilon(self, source: int, target: int) -> None:
+        self.epsilons[source].add(target)
+
+    def closure(self, states: set[int]) -> set[int]:
+        result = set(states)
+        frontier = list(states)
+        while frontier:
+            state = frontier.pop()
+            for target in self.epsilons[state]:
+                if target not in result:
+                    result.add(target)
+                    frontier.append(target)
+        return result
+
+    def accepts(self, symbols: tuple[str, ...], start: int, accept: int) -> bool:
+        current = self.closure({start})
+        for symbol in symbols:
+            following: set[int] = set()
+            for state in current:
+                following |= self.transitions[state].get(symbol, set())
+            if not following:
+                return False
+            current = self.closure(following)
+        return accept in current
+
+
+def _compile_particle(nfa: _NFA, particle: Particle) -> tuple[int, int]:
+    """Compile *particle* into (start, accept) states of *nfa*."""
+    if particle.kind == "pcdata":
+        start = nfa.new_state()
+        accept = nfa.new_state()
+        nfa.add_epsilon(start, accept)
+        return _apply_occurs(nfa, start, accept, Occurs.ONE)
+
+    if particle.kind == "element":
+        start = nfa.new_state()
+        accept = nfa.new_state()
+        assert particle.name is not None
+        nfa.add_edge(start, particle.name, accept)
+        return _apply_occurs(nfa, start, accept, particle.occurs)
+
+    if particle.kind == "seq":
+        start, accept = None, None
+        for child in particle.children:
+            child_start, child_accept = _compile_particle(nfa, child)
+            if start is None:
+                start = child_start
+            else:
+                assert accept is not None
+                nfa.add_epsilon(accept, child_start)
+            accept = child_accept
+        assert start is not None and accept is not None
+        return _apply_occurs(nfa, start, accept, particle.occurs)
+
+    # choice
+    start = nfa.new_state()
+    accept = nfa.new_state()
+    for child in particle.children:
+        child_start, child_accept = _compile_particle(nfa, child)
+        nfa.add_epsilon(start, child_start)
+        nfa.add_epsilon(child_accept, accept)
+    return _apply_occurs(nfa, start, accept, particle.occurs)
+
+
+def _apply_occurs(
+    nfa: _NFA, start: int, accept: int, occurs: Occurs
+) -> tuple[int, int]:
+    """Wrap a compiled fragment with its repetition operator."""
+    if occurs == Occurs.ONE:
+        return start, accept
+    outer_start = nfa.new_state()
+    outer_accept = nfa.new_state()
+    nfa.add_epsilon(outer_start, start)
+    nfa.add_epsilon(accept, outer_accept)
+    if occurs in (Occurs.OPTIONAL, Occurs.STAR):
+        nfa.add_epsilon(outer_start, outer_accept)
+    if occurs in (Occurs.STAR, Occurs.PLUS):
+        nfa.add_epsilon(accept, start)
+    return outer_start, outer_accept
+
+
+class _ElementValidator:
+    """Compiled acceptor for one element type's children."""
+
+    def __init__(self, element: ElementType):
+        self.element = element
+        if element.content is None:
+            self.nfa: Optional[_NFA] = None
+            self.start = self.accept = -1
+        else:
+            self.nfa = _NFA()
+            self.start, self.accept = _compile_particle(self.nfa, element.content)
+
+    def accepts(self, children: tuple[str, ...]) -> bool:
+        if self.nfa is None:
+            return not children  # EMPTY / pure-PCDATA: no element children
+        return self.nfa.accepts(children, self.start, self.accept)
+
+
+def validate_tree(
+    dtd: DTD, tree: XMLTree, max_errors: int = 100
+) -> ValidationReport:
+    """Check *tree* against *dtd*; returns a report of all violations.
+
+    Checks: the root element matches the DTD root; every tag is declared;
+    every node's element-children sequence is accepted by its content model.
+    Document-generator size/depth truncation produces *prefixes* of valid
+    content, so truncated documents may legitimately fail the strict model —
+    pass the generator's output un-truncated (the default configuration) for
+    a guaranteed-valid stream, or inspect the specific errors.
+    """
+    report = ValidationReport()
+
+    def record(node: int, element: str, children: tuple[str, ...], reason: str):
+        if len(report.errors) < max_errors:
+            report.errors.append(
+                ValidationError(node, element, children, reason)
+            )
+
+    if tree.labels[0] != dtd.root:
+        record(0, tree.labels[0], (), f"root must be <{dtd.root}>")
+
+    validators: dict[str, _ElementValidator] = {}
+    for node in tree.iter_preorder():
+        tag = tree.labels[node]
+        if tag not in dtd:
+            record(node, tag, (), "element not declared")
+            continue
+        validator = validators.get(tag)
+        if validator is None:
+            validator = _ElementValidator(dtd.element(tag))
+            validators[tag] = validator
+        children = tuple(tree.labels[child] for child in tree.children[node])
+        if not validator.accepts(children):
+            record(node, tag, children, "children do not match content model")
+    return report

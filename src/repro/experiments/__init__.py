@@ -1,0 +1,60 @@
+"""Experiment harness and per-figure runners for the paper's evaluation."""
+
+from repro.experiments.compaction import CompactionResult, measure_compaction
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.figures import (
+    ALL_FIGURES,
+    FigureResult,
+    Series,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    figure9,
+    figure10,
+    setup_summary,
+)
+from repro.experiments.ground_truth import (
+    GroundTruth,
+    exact_metric_values,
+    exact_selectivities,
+)
+from repro.experiments.harness import (
+    EvaluationResult,
+    PreparedExperiment,
+    build_synopsis,
+    clear_caches,
+    evaluate,
+    prepare,
+)
+from repro.experiments.report import figure_to_csv, render_figure, render_summary
+
+__all__ = [
+    "ExperimentConfig",
+    "CompactionResult",
+    "measure_compaction",
+    "GroundTruth",
+    "exact_selectivities",
+    "exact_metric_values",
+    "PreparedExperiment",
+    "EvaluationResult",
+    "prepare",
+    "build_synopsis",
+    "evaluate",
+    "clear_caches",
+    "Series",
+    "FigureResult",
+    "figure4",
+    "figure5",
+    "figure6",
+    "figure7",
+    "figure8",
+    "figure9",
+    "figure10",
+    "setup_summary",
+    "ALL_FIGURES",
+    "render_figure",
+    "figure_to_csv",
+    "render_summary",
+]

@@ -1,0 +1,84 @@
+"""Command-line figure regeneration.
+
+Usage::
+
+    python -m repro.experiments figure4 figure5 --scale quick
+    python -m repro.experiments all --scale tiny --dtd nitf
+    python -m repro.experiments summary --scale paper --csv out/
+
+``--scale paper`` runs the full Section 5.1 setup (hours in pure Python);
+``quick`` (default) preserves the curve shapes in minutes; ``tiny`` is a
+smoke test.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+import time
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.figures import ALL_FIGURES, setup_summary
+from repro.experiments.report import figure_to_csv, render_figure, render_summary
+
+_SCALES = {
+    "tiny": ExperimentConfig.tiny,
+    "quick": ExperimentConfig.quick,
+    "paper": ExperimentConfig.paper,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's figures as text tables.",
+    )
+    parser.add_argument(
+        "targets",
+        nargs="+",
+        help="figure4..figure10, 'summary', or 'all'",
+    )
+    parser.add_argument("--scale", choices=sorted(_SCALES), default="quick")
+    parser.add_argument(
+        "--dtd",
+        choices=("nitf", "xcbl", "both"),
+        default="both",
+        help="data set(s) to run on",
+    )
+    parser.add_argument(
+        "--csv",
+        type=pathlib.Path,
+        default=None,
+        help="directory to also write <figure>.csv files into",
+    )
+    args = parser.parse_args(argv)
+
+    preset = _SCALES[args.scale]
+    dtd_names = ("nitf", "xcbl") if args.dtd == "both" else (args.dtd,)
+    configs = [preset(name) for name in dtd_names]
+
+    targets = list(args.targets)
+    if "all" in targets:
+        targets = ["summary"] + sorted(ALL_FIGURES)
+
+    for target in targets:
+        started = time.perf_counter()
+        if target == "summary":
+            print(render_summary(setup_summary(configs)))
+        elif target in ALL_FIGURES:
+            figure = ALL_FIGURES[target](configs)
+            print(render_figure(figure))
+            if args.csv is not None:
+                args.csv.mkdir(parents=True, exist_ok=True)
+                path = args.csv / f"{target}.csv"
+                path.write_text(figure_to_csv(figure))
+                print(f"(csv written to {path})")
+        else:
+            parser.error(f"unknown target {target!r}")
+        print(f"[{target}: {time.perf_counter() - started:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,72 @@
+"""Stream compaction measurement (the Section 5.1 anecdote).
+
+The synopsis factorises common label paths, so its node count can be far
+smaller than the number of tag nodes streamed through it.  The paper
+quantifies this with a *compaction ratio* — synopsis nodes divided by total
+streamed tag nodes — and quotes three reference points:
+
+* DBLP: 7,991,221 tag nodes → a 137-node synopsis → 0.0017%;
+* their NITF corpus: 36.3% (recursive news documents share few paths);
+* their xCBL corpus: 0.082% (rigid commercial records share almost all).
+
+:func:`measure_compaction` reproduces the measurement for any document
+stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.synopsis.synopsis import DocumentSynopsis
+from repro.xmltree.tree import XMLTree
+
+__all__ = ["CompactionResult", "measure_compaction"]
+
+
+@dataclass(frozen=True)
+class CompactionResult:
+    """Outcome of streaming documents through a structure-only synopsis."""
+
+    documents: int
+    total_tag_nodes: int
+    synopsis_nodes: int
+
+    @property
+    def ratio(self) -> float:
+        """Synopsis nodes / streamed tag nodes (lower = more compaction)."""
+        if self.total_tag_nodes == 0:
+            return 0.0
+        return self.synopsis_nodes / self.total_tag_nodes
+
+    @property
+    def percent(self) -> float:
+        return 100.0 * self.ratio
+
+    def __str__(self) -> str:
+        return (
+            f"{self.total_tag_nodes} tag nodes over {self.documents} documents "
+            f"-> {self.synopsis_nodes}-node synopsis "
+            f"(compaction {self.percent:.4f}%)"
+        )
+
+
+def measure_compaction(documents: Iterable[XMLTree]) -> CompactionResult:
+    """Stream *documents* into a counter synopsis and report the ratio.
+
+    Counters are used because only the label structure matters here; the
+    matching-set representation does not affect the node count.
+    """
+    synopsis = DocumentSynopsis(mode="counters")
+    n_documents = 0
+    total_tags = 0
+    for document in documents:
+        n_documents += 1
+        total_tags += len(document)
+        synopsis.insert_document(document)
+    # The synopsis root '/.' is bookkeeping, not a document tag.
+    return CompactionResult(
+        documents=n_documents,
+        total_tag_nodes=total_tags,
+        synopsis_nodes=synopsis.n_nodes - 1,
+    )

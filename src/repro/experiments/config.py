@@ -1,0 +1,125 @@
+"""Experiment configuration (Table 1 of the paper).
+
+Two presets are provided:
+
+* :meth:`ExperimentConfig.paper` — the paper's scale: 10,000 documents,
+  1,000 positive + 1,000 negative patterns, 5,000 random pattern pairs, and
+  hash/set sizes swept from 50 to 10,000.  Hours of pure-Python compute;
+  use it for a faithful full run.
+* :meth:`ExperimentConfig.quick` — the same experiment geometry scaled
+  down (documents, workload and sweep sizes shrunk proportionally) so the
+  complete figure suite runs in minutes.  Curve *shapes* are preserved:
+  sample sizes are swept across the same fractions of the stream length.
+
+Document-generator parameters are calibrated per DTD so documents average
+about 100 tag pairs at up to 10 levels, matching Section 5.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.generators.docgen import GeneratorConfig
+from repro.generators.querygen import PatternGenConfig
+
+__all__ = ["ExperimentConfig", "DOC_GENERATOR_PRESETS", "PAPER_PATTERN_CONFIG"]
+
+
+#: Per-DTD document-generator settings giving ~100 tag pairs per document.
+DOC_GENERATOR_PRESETS: dict[str, GeneratorConfig] = {
+    "nitf": GeneratorConfig(p_repeat=0.58, max_repeats=5, p_optional=0.58),
+    "xcbl": GeneratorConfig(p_optional=0.23, p_repeat=0.3, max_repeats=2),
+}
+
+#: The paper's pattern-generator parameters: h=10, p*=0.1, p//=0.1,
+#: pλ=0.1, θ=1.
+PAPER_PATTERN_CONFIG = PatternGenConfig(
+    height=10, p_star=0.1, p_descendant=0.1, p_branch=0.1, theta=1.0
+)
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """All knobs of one experimental setup (one DTD)."""
+
+    dtd_name: str = "nitf"
+    n_documents: int = 500
+    n_positive: int = 100
+    n_negative: int = 100
+    n_pairs: int = 200
+    #: Maximum hash/set sizes swept in Figures 4, 5, 7, 8, 9.
+    sizes: tuple[int, ...] = (25, 50, 100, 200, 400)
+    #: Compression ratios swept in Figure 10.
+    alphas: tuple[float, ...] = (0.2, 0.4, 0.6, 0.8, 1.0)
+    #: Hash size fixed during the Figure 10 compression sweep
+    #: (the paper uses 1,000 entries at 10,000 documents — 10%).
+    fixed_hash_size: int = 100
+    seed: int = 2007
+    workload_attempts_factor: int = 25
+    doc_config: Optional[GeneratorConfig] = None
+    pattern_config: PatternGenConfig = field(default_factory=lambda: PAPER_PATTERN_CONFIG)
+
+    def __post_init__(self) -> None:
+        if self.dtd_name not in DOC_GENERATOR_PRESETS:
+            raise ValueError(f"unknown DTD {self.dtd_name!r}")
+        if self.doc_config is None:
+            object.__setattr__(
+                self, "doc_config", DOC_GENERATOR_PRESETS[self.dtd_name]
+            )
+
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def quick(cls, dtd_name: str = "nitf", **overrides) -> "ExperimentConfig":
+        """Reduced-scale preset for the benchmark suite (minutes)."""
+        return replace(cls(dtd_name=dtd_name), **overrides) if overrides else cls(
+            dtd_name=dtd_name
+        )
+
+    @classmethod
+    def paper(cls, dtd_name: str = "nitf", **overrides) -> "ExperimentConfig":
+        """The paper's full scale (Section 5.1)."""
+        config = cls(
+            dtd_name=dtd_name,
+            n_documents=10_000,
+            n_positive=1_000,
+            n_negative=1_000,
+            n_pairs=5_000,
+            sizes=(50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000),
+            alphas=(0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0),
+            fixed_hash_size=1_000,
+        )
+        return replace(config, **overrides) if overrides else config
+
+    @classmethod
+    def tiny(cls, dtd_name: str = "nitf", **overrides) -> "ExperimentConfig":
+        """Smoke-test preset for unit/integration tests (seconds)."""
+        config = cls(
+            dtd_name=dtd_name,
+            n_documents=80,
+            n_positive=20,
+            n_negative=10,
+            n_pairs=30,
+            sizes=(10, 40),
+            alphas=(0.5, 1.0),
+            fixed_hash_size=30,
+        )
+        return replace(config, **overrides) if overrides else config
+
+    # ------------------------------------------------------------------
+
+    @property
+    def cache_key(self) -> tuple:
+        """Hashable identity used by the harness's result caches."""
+        return (
+            self.dtd_name,
+            self.n_documents,
+            self.n_positive,
+            self.n_negative,
+            self.n_pairs,
+            self.seed,
+            self.workload_attempts_factor,
+            self.doc_config,
+            self.pattern_config,
+        )

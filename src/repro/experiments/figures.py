@@ -1,0 +1,324 @@
+"""Per-figure experiment runners (Section 5.2).
+
+Each ``figure*`` function regenerates the data behind one figure of the
+paper, as x/y series per curve, using reduced or full scale depending on the
+configs passed in.  The mapping is:
+
+* :func:`figure4`  — Erel of positive queries vs max hash/set size;
+* :func:`figure5`  — log10(Esqr) of negative queries vs max size;
+* :func:`figure6`  — Erel vs total synopsis size |HS| (xCBL in the paper);
+* :func:`figure7`  — Erel of M1 vs max size;
+* :func:`figure8`  — Erel of M2 vs max size;
+* :func:`figure9`  — Erel of M3 vs max size;
+* :func:`figure10` — Erel and Esqr vs compression ratio α (Hashes);
+* :func:`setup_summary` — the Section 5.1 workload statistics and the
+  realised Table 1 parameters.
+
+Counters do not depend on the swept size, so their curve is the constant
+line the paper plots.  Series whose error is identically zero on negative
+workloads are dropped from Figure 5, mirroring the paper's footnote about
+Sets/Hashes on xCBL.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.harness import (
+    EvaluationResult,
+    PreparedExperiment,
+    evaluate,
+    prepare,
+)
+
+__all__ = [
+    "Series",
+    "FigureResult",
+    "figure4",
+    "figure5",
+    "figure6",
+    "figure7",
+    "figure8",
+    "figure9",
+    "figure10",
+    "setup_summary",
+    "ALL_FIGURES",
+]
+
+MODES = ("counters", "sets", "hashes")
+
+
+@dataclass
+class Series:
+    """One curve of a figure."""
+
+    label: str
+    xs: list[float] = field(default_factory=list)
+    ys: list[float] = field(default_factory=list)
+
+    def add(self, x: float, y: float) -> None:
+        self.xs.append(x)
+        self.ys.append(y)
+
+
+@dataclass
+class FigureResult:
+    """All curves of one regenerated figure."""
+
+    figure_id: str
+    title: str
+    xlabel: str
+    ylabel: str
+    series: list[Series] = field(default_factory=list)
+
+    def series_by_label(self, label: str) -> Series:
+        for candidate in self.series:
+            if candidate.label == label:
+                return candidate
+        raise KeyError(label)
+
+    @property
+    def labels(self) -> list[str]:
+        return [series.label for series in self.series]
+
+
+def _default_configs(
+    configs: Optional[Sequence[ExperimentConfig]],
+) -> list[ExperimentConfig]:
+    if configs is not None:
+        return list(configs)
+    return [ExperimentConfig.quick("nitf"), ExperimentConfig.quick("xcbl")]
+
+
+def _sweep(
+    prepared: PreparedExperiment, mode: str
+) -> list[tuple[int, EvaluationResult]]:
+    """Evaluate *mode* across the configured size sweep.
+
+    Counter summaries have no size knob: one evaluation is reused for every
+    swept x, reproducing the paper's flat Counters curves.
+    """
+    config = prepared.config
+    if mode == "counters":
+        result = evaluate(prepared, "counters", 1)
+        return [(size, result) for size in config.sizes]
+    return [(size, evaluate(prepared, mode, size)) for size in config.sizes]
+
+
+def _size_sweep_figure(
+    figure_id: str,
+    title: str,
+    ylabel: str,
+    configs: Optional[Sequence[ExperimentConfig]],
+    y_of,
+    drop_all_zero: bool = False,
+) -> FigureResult:
+    figure = FigureResult(
+        figure_id=figure_id,
+        title=title,
+        xlabel="Maximal size of hashes/sets",
+        ylabel=ylabel,
+    )
+    for config in _default_configs(configs):
+        prepared = prepare(config)
+        for mode in MODES:
+            series = Series(label=f"{mode.capitalize()} - {config.dtd_name.upper()}")
+            for size, result in _sweep(prepared, mode):
+                y = y_of(result)
+                if y is None:
+                    continue
+                series.add(size, y)
+            if drop_all_zero and not series.ys:
+                continue
+            figure.series.append(series)
+    return figure
+
+
+def figure4(
+    configs: Optional[Sequence[ExperimentConfig]] = None,
+) -> FigureResult:
+    """Average absolute relative error of positive queries (Figure 4)."""
+    return _size_sweep_figure(
+        "figure4",
+        "Average absolute relative error of positive queries",
+        "Erel (%)",
+        configs,
+        lambda result: result.erel_positive.percent,
+    )
+
+
+def figure5(
+    configs: Optional[Sequence[ExperimentConfig]] = None,
+) -> FigureResult:
+    """log10 RMS error of negative queries (Figure 5).
+
+    Curves with zero error everywhere are omitted, as in the paper (Sets and
+    Hashes produced no error for xCBL negatives).
+    """
+    def y_of(result: EvaluationResult) -> Optional[float]:
+        value = result.esqr_negative.value
+        if value <= 0.0:
+            return None
+        return math.log10(value)
+
+    return _size_sweep_figure(
+        "figure5",
+        "Log10 of the root mean square error of negative queries",
+        "log10(Esqr)",
+        configs,
+        y_of,
+        drop_all_zero=True,
+    )
+
+
+def figure6(
+    configs: Optional[Sequence[ExperimentConfig]] = None,
+) -> FigureResult:
+    """Erel as a function of the total synopsis size |HS| (Figure 6).
+
+    The paper shows xCBL; pass configs to change the data set.  The x axis
+    is the measured size of each evaluated synopsis, so Counters contribute
+    a single point (their size does not vary with the sweep).
+    """
+    if configs is None:
+        configs = [ExperimentConfig.quick("xcbl")]
+    figure = FigureResult(
+        figure_id="figure6",
+        title="Erel as a function of the total size of the synopsis",
+        xlabel="Size of synopsis",
+        ylabel="Erel (%)",
+    )
+    for config in configs:
+        prepared = prepare(config)
+        for mode in MODES:
+            series = Series(label=f"{mode.capitalize()} - {config.dtd_name.upper()}")
+            if mode == "counters":
+                result = evaluate(prepared, "counters", 1)
+                series.add(result.synopsis_size.total, result.erel_positive.percent)
+            else:
+                for size in config.sizes:
+                    result = evaluate(prepared, mode, size)
+                    series.add(
+                        result.synopsis_size.total, result.erel_positive.percent
+                    )
+            figure.series.append(series)
+    return figure
+
+
+def _metric_figure(
+    figure_id: str,
+    metric: str,
+    formula: str,
+    configs: Optional[Sequence[ExperimentConfig]],
+) -> FigureResult:
+    return _size_sweep_figure(
+        figure_id,
+        f"Average absolute relative error of proximity metric {formula}",
+        "Erel (%)",
+        configs,
+        lambda result: result.metric_errors[metric].percent,
+    )
+
+
+def figure7(
+    configs: Optional[Sequence[ExperimentConfig]] = None,
+) -> FigureResult:
+    """Erel of M1(p,q) = P(p|q) (Figure 7)."""
+    return _metric_figure("figure7", "M1", "M1(p,q) = P(p|q)", configs)
+
+
+def figure8(
+    configs: Optional[Sequence[ExperimentConfig]] = None,
+) -> FigureResult:
+    """Erel of M2(p,q) = (P(p|q)+P(q|p))/2 (Figure 8)."""
+    return _metric_figure(
+        "figure8", "M2", "M2(p,q) = (P(p|q)+P(q|p))/2", configs
+    )
+
+
+def figure9(
+    configs: Optional[Sequence[ExperimentConfig]] = None,
+) -> FigureResult:
+    """Erel of M3(p,q) = P(p∧q)/P(p∨q) (Figure 9)."""
+    return _metric_figure(
+        "figure9", "M3", "M3(p,q) = P(p^q)/P(p v q)", configs
+    )
+
+
+def figure10(
+    configs: Optional[Sequence[ExperimentConfig]] = None,
+) -> FigureResult:
+    """Erel and Esqr as functions of the compression ratio α (Figure 10).
+
+    Hashes only, at each config's ``fixed_hash_size``, as in the paper
+    (which fixes the hash size to 1,000 entries).  Esqr curves that are zero
+    everywhere are dropped (the paper notes xCBL produced no negative-query
+    error).
+    """
+    figure = FigureResult(
+        figure_id="figure10",
+        title="Erel and Esqr as a function of the compression ratio",
+        xlabel="Compression ratio alpha (%)",
+        ylabel="Erel (%) / log10(Esqr)",
+    )
+    for config in _default_configs(configs):
+        prepared = prepare(config)
+        erel_series = Series(label=f"Erel - {config.dtd_name.upper()}")
+        esqr_series = Series(label=f"Esqr - {config.dtd_name.upper()}")
+        for alpha in config.alphas:
+            result = evaluate(
+                prepared, "hashes", config.fixed_hash_size, alpha=alpha
+            )
+            x = 100.0 * alpha
+            erel_series.add(x, result.erel_positive.percent)
+            esqr = result.esqr_negative.value
+            if esqr > 0.0:
+                esqr_series.add(x, math.log10(esqr))
+        figure.series.append(erel_series)
+        if esqr_series.ys:
+            figure.series.append(esqr_series)
+    return figure
+
+
+def setup_summary(
+    configs: Optional[Sequence[ExperimentConfig]] = None,
+) -> dict[str, dict[str, float]]:
+    """The Section 5.1 data-set and workload statistics, per DTD.
+
+    Returns, for each DTD: document count, average tag pairs, average and
+    maximum depth, and the positive workload's average / most selective /
+    least selective pattern selectivities (in percent) — the numbers quoted
+    in the paper's setup prose (8.27% / 36.17% averages etc.).
+    """
+    summary: dict[str, dict[str, float]] = {}
+    for config in _default_configs(configs):
+        prepared = prepare(config)
+        corpus = prepared.corpus
+        avg, low, high = prepared.workload_profile()
+        summary[config.dtd_name] = {
+            "documents": float(len(corpus)),
+            "avg_tag_pairs": corpus.average_edges(),
+            "avg_depth": corpus.average_depth(),
+            "max_depth": float(max(d.depth() for d in prepared.documents)),
+            "positive_avg_selectivity_pct": 100.0 * avg,
+            "positive_min_selectivity_pct": 100.0 * low,
+            "positive_max_selectivity_pct": 100.0 * high,
+            "n_positive": float(len(prepared.positive)),
+            "n_negative": float(len(prepared.negative)),
+        }
+    return summary
+
+
+#: Registry used by the command-line entry point and the benchmarks.
+ALL_FIGURES = {
+    "figure4": figure4,
+    "figure5": figure5,
+    "figure6": figure6,
+    "figure7": figure7,
+    "figure8": figure8,
+    "figure9": figure9,
+    "figure10": figure10,
+}

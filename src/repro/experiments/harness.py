@@ -1,0 +1,221 @@
+"""Experiment harness: prepare workloads once, evaluate many configurations.
+
+The evaluation figures all share the same expensive artefacts — the document
+corpus, the positive/negative workloads, exact selectivities, and the exact
+proximity-metric values over sampled pattern pairs.  ``prepare`` builds them
+once per :class:`~repro.experiments.config.ExperimentConfig` and caches the
+result in-process; ``evaluate`` then scores one (mode, capacity[, α])
+synopsis configuration against the prepared ground truth, also cached, so
+Figures 4, 5, 6, 7, 8 and 9 reuse each other's sweeps.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.errors import (
+    ErrorSummary,
+    average_relative_error,
+    root_mean_square_error,
+)
+from repro.core.pattern import TreePattern
+from repro.core.selectivity import SelectivityEstimator
+from repro.core.similarity import METRICS
+from repro.dtd.builtin import builtin_dtd
+from repro.dtd.model import DTD
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.ground_truth import (
+    GroundTruth,
+    exact_metric_values,
+    exact_selectivities,
+)
+from repro.generators.docgen import DocumentGenerator
+from repro.generators.workload import WorkloadBuilder
+from repro.synopsis.compression import compress_to_ratio
+from repro.synopsis.size import SynopsisSize, measure
+from repro.synopsis.synopsis import DocumentSynopsis
+from repro.xmltree.tree import XMLTree
+
+__all__ = [
+    "PreparedExperiment",
+    "EvaluationResult",
+    "prepare",
+    "build_synopsis",
+    "evaluate",
+    "clear_caches",
+]
+
+
+@dataclass
+class PreparedExperiment:
+    """Everything an evaluation needs that does not depend on the synopsis."""
+
+    config: ExperimentConfig
+    dtd: DTD
+    documents: list[XMLTree]
+    corpus: GroundTruth
+    positive: list[TreePattern]
+    negative: list[TreePattern]
+    pairs: list[tuple[TreePattern, TreePattern]]
+    exact_positive: list[float]
+    exact_negative: list[float]
+    exact_metrics: dict[str, list[float]]
+    prepare_seconds: float = 0.0
+
+    def workload_profile(self) -> tuple[float, float, float]:
+        """(avg, min, max) exact selectivity of the positive workload —
+        the Section 5.1 statistics."""
+        return self.corpus.selectivity_profile(self.positive)
+
+
+@dataclass
+class EvaluationResult:
+    """Errors of one synopsis configuration against the prepared truth."""
+
+    mode: str
+    capacity: int
+    alpha: Optional[float]
+    erel_positive: ErrorSummary
+    esqr_negative: ErrorSummary
+    metric_errors: dict[str, ErrorSummary]
+    synopsis_size: SynopsisSize
+    build_seconds: float
+    eval_seconds: float
+    compression_ratio: Optional[float] = None
+
+    @property
+    def label(self) -> str:
+        suffix = f", alpha={self.alpha}" if self.alpha is not None else ""
+        return f"{self.mode}(capacity={self.capacity}{suffix})"
+
+
+_PREPARED_CACHE: dict[tuple, PreparedExperiment] = {}
+_EVAL_CACHE: dict[tuple, EvaluationResult] = {}
+
+
+def clear_caches() -> None:
+    """Drop all cached preparations and evaluations (tests use this)."""
+    _PREPARED_CACHE.clear()
+    _EVAL_CACHE.clear()
+
+
+def prepare(config: ExperimentConfig) -> PreparedExperiment:
+    """Build (or fetch) corpus, workloads and exact values for *config*."""
+    key = config.cache_key
+    cached = _PREPARED_CACHE.get(key)
+    if cached is not None:
+        return cached
+
+    started = time.perf_counter()
+    dtd = builtin_dtd(config.dtd_name)
+    generator = DocumentGenerator(dtd, seed=config.seed, config=config.doc_config)
+    documents = list(generator.stream(config.n_documents))
+    corpus = GroundTruth(documents)
+    builder = WorkloadBuilder(
+        dtd, corpus, seed=config.seed + 1, config=config.pattern_config
+    )
+    workload = builder.build(
+        n_positive=config.n_positive,
+        n_negative=config.n_negative,
+        max_attempts_factor=config.workload_attempts_factor,
+    )
+
+    rng = random.Random(config.seed + 2)
+    positive = workload.positive
+    pairs: list[tuple[TreePattern, TreePattern]] = []
+    if len(positive) >= 2:
+        for _ in range(config.n_pairs):
+            i = rng.randrange(len(positive))
+            j = rng.randrange(len(positive) - 1)
+            if j >= i:
+                j += 1
+            pairs.append((positive[i], positive[j]))
+
+    prepared = PreparedExperiment(
+        config=config,
+        dtd=dtd,
+        documents=documents,
+        corpus=corpus,
+        positive=positive,
+        negative=workload.negative,
+        pairs=pairs,
+        exact_positive=exact_selectivities(corpus, positive),
+        exact_negative=exact_selectivities(corpus, workload.negative),
+        exact_metrics={
+            name: exact_metric_values(corpus, pairs, name) for name in METRICS
+        },
+        prepare_seconds=time.perf_counter() - started,
+    )
+    _PREPARED_CACHE[key] = prepared
+    return prepared
+
+
+def build_synopsis(
+    prepared: PreparedExperiment, mode: str, capacity: int
+) -> DocumentSynopsis:
+    """Stream the prepared corpus into a fresh synopsis."""
+    synopsis = DocumentSynopsis(
+        mode=mode, capacity=capacity, seed=prepared.config.seed + 3
+    )
+    for document in prepared.documents:
+        synopsis.insert_document(document)
+    return synopsis
+
+
+def evaluate(
+    prepared: PreparedExperiment,
+    mode: str,
+    capacity: int,
+    alpha: Optional[float] = None,
+) -> EvaluationResult:
+    """Score one synopsis configuration (cached).
+
+    With ``alpha`` set, the synopsis is compressed to that size ratio before
+    estimation (the Figure 10 sweep; the paper applies it to Hashes).
+    """
+    key = (prepared.config.cache_key, mode, capacity, alpha)
+    cached = _EVAL_CACHE.get(key)
+    if cached is not None:
+        return cached
+
+    started = time.perf_counter()
+    synopsis = build_synopsis(prepared, mode, capacity)
+    compression_ratio: Optional[float] = None
+    if alpha is not None:
+        report = compress_to_ratio(synopsis, alpha)
+        compression_ratio = report.achieved_ratio
+    build_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    estimator = SelectivityEstimator(synopsis)
+    estimated_positive = [estimator.selectivity(p) for p in prepared.positive]
+    estimated_negative = [estimator.selectivity(p) for p in prepared.negative]
+    metric_errors: dict[str, ErrorSummary] = {}
+    for name, metric_fn in METRICS.items():
+        estimated = [metric_fn(estimator, p, q) for p, q in prepared.pairs]
+        metric_errors[name] = average_relative_error(
+            prepared.exact_metrics[name], estimated
+        )
+    eval_seconds = time.perf_counter() - started
+
+    result = EvaluationResult(
+        mode=mode,
+        capacity=capacity,
+        alpha=alpha,
+        erel_positive=average_relative_error(
+            prepared.exact_positive, estimated_positive
+        ),
+        esqr_negative=root_mean_square_error(
+            prepared.exact_negative, estimated_negative
+        ),
+        metric_errors=metric_errors,
+        synopsis_size=measure(synopsis),
+        build_seconds=build_seconds,
+        eval_seconds=eval_seconds,
+        compression_ratio=compression_ratio,
+    )
+    _EVAL_CACHE[key] = result
+    return result

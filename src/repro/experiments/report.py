@@ -1,0 +1,100 @@
+"""Rendering experiment results as text tables and CSV.
+
+The paper's figures are line plots; offline we render the same data as
+aligned text tables (one row per x value, one column per curve) so results
+can be read in a terminal and diffed between runs.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Mapping
+
+from repro.experiments.figures import FigureResult
+
+__all__ = ["render_figure", "figure_to_csv", "render_summary"]
+
+
+def _format_number(value: float) -> str:
+    if value != value:  # NaN
+        return "nan"
+    if abs(value) >= 1000:
+        return f"{value:,.0f}"
+    return f"{value:.3f}".rstrip("0").rstrip(".") or "0"
+
+
+def render_figure(figure: FigureResult) -> str:
+    """Render a figure as an aligned text table.
+
+    Curves may have different x supports (Figure 6 plots measured synopsis
+    sizes); missing cells are left blank.
+    """
+    xs: list[float] = sorted({x for series in figure.series for x in series.xs})
+    by_series: list[dict[float, float]] = [
+        dict(zip(series.xs, series.ys)) for series in figure.series
+    ]
+
+    header = [figure.xlabel] + [series.label for series in figure.series]
+    rows: list[list[str]] = []
+    for x in xs:
+        row = [_format_number(x)]
+        for mapping in by_series:
+            row.append(_format_number(mapping[x]) if x in mapping else "")
+        rows.append(row)
+
+    widths = [
+        max(len(header[col]), *(len(row[col]) for row in rows)) if rows else len(header[col])
+        for col in range(len(header))
+    ]
+    out = io.StringIO()
+    out.write(f"{figure.figure_id}: {figure.title}\n")
+    out.write(f"y-axis: {figure.ylabel}\n")
+    out.write(
+        "  ".join(header[col].ljust(widths[col]) for col in range(len(header)))
+        + "\n"
+    )
+    out.write("  ".join("-" * widths[col] for col in range(len(header))) + "\n")
+    for row in rows:
+        out.write(
+            "  ".join(row[col].rjust(widths[col]) for col in range(len(header)))
+            + "\n"
+        )
+    return out.getvalue()
+
+
+def figure_to_csv(figure: FigureResult) -> str:
+    """Long-form CSV: ``series,x,y`` per line (plot-tool friendly)."""
+    out = io.StringIO()
+    out.write("series,x,y\n")
+    for series in figure.series:
+        for x, y in zip(series.xs, series.ys):
+            out.write(f"{series.label},{x},{y}\n")
+    return out.getvalue()
+
+
+def render_summary(summary: Mapping[str, Mapping[str, float]]) -> str:
+    """Render the setup_summary() statistics as a table, one row per DTD."""
+    if not summary:
+        return "(empty summary)\n"
+    columns = list(next(iter(summary.values())))
+    header = ["dtd"] + columns
+    rows = [
+        [name] + [_format_number(values[col]) for col in columns]
+        for name, values in summary.items()
+    ]
+    widths = [
+        max(len(header[col]), *(len(row[col]) for row in rows))
+        for col in range(len(header))
+    ]
+    out = io.StringIO()
+    out.write(
+        "  ".join(header[col].ljust(widths[col]) for col in range(len(header)))
+        + "\n"
+    )
+    out.write("  ".join("-" * widths[col] for col in range(len(header))) + "\n")
+    for row in rows:
+        out.write(
+            "  ".join(row[col].rjust(widths[col]) for col in range(len(header)))
+            + "\n"
+        )
+    return out.getvalue()

@@ -1,0 +1,23 @@
+"""Workload substrate: Zipf sampling, DTD-driven document generation, and
+tree-pattern workload generation (Section 5.1 of the paper)."""
+
+from repro.generators.docgen import (
+    DocumentGenerator,
+    GeneratorConfig,
+    generate_documents,
+)
+from repro.generators.querygen import PatternGenConfig, PatternGenerator
+from repro.generators.workload import PatternWorkload, WorkloadBuilder
+from repro.generators.zipf import ZipfSampler, zipf_choice
+
+__all__ = [
+    "ZipfSampler",
+    "zipf_choice",
+    "GeneratorConfig",
+    "DocumentGenerator",
+    "generate_documents",
+    "PatternGenConfig",
+    "PatternGenerator",
+    "PatternWorkload",
+    "WorkloadBuilder",
+]

@@ -1,0 +1,138 @@
+"""DTD-driven random tree-pattern generation.
+
+Reimplements the paper's custom XPath generator (Section 5.1): given a DTD,
+it creates valid tree patterns controlled by
+
+* ``height`` — maximum pattern height h [10];
+* ``p_star`` — probability a node's tag is replaced by ``*`` [0.1];
+* ``p_descendant`` — probability an edge becomes a ``//`` descendant edge
+  [0.1];
+* ``p_branch`` — probability of spawning an extra child at a node [0.1];
+* ``theta`` — Zipf skew for choosing among candidate child tags [1].
+
+Walks follow the DTD's child graph, so every generated pattern is
+*DTD-consistent*: each tag appears in a context the DTD allows (which does
+not imply any given document matches it — that split into positive/negative
+workloads is the job of :mod:`repro.generators.workload`).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.core.labels import DESCENDANT, WILDCARD
+from repro.core.pattern import PatternNode, TreePattern
+from repro.dtd.model import DTD
+from repro.generators.zipf import zipf_choice
+
+__all__ = ["PatternGenConfig", "PatternGenerator"]
+
+
+@dataclass(frozen=True)
+class PatternGenConfig:
+    """Generator parameters; defaults are the paper's (Section 5.1)."""
+
+    height: int = 10
+    p_star: float = 0.1
+    p_descendant: float = 0.1
+    p_branch: float = 0.1
+    theta: float = 1.0
+    p_stop: float = 0.25       # chance of ending a walk early at each level
+    max_branches: int = 3      # cap on children spawned at one node
+
+    def __post_init__(self) -> None:
+        if self.height < 1:
+            raise ValueError("height must be at least 1")
+        for field_name in ("p_star", "p_descendant", "p_branch", "p_stop"):
+            value = getattr(self, field_name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{field_name} must be a probability")
+
+
+class PatternGenerator:
+    """Generates random DTD-consistent tree patterns.
+
+    >>> from repro.dtd.builtin import nitf_dtd
+    >>> gen = PatternGenerator(nitf_dtd(), seed=3)
+    >>> pattern = gen.generate()
+    >>> 1 <= pattern.height() <= 1 + 2 * gen.config.height
+    True
+    """
+
+    def __init__(
+        self,
+        dtd: DTD,
+        seed: int = 0,
+        config: Optional[PatternGenConfig] = None,
+    ):
+        self.dtd = dtd
+        self.config = config or PatternGenConfig()
+        self._rng = random.Random(seed)
+        self._child_graph = dtd.child_graph()
+
+    def generate(self) -> TreePattern:
+        """Generate one tree pattern rooted at the DTD's document element."""
+        top = self._generate_node(self.dtd.root, self.config.height)
+        if self._rng.random() < self.config.p_descendant:
+            top = PatternNode(DESCENDANT, (top,))
+        return TreePattern((top,))
+
+    def generate_many(self, count: int, distinct: bool = True) -> list[TreePattern]:
+        """Generate *count* patterns; with ``distinct=True`` duplicates are
+        re-drawn (the paper's workloads are sets of distinct patterns)."""
+        patterns: list[TreePattern] = []
+        seen: set[TreePattern] = set()
+        attempts = 0
+        limit = max(count * 100, 1000)
+        while len(patterns) < count:
+            attempts += 1
+            if attempts > limit:
+                raise RuntimeError(
+                    f"could not generate {count} distinct patterns "
+                    f"(got {len(patterns)} after {attempts} attempts)"
+                )
+            pattern = self.generate()
+            if distinct:
+                if pattern in seen:
+                    continue
+                seen.add(pattern)
+            patterns.append(pattern)
+        return patterns
+
+    def stream(self) -> Iterator[TreePattern]:
+        """Endless stream of patterns."""
+        while True:
+            yield self.generate()
+
+    # ------------------------------------------------------------------
+
+    def _generate_node(self, element: str, height_left: int) -> PatternNode:
+        config = self.config
+        rng = self._rng
+        label = WILDCARD if rng.random() < config.p_star else element
+
+        candidates = list(self._child_graph.get(element, ()))
+        children: list[PatternNode] = []
+        if candidates and height_left > 1 and rng.random() >= config.p_stop:
+            branch_count = 1
+            while (
+                branch_count < min(config.max_branches, len(candidates))
+                and rng.random() < config.p_branch
+            ):
+                branch_count += 1
+            chosen: list[str] = []
+            remaining = list(candidates)
+            for _ in range(branch_count):
+                tag = zipf_choice(remaining, config.theta, rng)
+                remaining.remove(tag)
+                chosen.append(tag)
+            for tag in chosen:
+                descendant = rng.random() < config.p_descendant
+                budget = height_left - 1 - (1 if descendant else 0)
+                child = self._generate_node(tag, max(budget, 1))
+                if descendant:
+                    child = PatternNode(DESCENDANT, (child,))
+                children.append(child)
+        return PatternNode(label, tuple(children))

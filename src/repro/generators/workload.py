@@ -1,0 +1,170 @@
+"""Positive / negative pattern workload construction (Section 5.1).
+
+For each DTD the paper builds two pattern sets over the document corpus D:
+
+* ``SP`` — 1,000 distinct *positive* patterns, each matching at least one
+  document of D;
+* ``SN`` — 1,000 distinct *negative* patterns matching no document of D.
+
+Both come from the same DTD-driven generator; this module classifies
+generated patterns against the exact corpus and, when the generator's
+natural negative rate is too low to fill ``SN``, derives extra negatives by
+re-rooting a positive pattern's tag into a DTD context where it cannot occur
+(the mutated pattern is still checked against the corpus before admission).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.pattern import PatternNode, TreePattern
+from repro.dtd.model import DTD
+from repro.generators.querygen import PatternGenConfig, PatternGenerator
+from repro.xmltree.corpus import DocumentCorpus
+
+__all__ = ["PatternWorkload", "WorkloadBuilder"]
+
+
+@dataclass
+class PatternWorkload:
+    """The classified pattern sets plus bookkeeping about their creation."""
+
+    positive: list[TreePattern] = field(default_factory=list)
+    negative: list[TreePattern] = field(default_factory=list)
+    generated: int = 0
+    mutated_negatives: int = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"PatternWorkload(positive={len(self.positive)}, "
+            f"negative={len(self.negative)}, generated={self.generated})"
+        )
+
+
+class WorkloadBuilder:
+    """Builds ``SP``/``SN`` workloads for a corpus.
+
+    >>> # builder = WorkloadBuilder(dtd, corpus, seed=1)
+    >>> # workload = builder.build(n_positive=100, n_negative=100)
+    """
+
+    def __init__(
+        self,
+        dtd: DTD,
+        corpus: DocumentCorpus,
+        seed: int = 0,
+        config: Optional[PatternGenConfig] = None,
+    ):
+        self.dtd = dtd
+        self.corpus = corpus
+        self.config = config or PatternGenConfig()
+        self._rng = random.Random(seed)
+        self._generator = PatternGenerator(dtd, seed=seed, config=self.config)
+
+    def build(
+        self,
+        n_positive: int,
+        n_negative: int,
+        max_attempts_factor: int = 200,
+    ) -> PatternWorkload:
+        """Generate patterns until both sets are filled.
+
+        Natural generation runs first; if ``SN`` is still short after the
+        attempt budget, the remainder is synthesised by mutation.
+        """
+        workload = PatternWorkload()
+        seen: set[TreePattern] = set()
+        attempts_budget = max_attempts_factor * (n_positive + n_negative)
+
+        while (
+            len(workload.positive) < n_positive
+            or len(workload.negative) < n_negative
+        ) and workload.generated < attempts_budget:
+            pattern = self._generator.generate()
+            workload.generated += 1
+            if pattern in seen:
+                continue
+            seen.add(pattern)
+            if self.corpus.match_count(pattern) > 0:
+                if len(workload.positive) < n_positive:
+                    workload.positive.append(pattern)
+            elif len(workload.negative) < n_negative:
+                workload.negative.append(pattern)
+
+        while len(workload.negative) < n_negative:
+            mutated = self._mutate_to_negative(workload, seen)
+            if mutated is None:
+                raise RuntimeError(
+                    f"could not complete the negative workload: "
+                    f"{len(workload.negative)}/{n_negative} found"
+                )
+            seen.add(mutated)
+            workload.negative.append(mutated)
+            workload.mutated_negatives += 1
+
+        if len(workload.positive) < n_positive:
+            raise RuntimeError(
+                f"could not complete the positive workload: "
+                f"{len(workload.positive)}/{n_positive} found "
+                f"after {workload.generated} attempts"
+            )
+        return workload
+
+    # ------------------------------------------------------------------
+
+    def _mutate_to_negative(
+        self, workload: PatternWorkload, seen: set[TreePattern]
+    ) -> Optional[TreePattern]:
+        """Derive a negative pattern by grafting a foreign element name into
+        a freshly generated pattern, then verifying it matches nothing."""
+        element_names = sorted(self.dtd.elements)
+        for _ in range(2000):
+            base = self._generator.generate()
+            leaves = _leaf_positions(base)
+            if not leaves:
+                continue
+            target = self._rng.choice(leaves)
+            foreign = self._rng.choice(element_names)
+            mutated = _replace_leaf(base, target, foreign)
+            if mutated in seen:
+                continue
+            if self.corpus.match_count(mutated) == 0:
+                return mutated
+        return None
+
+
+def _leaf_positions(pattern: TreePattern) -> list[tuple[int, ...]]:
+    """Tree positions (child-index paths) of all leaf nodes."""
+    positions: list[tuple[int, ...]] = []
+
+    def walk(node: PatternNode, position: tuple[int, ...]) -> None:
+        if not node.children:
+            positions.append(position)
+            return
+        for index, child in enumerate(node.children):
+            walk(child, position + (index,))
+
+    for index, child in enumerate(pattern.root_children):
+        walk(child, (index,))
+    return positions
+
+
+def _replace_leaf(
+    pattern: TreePattern, position: tuple[int, ...], new_label: str
+) -> TreePattern:
+    """Rebuild *pattern* with the leaf at *position* relabeled."""
+
+    def rebuild(node: PatternNode, position: tuple[int, ...]) -> PatternNode:
+        if not position:
+            return PatternNode(new_label, node.children)
+        index = position[0]
+        children = list(node.children)
+        children[index] = rebuild(children[index], position[1:])
+        return PatternNode(node.label, tuple(children))
+
+    top_index = position[0]
+    children = list(pattern.root_children)
+    children[top_index] = rebuild(children[top_index], position[1:])
+    return TreePattern(tuple(children))

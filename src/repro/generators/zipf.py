@@ -1,0 +1,75 @@
+"""Zipf-distributed sampling.
+
+The paper's tree-pattern generator selects element tag names with a Zipf
+distribution of skew θ (θ = 1 in the experiments): the k-th ranked candidate
+is chosen with probability proportional to ``1 / k**θ``.  θ = 0 degrades to
+the uniform distribution.
+"""
+
+from __future__ import annotations
+
+import bisect
+import random
+from functools import lru_cache
+from typing import Sequence, TypeVar
+
+__all__ = ["ZipfSampler", "zipf_choice"]
+
+T = TypeVar("T")
+
+
+@lru_cache(maxsize=4096)
+def _cumulative_weights(n: int, theta: float) -> tuple[float, ...]:
+    """Cumulative Zipf distribution over ranks 0..n-1 (cached: generators
+    re-sample the same candidate-list sizes constantly)."""
+    weights = [1.0 / (rank + 1) ** theta for rank in range(n)]
+    total = sum(weights)
+    cumulative: list[float] = []
+    running = 0.0
+    for weight in weights:
+        running += weight / total
+        cumulative.append(running)
+    cumulative[-1] = 1.0  # guard against float drift
+    return tuple(cumulative)
+
+
+class ZipfSampler:
+    """Samples ranks ``0 .. n-1`` with probability ∝ ``1/(rank+1)**theta``.
+
+    >>> sampler = ZipfSampler(4, theta=1.0, rng=random.Random(1))
+    >>> all(0 <= sampler.sample() < 4 for _ in range(100))
+    True
+    """
+
+    __slots__ = ("n", "theta", "_rng", "_cumulative")
+
+    def __init__(self, n: int, theta: float = 1.0, rng: random.Random | None = None):
+        if n < 1:
+            raise ValueError("need at least one rank")
+        if theta < 0:
+            raise ValueError("theta must be non-negative")
+        self.n = n
+        self.theta = theta
+        self._rng = rng or random.Random()
+        self._cumulative = _cumulative_weights(n, theta)
+
+    def sample(self) -> int:
+        """Draw one rank."""
+        return bisect.bisect_left(self._cumulative, self._rng.random())
+
+    def probability(self, rank: int) -> float:
+        """Probability mass of *rank*."""
+        if not 0 <= rank < self.n:
+            raise IndexError(rank)
+        previous = self._cumulative[rank - 1] if rank else 0.0
+        return self._cumulative[rank] - previous
+
+
+def zipf_choice(items: Sequence[T], theta: float, rng: random.Random) -> T:
+    """Choose one of *items* Zipf-skewed toward the front of the sequence."""
+    if not items:
+        raise ValueError("cannot choose from an empty sequence")
+    if len(items) == 1:
+        return items[0]
+    cumulative = _cumulative_weights(len(items), theta)
+    return items[bisect.bisect_left(cumulative, rng.random())]

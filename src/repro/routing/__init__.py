@@ -1,0 +1,20 @@
+"""Content-based routing application layer: semantic communities and the
+broker simulation that motivates the paper's similarity metrics."""
+
+from repro.routing.broker import RoutingSimulator, RoutingStats
+from repro.routing.community import (
+    Community,
+    agglomerative_clustering,
+    leader_clustering,
+)
+from repro.routing.inclusion import InclusionForest, InclusionNode
+
+__all__ = [
+    "Community",
+    "leader_clustering",
+    "agglomerative_clustering",
+    "RoutingSimulator",
+    "RoutingStats",
+    "InclusionForest",
+    "InclusionNode",
+]

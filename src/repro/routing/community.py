@@ -1,0 +1,132 @@
+"""Semantic communities of subscriptions.
+
+The paper's motivation (Section 1): gather consumers with similar
+subscriptions into *semantic communities* so documents can be disseminated
+within a community without per-member filtering.  Containment is the wrong
+tool (asymmetric, boolean, produces inclusion trees); the similarity metrics
+of Section 4 are the right one.  This module provides two standard
+clusterings over a pattern similarity function:
+
+* :func:`leader_clustering` — greedy threshold clustering: each pattern
+  joins the first community whose *leader* is similar enough, else founds a
+  new community.  One pass, order-dependent, O(n · #communities) similarity
+  evaluations — the shape of algorithm an online pub/sub broker can afford.
+* :func:`agglomerative_clustering` — average-linkage hierarchical
+  clustering down to a target community count; quadratic, but a better
+  optimiser for offline re-organisation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from repro.core.pattern import TreePattern
+
+__all__ = ["Community", "leader_clustering", "agglomerative_clustering"]
+
+SimilarityFn = Callable[[TreePattern, TreePattern], float]
+
+
+@dataclass
+class Community:
+    """A group of subscription indices with a designated leader."""
+
+    leader: int
+    members: list[int] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.leader not in self.members:
+            self.members.append(self.leader)
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+    def __contains__(self, index: int) -> bool:
+        return index in self.members
+
+
+def leader_clustering(
+    patterns: Sequence[TreePattern],
+    similarity: SimilarityFn,
+    threshold: float,
+) -> list[Community]:
+    """Greedy threshold clustering of *patterns*.
+
+    Each pattern is compared against existing community leaders in creation
+    order and joins the first community with ``similarity >= threshold``;
+    otherwise it becomes the leader of a new community.  ``threshold=1.0``
+    therefore yields (near-)equivalence classes and ``threshold=0.0`` a
+    single community.
+    """
+    if not 0.0 <= threshold <= 1.0:
+        raise ValueError("threshold must be in [0, 1]")
+    communities: list[Community] = []
+    for index, pattern in enumerate(patterns):
+        placed = False
+        for community in communities:
+            if similarity(patterns[community.leader], pattern) >= threshold:
+                community.members.append(index)
+                placed = True
+                break
+        if not placed:
+            communities.append(Community(leader=index))
+    return communities
+
+
+def agglomerative_clustering(
+    patterns: Sequence[TreePattern],
+    similarity: SimilarityFn,
+    n_communities: int,
+    min_similarity: float = 0.0,
+) -> list[Community]:
+    """Average-linkage agglomerative clustering down to *n_communities*.
+
+    Merging stops early when the best average inter-cluster similarity
+    drops below *min_similarity*.  The member most similar to the rest of
+    its community becomes the leader.
+    """
+    if n_communities < 1:
+        raise ValueError("need at least one community")
+    n = len(patterns)
+    if n == 0:
+        return []
+
+    # Precompute the symmetric similarity matrix once.
+    sims = [[0.0] * n for _ in range(n)]
+    for i in range(n):
+        sims[i][i] = 1.0
+        for j in range(i + 1, n):
+            value = similarity(patterns[i], patterns[j])
+            sims[i][j] = value
+            sims[j][i] = value
+
+    clusters: list[list[int]] = [[i] for i in range(n)]
+
+    def average_linkage(a: list[int], b: list[int]) -> float:
+        total = sum(sims[i][j] for i in a for j in b)
+        return total / (len(a) * len(b))
+
+    while len(clusters) > n_communities:
+        best_pair: Optional[tuple[int, int]] = None
+        best_score = -1.0
+        for a in range(len(clusters)):
+            for b in range(a + 1, len(clusters)):
+                score = average_linkage(clusters[a], clusters[b])
+                if score > best_score:
+                    best_score = score
+                    best_pair = (a, b)
+        if best_pair is None or best_score < min_similarity:
+            break
+        a, b = best_pair
+        clusters[a].extend(clusters[b])
+        del clusters[b]
+
+    communities: list[Community] = []
+    for members in clusters:
+        leader = max(
+            members,
+            key=lambda i: sum(sims[i][j] for j in members),
+        )
+        communities.append(Community(leader=leader, members=list(members)))
+    return communities

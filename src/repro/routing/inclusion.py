@@ -1,0 +1,139 @@
+"""Inclusion-based (containment) subscription organisation.
+
+The introduction's argument against containment as a proximity notion made
+concrete: organise subscriptions into a *forest* where a subscription hangs
+below one that contains it.  Routing then tests a document against the
+forest roots and descends only into matching subtrees — the classic
+covering-based optimisation of content routers.
+
+The structure is correct (containment guarantees children can only match
+when their ancestors do), but — as the paper argues — it is *not* a
+community structure: patterns with no containment relationship never group,
+even when they match almost exactly the same documents (Figure 1's pa/pd),
+so the forest degenerates to many singleton roots on realistic workloads.
+The routing comparison in the benchmarks quantifies that degeneration
+against similarity-based communities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core.containment import contains
+from repro.core.pattern import TreePattern
+from repro.routing.broker import RoutingStats
+from repro.xmltree.corpus import DocumentCorpus
+from repro.xmltree.matcher import PatternMatcher
+
+__all__ = ["InclusionForest", "InclusionNode"]
+
+
+@dataclass
+class InclusionNode:
+    """One subscription in the forest, with the subscriptions it covers."""
+
+    index: int
+    children: list["InclusionNode"] = field(default_factory=list)
+
+    def iter_subtree(self):
+        yield self
+        for child in self.children:
+            yield from child.iter_subtree()
+
+
+class InclusionForest:
+    """Containment forest over a set of subscriptions.
+
+    Built greedily: each subscription is placed below the first existing
+    node (depth-first) that contains it; containment-equivalent patterns
+    stack linearly.  Placement uses the sound homomorphism test, so a
+    missed (false-negative) containment merely costs a root — never
+    correctness.
+    """
+
+    def __init__(self, subscriptions: Sequence[TreePattern]):
+        self.subscriptions = list(subscriptions)
+        self.roots: list[InclusionNode] = []
+        for index, pattern in enumerate(self.subscriptions):
+            self._place(InclusionNode(index), pattern)
+
+    def _place(self, node: InclusionNode, pattern: TreePattern) -> None:
+        parent = self._find_container(self.roots, pattern)
+        if parent is None:
+            # The new pattern may itself cover existing roots.
+            covered = [
+                root
+                for root in self.roots
+                if contains(pattern, self.subscriptions[root.index])
+            ]
+            for root in covered:
+                self.roots.remove(root)
+                node.children.append(root)
+            self.roots.append(node)
+        else:
+            parent.children.append(node)
+
+    def _find_container(
+        self, nodes: list[InclusionNode], pattern: TreePattern
+    ) -> InclusionNode | None:
+        for node in nodes:
+            if contains(self.subscriptions[node.index], pattern):
+                deeper = self._find_container(node.children, pattern)
+                return deeper if deeper is not None else node
+        return None
+
+    @property
+    def n_roots(self) -> int:
+        """Number of forest roots — the per-document filtering frontier."""
+        return len(self.roots)
+
+    def depth(self) -> int:
+        """Longest root-to-leaf chain in the forest (1 for all-singletons)."""
+
+        def node_depth(node: InclusionNode) -> int:
+            if not node.children:
+                return 1
+            return 1 + max(node_depth(child) for child in node.children)
+
+        if not self.roots:
+            return 0
+        return max(node_depth(root) for root in self.roots)
+
+    # ------------------------------------------------------------------
+
+    def route(self, corpus: DocumentCorpus) -> RoutingStats:
+        """Route *corpus* through the forest.
+
+        A node's subscription is only evaluated when its parent matched
+        (containment makes that sound); matches are exact, so routing is
+        perfect — the cost is the number of match operations, which only
+        drops below per-subscription matching when containment actually
+        structures the workload.
+        """
+        matchers = [PatternMatcher(p) for p in self.subscriptions]
+        deliveries = 0
+        match_operations = 0
+
+        def visit(node: InclusionNode, document) -> None:
+            nonlocal deliveries, match_operations
+            match_operations += 1
+            if matchers[node.index].matches(document):
+                deliveries += 1
+                for child in node.children:
+                    visit(child, document)
+
+        for document in corpus.documents:
+            for root in self.roots:
+                visit(root, document)
+
+        return RoutingStats(
+            strategy="inclusion_forest",
+            documents=len(corpus),
+            subscribers=len(self.subscriptions),
+            deliveries=deliveries,
+            true_deliveries=deliveries,
+            false_positives=0,
+            false_negatives=0,
+            match_operations=match_operations,
+        )

@@ -1,0 +1,58 @@
+"""The document-stream synopsis: matching-set summaries, pruning, and
+compression (Section 3 of the paper)."""
+
+from repro.synopsis.compression import (
+    CompressionReport,
+    compress_to_ratio,
+    compress_to_size,
+)
+from repro.synopsis.counters import CounterSummary
+from repro.synopsis.hashes import DistinctHasher, HashSample
+from repro.synopsis.node import LabelTree, SynopsisNode
+from repro.synopsis.pruning import (
+    delete_low_cardinality,
+    fold_leaves,
+    merge_same_label,
+    node_pair_similarity,
+)
+from repro.synopsis.reservoir import DocumentReservoir, ReservoirDecision
+from repro.synopsis.serialize import (
+    dump_synopsis,
+    load_synopsis,
+    synopsis_from_dict,
+    synopsis_to_dict,
+)
+from repro.synopsis.setops import SampleView, intersect_views, union_views
+from repro.synopsis.size import SynopsisSize, measure
+from repro.synopsis.synopsis import MODES, DocumentSynopsis
+from repro.synopsis.windowed import WindowedEstimator, WindowedSynopsis
+
+__all__ = [
+    "DocumentSynopsis",
+    "MODES",
+    "LabelTree",
+    "SynopsisNode",
+    "CounterSummary",
+    "DistinctHasher",
+    "HashSample",
+    "DocumentReservoir",
+    "ReservoirDecision",
+    "SampleView",
+    "union_views",
+    "intersect_views",
+    "fold_leaves",
+    "delete_low_cardinality",
+    "merge_same_label",
+    "node_pair_similarity",
+    "CompressionReport",
+    "compress_to_ratio",
+    "compress_to_size",
+    "synopsis_to_dict",
+    "synopsis_from_dict",
+    "dump_synopsis",
+    "load_synopsis",
+    "SynopsisSize",
+    "measure",
+    "WindowedSynopsis",
+    "WindowedEstimator",
+]

@@ -1,0 +1,135 @@
+"""Compression driver: shrink a synopsis to a target size ratio α.
+
+Section 5.2 fixes the order in which the pruning operators are applied —
+"first, folding leaf nodes with the same matching set as their parents
+(lossless compression); then, folding and deleting low-cardinality nodes;
+finally, merging same-label nodes" — and reports that this ordering gave the
+best overall results.  :func:`compress_to_ratio` follows it: after the
+lossless folds it alternates lossy folds (with a decaying similarity
+threshold), small batches of low-cardinality deletions, and same-label
+merges, until ``|HcS| <= α · |HS|`` or no operator makes progress.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.synopsis.pruning import delete_low_cardinality, fold_leaves, merge_same_label
+from repro.synopsis.size import SynopsisSize, measure
+from repro.synopsis.synopsis import DocumentSynopsis
+
+__all__ = ["CompressionReport", "compress_to_ratio", "compress_to_size"]
+
+
+@dataclass
+class CompressionReport:
+    """What a compression run did to the synopsis."""
+
+    initial: SynopsisSize
+    final: SynopsisSize
+    target_total: int
+    folds: int = 0
+    deletions: int = 0
+    merges: int = 0
+    rounds: int = 0
+    threshold_floor: float = 0.0
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def achieved_ratio(self) -> float:
+        """``α = |HcS| / |HS|`` actually reached."""
+        if self.initial.total == 0:
+            return 1.0
+        return self.final.total / self.initial.total
+
+    @property
+    def reached_target(self) -> bool:
+        """True when the requested budget was met."""
+        return self.final.total <= self.target_total
+
+    def __str__(self) -> str:
+        return (
+            f"compressed {self.initial.total} -> {self.final.total} words "
+            f"(alpha={self.achieved_ratio:.3f}) in {self.rounds} rounds: "
+            f"{self.folds} folds, {self.deletions} deletions, {self.merges} merges"
+        )
+
+
+# Threshold schedule for the lossy phases: each round relaxes the similarity
+# requirement for folds/merges, so cheap (high-similarity) compressions are
+# exhausted before damaging ones are attempted.
+_THRESHOLD_SCHEDULE = (0.95, 0.9, 0.8, 0.7, 0.6, 0.5, 0.4, 0.3, 0.2, 0.1, 0.0)
+
+
+def compress_to_ratio(
+    synopsis: DocumentSynopsis,
+    alpha: float,
+    deletion_batch_fraction: float = 0.05,
+) -> CompressionReport:
+    """Compress *synopsis* in place until ``|HcS| / |HS| <= alpha``.
+
+    ``alpha=1.0`` applies only the lossless folds.  Returns a report with the
+    achieved ratio; the target may be unreachable for tiny synopses (a root
+    plus a handful of nodes cannot shrink arbitrarily), in which case
+    ``report.reached_target`` is False.
+    """
+    if not 0.0 < alpha <= 1.0:
+        raise ValueError("alpha must be in (0, 1]")
+    initial = measure(synopsis)
+    return compress_to_size(
+        synopsis,
+        target_total=int(initial.total * alpha),
+        deletion_batch_fraction=deletion_batch_fraction,
+        _initial=initial,
+    )
+
+
+def compress_to_size(
+    synopsis: DocumentSynopsis,
+    target_total: int,
+    deletion_batch_fraction: float = 0.05,
+    _initial: SynopsisSize | None = None,
+) -> CompressionReport:
+    """Compress *synopsis* in place until ``|HcS| <= target_total`` words."""
+    initial = _initial or measure(synopsis)
+    report = CompressionReport(
+        initial=initial, final=initial, target_total=target_total
+    )
+
+    # Phase 1 — lossless folds (identical parent/child matching sets).
+    report.folds += fold_leaves(synopsis, lossless_only=True)
+    current = measure(synopsis)
+
+    # Phase 2/3 — lossy folds + deletions, then merges, relaxing thresholds.
+    for threshold in _THRESHOLD_SCHEDULE:
+        report.threshold_floor = threshold
+        while current.total > target_total:
+            report.rounds += 1
+            progressed = 0
+
+            folded = fold_leaves(synopsis, min_similarity=threshold)
+            report.folds += folded
+            progressed += folded
+
+            batch = max(1, int(synopsis.n_nodes * deletion_batch_fraction))
+            deleted = delete_low_cardinality(synopsis, max_deletions=batch)
+            report.deletions += deleted
+            progressed += deleted
+
+            merged = merge_same_label(synopsis, min_similarity=threshold)
+            report.merges += merged
+            progressed += merged
+
+            current = measure(synopsis)
+            if not progressed:
+                break
+        if current.total <= target_total:
+            break
+
+    if current.total > target_total:
+        report.notes.append(
+            f"target {target_total} unreachable; stopped at {current.total}"
+        )
+    report.final = current
+    synopsis.invalidate()
+    return report

@@ -1,0 +1,45 @@
+"""Counter matching-set summaries (the Chan et al. VLDB'02 baseline).
+
+In counter mode every synopsis node keeps the exact number of documents that
+contain its root-to-node label path.  Counters are maintained along *every*
+node of each inserted skeleton path (deduplicated per document), so a node's
+counter already equals its full matching-set cardinality and no freeze pass
+is needed.
+
+What counters cannot do is capture cross-path correlations: ``SEL`` in
+counter mode replaces set union/intersection/cardinality by max / scaled
+product / value, i.e. it assumes branch independence — the failure mode the
+paper illustrates with ``a[b][d]`` (true selectivity 0, estimated 1/4) and
+``a[c/f][c/o]`` (true 1/3, estimated 1/9) on the Figure 2 data.
+"""
+
+from __future__ import annotations
+
+__all__ = ["CounterSummary"]
+
+
+class CounterSummary:
+    """A document counter; one per synopsis node in counter mode."""
+
+    __slots__ = ("count",)
+
+    def __init__(self, count: int = 0):
+        self.count = count
+
+    def increment(self, by: int = 1) -> None:
+        """Count *by* additional documents."""
+        self.count += by
+
+    def merge_max(self, other: "CounterSummary") -> None:
+        """Counter analogue of sample union (used by node merges)."""
+        self.count = max(self.count, other.count)
+
+    def merge_min(self, other: "CounterSummary") -> None:
+        """Counter analogue of sample intersection."""
+        self.count = min(self.count, other.count)
+
+    def copy(self) -> "CounterSummary":
+        return CounterSummary(self.count)
+
+    def __repr__(self) -> str:
+        return f"CounterSummary({self.count})"

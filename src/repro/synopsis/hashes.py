@@ -1,0 +1,165 @@
+"""Distinct sampling of document identifiers (Gibbons, VLDB'01).
+
+The "Hashes" matching-set representation keeps, at each synopsis node, a
+bounded-size *distinct sample* of the document ids hitting the node.  A
+shared hash function maps every id to a geometric *level*::
+
+    Prob[ level(x) >= l ] = 2**-l
+
+A sample at level ``l`` contains exactly the inserted ids with
+``level(x) >= l``; when it outgrows its capacity the level is bumped and the
+sample sub-sampled, halving it in expectation.  Because **every sample in the
+synopsis shares one hash function**, any two samples can be aligned to a
+common level and then combined with *exact* set operations — the key property
+the set-expression estimators of Ganguly et al. (SIGMOD'03) rely on, and what
+lets ``SEL`` evaluate arbitrary union/intersection trees over them.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+__all__ = ["DistinctHasher", "HashSample"]
+
+_MASK64 = (1 << 64) - 1
+_GOLDEN = 0x9E3779B97F4A7C15
+
+
+def _splitmix64(x: int) -> int:
+    """One round of the splitmix64 mixer; a cheap, well-distributed 64-bit
+    permutation (public domain constants from Steele et al.)."""
+    x = (x + _GOLDEN) & _MASK64
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return x ^ (x >> 31)
+
+
+class DistinctHasher:
+    """Seeded level function shared by all samples of one synopsis."""
+
+    __slots__ = ("seed", "_cache")
+
+    #: Levels are capped so 2**level stays a sane float; with 64 hash bits
+    #: the cap is unreachable in practice.
+    MAX_LEVEL = 64
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed & _MASK64
+        self._cache: dict[int, int] = {}
+
+    def level_of(self, x: int) -> int:
+        """Geometric level of id *x*: trailing zero bits of its hash.
+
+        The id is mixed *before* the seed is combined: document ids are
+        contiguous integers, and xor-ing a raw contiguous range with the
+        seed would merely permute it, giving every seed the same level
+        profile.
+        """
+        cached = self._cache.get(x)
+        if cached is not None:
+            return cached
+        h = _splitmix64(_splitmix64(x & _MASK64) ^ self.seed)
+        if h == 0:
+            level = self.MAX_LEVEL
+        else:
+            level = (h & -h).bit_length() - 1
+        self._cache[x] = level
+        return level
+
+    def filter_to_level(self, ids: Iterable[int], level: int) -> frozenset[int]:
+        """Ids from *ids* whose level is at least *level*."""
+        if level <= 0:
+            return frozenset(ids)
+        level_of = self.level_of
+        return frozenset(x for x in ids if level_of(x) >= level)
+
+
+class HashSample:
+    """A bounded distinct sample: ``(level, {ids with level(x) >= level})``.
+
+    >>> hasher = DistinctHasher(seed=7)
+    >>> sample = HashSample(hasher, capacity=4)
+    >>> for doc in range(100):
+    ...     sample.insert(doc)
+    >>> len(sample) <= 4
+    True
+    >>> 0 < sample.estimate_cardinality()
+    True
+    """
+
+    __slots__ = ("hasher", "capacity", "level", "ids")
+
+    def __init__(self, hasher: DistinctHasher, capacity: int):
+        if capacity < 1:
+            raise ValueError("hash-sample capacity must be positive")
+        self.hasher = hasher
+        self.capacity = capacity
+        self.level = 0
+        self.ids: set[int] = set()
+
+    def __len__(self) -> int:
+        return len(self.ids)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.ids)
+
+    def __contains__(self, x: int) -> bool:
+        return x in self.ids
+
+    def insert(self, x: int) -> None:
+        """Offer id *x* to the sample."""
+        if self.hasher.level_of(x) >= self.level:
+            self.ids.add(x)
+            self._shrink_to_capacity()
+
+    def discard(self, x: int) -> None:
+        """Remove id *x* if present (used by document-level eviction)."""
+        self.ids.discard(x)
+
+    def _shrink_to_capacity(self) -> None:
+        while len(self.ids) > self.capacity:
+            self.level += 1
+            level_of = self.hasher.level_of
+            threshold = self.level
+            self.ids = {x for x in self.ids if level_of(x) >= threshold}
+
+    def subsample_to(self, level: int) -> None:
+        """Raise this sample's level to *level* (no-op if already there)."""
+        if level > self.level:
+            self.level = level
+            level_of = self.hasher.level_of
+            self.ids = {x for x in self.ids if level_of(x) >= level}
+
+    def estimate_cardinality(self) -> float:
+        """Unbiased estimate of the number of distinct ids inserted."""
+        return len(self.ids) * float(2**self.level)
+
+    def union_in_place(self, other: "HashSample") -> None:
+        """Merge *other* into this sample (Section 3.2's union: align to the
+        max level, union the id sets, sub-sample if over budget)."""
+        target = max(self.level, other.level)
+        self.subsample_to(target)
+        level_of = self.hasher.level_of
+        for x in other.ids:
+            if level_of(x) >= self.level:
+                self.ids.add(x)
+        self._shrink_to_capacity()
+
+    def intersect_in_place(self, other: "HashSample") -> None:
+        """Replace contents by the aligned intersection with *other* (used by
+        the same-label merge pruning, which intersects the merged samples)."""
+        target = max(self.level, other.level)
+        self.subsample_to(target)
+        other_ids = other.ids
+        if target > other.level:
+            other_ids = {
+                x for x in other_ids if self.hasher.level_of(x) >= target
+            }
+        self.ids &= other_ids
+
+    def copy(self) -> "HashSample":
+        """Deep copy sharing the hasher."""
+        duplicate = HashSample(self.hasher, self.capacity)
+        duplicate.level = self.level
+        duplicate.ids = set(self.ids)
+        return duplicate

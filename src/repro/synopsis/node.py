@@ -1,0 +1,126 @@
+"""Synopsis nodes and (possibly nested) node labels.
+
+A freshly-built synopsis is a tree whose nodes carry plain tag labels.  Two
+pruning operations complicate this:
+
+* **folding** (Section 3.3) replaces a parent-leaf pair by a single node with
+  a *nested* label such as ``c[f][o[n]]`` — represented here by a
+  :class:`LabelTree`;
+* **merging** same-label nodes turns the tree into a DAG — so nodes track a
+  list of parents, not a single one.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+__all__ = ["LabelTree", "SynopsisNode"]
+
+
+class LabelTree:
+    """An immutable tree of tag atoms: a plain label has no children, a
+    folded label nests the labels of folded-away descendants."""
+
+    __slots__ = ("tag", "children")
+
+    def __init__(self, tag: str, children: tuple["LabelTree", ...] = ()):
+        object.__setattr__(self, "tag", tag)
+        object.__setattr__(self, "children", tuple(children))
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("LabelTree is immutable")
+
+    def atoms(self) -> int:
+        """Number of tag atoms (used by the size accounting of Section 5.1:
+        each atom occupies one label slot)."""
+        return 1 + sum(child.atoms() for child in self.children)
+
+    def iter_atoms(self) -> Iterator[str]:
+        """Yield every tag atom, pre-order."""
+        yield self.tag
+        for child in self.children:
+            yield from child.iter_atoms()
+
+    def with_folded(self, folded: "LabelTree") -> "LabelTree":
+        """Return this label with *folded* appended as a nested component."""
+        return LabelTree(self.tag, self.children + (folded,))
+
+    def render(self) -> str:
+        """Human-readable nested form, e.g. ``c[f][o[n]]`` (Figure 3)."""
+        if not self.children:
+            return self.tag
+        return self.tag + "".join(f"[{c.render()}]" for c in self.children)
+
+    def _key(self) -> tuple:
+        return (self.tag, tuple(sorted(c._key() for c in self.children)))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, LabelTree):
+            return NotImplemented
+        return self._key() == other._key()
+
+    def __hash__(self) -> int:
+        return hash(self._key())
+
+    def __repr__(self) -> str:
+        return f"LabelTree({self.render()!r})"
+
+
+class SynopsisNode:
+    """One node of the document synopsis.
+
+    ``summary`` is the node's *stored* matching-set summary — a counter, an
+    explicit id set, or a distinct-sampling hash sample, depending on the
+    synopsis mode.  The *full* matching set of a node (the union over its
+    descendants, Section 3.2) is computed and cached by the synopsis's
+    freeze pass, not stored here.
+    """
+
+    __slots__ = ("node_id", "label", "children", "parents", "summary")
+
+    def __init__(self, node_id: int, label: LabelTree, summary):
+        self.node_id = node_id
+        self.label = label
+        self.children: list["SynopsisNode"] = []
+        self.parents: list["SynopsisNode"] = []
+        self.summary = summary
+
+    @property
+    def tag(self) -> str:
+        """Root tag atom of the (possibly nested) label."""
+        return self.label.tag
+
+    @property
+    def is_leaf(self) -> bool:
+        """True when the node has no synopsis children.
+
+        A folded node with nested label components is still a leaf for
+        structural purposes; its nested components are *virtual* children
+        expanded only during selectivity evaluation.
+        """
+        return not self.children
+
+    def child_by_tag(self, tag: str) -> Optional["SynopsisNode"]:
+        """First child whose root tag atom equals *tag*, if any."""
+        for child in self.children:
+            if child.label.tag == tag:
+                return child
+        return None
+
+    def add_child(self, child: "SynopsisNode") -> None:
+        """Link *child* below this node (DAG-aware: appends, never replaces)."""
+        if child not in self.children:
+            self.children.append(child)
+        if self not in child.parents:
+            child.parents.append(self)
+
+    def remove_child(self, child: "SynopsisNode") -> None:
+        """Unlink *child* from this node."""
+        self.children.remove(child)
+        child.parents.remove(self)
+
+    def __repr__(self) -> str:
+        return (
+            f"SynopsisNode(id={self.node_id}, label={self.label.render()!r}, "
+            f"children={len(self.children)})"
+        )

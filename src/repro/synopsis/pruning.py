@@ -1,0 +1,216 @@
+"""Synopsis pruning operators (Section 3.3).
+
+Three operations shrink a synopsis while trying to minimise the precision
+lost by selectivity estimation:
+
+* :func:`fold_leaves` — fold a leaf into its parent(s) when their matching
+  sets are similar, nesting the leaf's label (``c[f]``) and unioning the
+  summaries.  A fold with similarity 1.0 is lossless.
+* :func:`delete_low_cardinality` — drop leaves whose matching sets are small
+  and therefore contribute little to any estimate.
+* :func:`merge_same_label` — merge two same-label nodes with similar matching
+  sets; the merged node keeps the *intersection* of the samples (preserving
+  the parent-child inclusion property) and inherits both parent lists, which
+  turns the synopsis into a DAG.
+
+Similarity between matching sets is the estimated Jaccard ratio
+``|S(t) ∩ S(t')| / |S(t) ∪ S(t')|`` computed on full-sample views; in counter
+mode the ratio of the smaller to the larger count is used instead (counts
+cannot see correlation, only magnitude).
+
+All operators score candidates against the full-view cache taken at the start
+of the pass, apply their mutations greedily in decreasing-score order, and
+invalidate the cache at the end.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.synopsis.node import SynopsisNode
+from repro.synopsis.synopsis import DocumentSynopsis
+
+__all__ = [
+    "fold_leaves",
+    "delete_low_cardinality",
+    "merge_same_label",
+    "node_pair_similarity",
+]
+
+
+def node_pair_similarity(
+    synopsis: DocumentSynopsis, first: SynopsisNode, second: SynopsisNode
+) -> float:
+    """Estimated matching-set similarity of two synopsis nodes in [0, 1]."""
+    if synopsis.mode == "counters":
+        counts = sorted((first.summary.count, second.summary.count))
+        if counts[1] == 0:
+            return 1.0
+        return counts[0] / counts[1]
+    return synopsis.full_view(first).jaccard(synopsis.full_view(second))
+
+
+def _fold_score(synopsis: DocumentSynopsis, leaf: SynopsisNode) -> float:
+    """Average similarity of *leaf* to its parents (multi-parent leaves are
+    folded into all parents, scored by the mean ratio, as in the paper)."""
+    if not leaf.parents:
+        return -1.0
+    total = 0.0
+    for parent in leaf.parents:
+        total += node_pair_similarity(synopsis, leaf, parent)
+    return total / len(leaf.parents)
+
+
+def fold_leaves(
+    synopsis: DocumentSynopsis,
+    min_similarity: float = 0.0,
+    max_folds: Optional[int] = None,
+    lossless_only: bool = False,
+) -> int:
+    """One folding pass; returns the number of leaves folded.
+
+    Candidates are scored once against the pass-start full views, then folded
+    greedily in decreasing-score order.  Folding a leaf into its parents does
+    not change any node's *full* matching set (the parent's full set already
+    contained the leaf's), so scores remain valid throughout the pass.
+    """
+    threshold = 1.0 if lossless_only else min_similarity
+    candidates = [
+        (node, _fold_score(synopsis, node))
+        for node in synopsis.iter_nodes()
+        if node.is_leaf and node is not synopsis.root
+    ]
+    candidates = [(n, s) for n, s in candidates if s >= threshold]
+    candidates.sort(key=lambda pair: (-pair[1], pair[0].node_id))
+
+    folds = 0
+    for leaf, _score in candidates:
+        if max_folds is not None and folds >= max_folds:
+            break
+        if not leaf.is_leaf or not leaf.parents:
+            continue  # became non-leaf/detached earlier in the pass
+        for parent in list(leaf.parents):
+            parent.label = parent.label.with_folded(leaf.label)
+            synopsis.summary_union_into(parent, leaf)
+            parent.remove_child(leaf)
+        folds += 1
+    if folds:
+        synopsis.mark_pruned()
+    return folds
+
+
+def delete_low_cardinality(
+    synopsis: DocumentSynopsis,
+    max_deletions: int,
+    max_cardinality: Optional[float] = None,
+) -> int:
+    """Delete up to *max_deletions* leaves in increasing matching-set size.
+
+    Only leaves whose (estimated) full cardinality is at most
+    *max_cardinality* are eligible when the bound is given.  Deleting a leaf
+    can expose its parent as a new leaf; repeated passes prune whole
+    subtrees, as Figure 3 illustrates.
+    """
+    candidates = [
+        (node, synopsis.full_count(node))
+        for node in synopsis.iter_nodes()
+        if node.is_leaf and node is not synopsis.root
+    ]
+    if max_cardinality is not None:
+        candidates = [(n, c) for n, c in candidates if c <= max_cardinality]
+    candidates.sort(key=lambda pair: (pair[1], pair[0].node_id))
+
+    deletions = 0
+    for leaf, _count in candidates[:max_deletions]:
+        for parent in list(leaf.parents):
+            parent.remove_child(leaf)
+        deletions += 1
+    if deletions:
+        synopsis.mark_pruned()
+    return deletions
+
+
+def _children_ids(node: SynopsisNode) -> frozenset[int]:
+    return frozenset(child.node_id for child in node.children)
+
+
+# Same-label groups larger than this are compared only between
+# cardinality-neighbours instead of all-pairs, keeping passes near-linear.
+_PAIR_GROUP_LIMIT = 40
+
+
+def _candidate_merge_pairs(
+    synopsis: DocumentSynopsis,
+) -> list[tuple[float, SynopsisNode, SynopsisNode]]:
+    groups: dict[tuple, list[SynopsisNode]] = {}
+    for node in synopsis.iter_nodes():
+        if node is synopsis.root:
+            continue
+        if node.is_leaf:
+            key = ("leaf", node.label)
+        else:
+            key = ("inner", node.label, _children_ids(node))
+        groups.setdefault(key, []).append(node)
+
+    pairs: list[tuple[float, SynopsisNode, SynopsisNode]] = []
+    for members in groups.values():
+        if len(members) < 2:
+            continue
+        members.sort(key=lambda n: (synopsis.full_count(n), n.node_id))
+        if len(members) <= _PAIR_GROUP_LIMIT:
+            for i, first in enumerate(members):
+                for second in members[i + 1 :]:
+                    score = node_pair_similarity(synopsis, first, second)
+                    pairs.append((score, first, second))
+        else:
+            for first, second in zip(members, members[1:]):
+                score = node_pair_similarity(synopsis, first, second)
+                pairs.append((score, first, second))
+    return pairs
+
+
+def merge_same_label(
+    synopsis: DocumentSynopsis,
+    min_similarity: float = 0.0,
+    max_merges: Optional[int] = None,
+) -> int:
+    """One merging pass; returns the number of node pairs merged.
+
+    Eligible pairs are same-label leaves, or same-label inner nodes with
+    identical children sets ("their children have already been merged").
+    Greedy in decreasing similarity; each node participates in at most one
+    merge per pass.  The survivor's stored summary becomes the intersection
+    of the pair's full samples and it inherits both parent lists (DAG).
+    """
+    pairs = _candidate_merge_pairs(synopsis)
+    pairs = [(s, a, b) for s, a, b in pairs if s >= min_similarity]
+    pairs.sort(key=lambda item: (-item[0], item[1].node_id, item[2].node_id))
+
+    consumed: set[int] = set()
+    merges = 0
+    for score, first, second in pairs:
+        if max_merges is not None and merges >= max_merges:
+            break
+        if first.node_id in consumed or second.node_id in consumed:
+            continue
+        if second.node_id < first.node_id:
+            first, second = second, first
+        _merge_pair(synopsis, first, second)
+        consumed.add(first.node_id)
+        consumed.add(second.node_id)
+        merges += 1
+    if merges:
+        synopsis.mark_pruned()
+    return merges
+
+
+def _merge_pair(
+    synopsis: DocumentSynopsis, survivor: SynopsisNode, victim: SynopsisNode
+) -> None:
+    """Merge *victim* into *survivor*."""
+    survivor.summary = synopsis.summary_intersection(survivor, victim)
+    for parent in list(victim.parents):
+        parent.remove_child(victim)
+        parent.add_child(survivor)
+    for child in list(victim.children):
+        victim.remove_child(child)

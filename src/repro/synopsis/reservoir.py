@@ -1,0 +1,79 @@
+"""Document-level reservoir sampling (Vitter, 1985) — the "Sets" scheme.
+
+Section 3.2's second representation admits whole documents into the synopsis
+with probability ``min(1, s/k)`` for the k-th stream document; when the
+reservoir is full, a uniformly random resident document is evicted and its
+identifier removed *from every synopsis node*.  The result is that the
+synopsis always reflects a uniform random sample of ``s`` documents from the
+stream prefix.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["ReservoirDecision", "DocumentReservoir"]
+
+
+@dataclass(frozen=True)
+class ReservoirDecision:
+    """Outcome of offering one document to the reservoir."""
+
+    admitted: bool
+    evicted: Optional[int] = None
+
+
+class DocumentReservoir:
+    """Classic reservoir sampler over the document-id stream.
+
+    >>> res = DocumentReservoir(size=2, rng=random.Random(0))
+    >>> decisions = [res.offer(i) for i in range(10)]
+    >>> len(res.members()) == 2
+    True
+    """
+
+    __slots__ = ("size", "_rng", "_seen", "_members")
+
+    def __init__(self, size: int, rng: Optional[random.Random] = None):
+        if size < 1:
+            raise ValueError("reservoir size must be positive")
+        self.size = size
+        self._rng = rng or random.Random()
+        self._seen = 0
+        self._members: list[int] = []
+
+    def offer(self, doc_id: int) -> ReservoirDecision:
+        """Offer *doc_id* (the next stream document) to the reservoir.
+
+        Returns whether it was admitted and, if admission required evicting a
+        resident document, which one — the caller must then purge the evicted
+        id from all synopsis matching sets.
+        """
+        self._seen += 1
+        if len(self._members) < self.size:
+            self._members.append(doc_id)
+            return ReservoirDecision(admitted=True)
+        # Admit with probability size/k by choosing a uniform slot in [0, k).
+        slot = self._rng.randrange(self._seen)
+        if slot < self.size:
+            evicted = self._members[slot]
+            self._members[slot] = doc_id
+            return ReservoirDecision(admitted=True, evicted=evicted)
+        return ReservoirDecision(admitted=False)
+
+    def members(self) -> list[int]:
+        """Current resident document ids (order is internal)."""
+        return list(self._members)
+
+    @property
+    def seen(self) -> int:
+        """How many documents have been offered so far."""
+        return self._seen
+
+    def __contains__(self, doc_id: int) -> bool:
+        return doc_id in self._members
+
+    def __len__(self) -> int:
+        return len(self._members)

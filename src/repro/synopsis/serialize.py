@@ -1,0 +1,149 @@
+"""Synopsis persistence.
+
+A broker restarting should not have to replay the document stream to
+rebuild its synopsis; this module round-trips a
+:class:`~repro.synopsis.synopsis.DocumentSynopsis` — including folded
+labels, DAG structure after merges, and every matching-set representation —
+through a plain-JSON-compatible dict.
+
+The format is versioned and self-describing::
+
+    {"format": "repro-synopsis", "version": 1, "mode": "hashes", ...}
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.synopsis.counters import CounterSummary
+from repro.synopsis.hashes import HashSample
+from repro.synopsis.node import LabelTree, SynopsisNode
+from repro.synopsis.synopsis import DocumentSynopsis
+
+__all__ = ["synopsis_to_dict", "synopsis_from_dict", "dump_synopsis", "load_synopsis"]
+
+FORMAT_NAME = "repro-synopsis"
+FORMAT_VERSION = 1
+
+
+def _label_to_list(label: LabelTree) -> list:
+    return [label.tag, [_label_to_list(child) for child in label.children]]
+
+
+def _label_from_list(data: list) -> LabelTree:
+    tag, children = data
+    return LabelTree(tag, tuple(_label_from_list(child) for child in children))
+
+
+def _summary_to_jsonable(synopsis: DocumentSynopsis, node: SynopsisNode) -> Any:
+    if synopsis.mode == "counters":
+        return node.summary.count
+    if synopsis.mode == "sets":
+        return sorted(node.summary)
+    return {"level": node.summary.level, "ids": sorted(node.summary.ids)}
+
+
+def synopsis_to_dict(synopsis: DocumentSynopsis) -> dict:
+    """Serialise *synopsis* to a JSON-compatible dict."""
+    nodes = []
+    id_order: list[int] = []
+    for node in synopsis.iter_nodes():
+        id_order.append(node.node_id)
+        nodes.append(
+            {
+                "id": node.node_id,
+                "label": _label_to_list(node.label),
+                "children": [child.node_id for child in node.children],
+                "summary": _summary_to_jsonable(synopsis, node),
+            }
+        )
+    payload = {
+        "format": FORMAT_NAME,
+        "version": FORMAT_VERSION,
+        "mode": synopsis.mode,
+        "capacity": synopsis.capacity,
+        "seed": synopsis.seed,
+        "n_documents": synopsis.n_documents,
+        "next_doc_id": synopsis._next_doc_id,
+        "pruned": synopsis._pruned,
+        "root_id": synopsis.root.node_id,
+        "nodes": nodes,
+    }
+    if synopsis.reservoir is not None:
+        # Residents cannot be reconstructed from the summaries: pruning may
+        # have deleted a resident document's last stored occurrence.
+        payload["reservoir_members"] = sorted(synopsis.reservoir.members())
+    return payload
+
+
+def synopsis_from_dict(data: dict) -> DocumentSynopsis:
+    """Rebuild a synopsis from :func:`synopsis_to_dict` output."""
+    if data.get("format") != FORMAT_NAME:
+        raise ValueError("not a serialised repro synopsis")
+    if data.get("version") != FORMAT_VERSION:
+        raise ValueError(f"unsupported synopsis format version {data.get('version')}")
+
+    synopsis = DocumentSynopsis(
+        mode=data["mode"], capacity=data["capacity"], seed=data["seed"]
+    )
+    synopsis.n_documents = data["n_documents"]
+    synopsis._next_doc_id = data["next_doc_id"]
+
+    # Recreate all nodes first, then wire edges (the graph may be a DAG).
+    nodes_by_id: dict[int, SynopsisNode] = {}
+    max_id = 0
+    for entry in data["nodes"]:
+        label = _label_from_list(entry["label"])
+        node = SynopsisNode(entry["id"], label, None)
+        node.summary = _summary_from_jsonable(synopsis, entry["summary"])
+        nodes_by_id[entry["id"]] = node
+        max_id = max(max_id, entry["id"])
+    synopsis._next_node_id = max_id + 1
+
+    for entry in data["nodes"]:
+        node = nodes_by_id[entry["id"]]
+        for child_id in entry["children"]:
+            node.add_child(nodes_by_id[child_id])
+
+    synopsis.root = nodes_by_id[data["root_id"]]
+    if data["pruned"]:
+        synopsis.mark_pruned()
+    else:
+        # Rebuild the sets-mode document index for cheap eviction, and the
+        # reservoir's resident list.
+        if synopsis.mode == "sets":
+            index: dict[int, list[SynopsisNode]] = {}
+            for node in synopsis.iter_nodes():
+                for doc_id in node.summary:
+                    index.setdefault(doc_id, []).append(node)
+            synopsis._doc_index = index
+    if synopsis.mode == "sets":
+        assert synopsis.reservoir is not None
+        synopsis.reservoir._members = list(data["reservoir_members"])
+        synopsis.reservoir._seen = data["n_documents"]
+    return synopsis
+
+
+def _summary_from_jsonable(synopsis: DocumentSynopsis, data: Any):
+    if synopsis.mode == "counters":
+        return CounterSummary(int(data))
+    if synopsis.mode == "sets":
+        return set(data)
+    assert synopsis.hasher is not None
+    sample = HashSample(synopsis.hasher, synopsis.capacity)
+    sample.level = int(data["level"])
+    sample.ids = set(data["ids"])
+    return sample
+
+
+def dump_synopsis(synopsis: DocumentSynopsis, path: str) -> None:
+    """Write *synopsis* to a JSON file."""
+    with open(path, "w") as handle:
+        json.dump(synopsis_to_dict(synopsis), handle)
+
+
+def load_synopsis(path: str) -> DocumentSynopsis:
+    """Read a synopsis from a JSON file."""
+    with open(path) as handle:
+        return synopsis_from_dict(json.load(handle))

@@ -1,0 +1,140 @@
+"""Set-expression evaluation over matching-set samples.
+
+``SEL`` (Algorithm 1) combines matching sets with unions and intersections
+and finally takes a cardinality.  During evaluation we represent every
+intermediate result as an immutable :class:`SampleView` — a ``(level, ids)``
+pair under the synopsis's shared :class:`~repro.synopsis.hashes.DistinctHasher`.
+
+Because all stored samples share one hash function, aligning two views to
+``level = max(l1, l2)`` and applying the *exact* set operation yields a
+coherent distinct sample of the true set expression, whose cardinality is
+estimated as ``|ids| * 2**level`` (Ganguly, Garofalakis, Rastogi —
+SIGMOD'03).  Explicit sets ("Sets" mode) are the degenerate case ``level=0``,
+for which every estimate is exact over the sampled documents.
+"""
+
+from __future__ import annotations
+
+from functools import reduce
+from typing import Iterable, Optional, Sequence
+
+from repro.synopsis.hashes import DistinctHasher, HashSample
+
+__all__ = ["SampleView", "union_views", "intersect_views"]
+
+
+class SampleView:
+    """Immutable view of a distinct sample at some level.
+
+    ``hasher`` may be ``None`` for level-0 explicit sets; operations between
+    views of one synopsis always share the hasher (or its absence).
+    """
+
+    __slots__ = ("level", "ids", "hasher")
+
+    def __init__(
+        self,
+        ids: frozenset[int],
+        level: int = 0,
+        hasher: Optional[DistinctHasher] = None,
+    ):
+        if level > 0 and hasher is None:
+            raise ValueError("a leveled view needs a hasher for re-alignment")
+        self.ids = ids
+        self.level = level
+        self.hasher = hasher
+
+    # -- constructors -------------------------------------------------------
+
+    @classmethod
+    def empty(cls, hasher: Optional[DistinctHasher] = None) -> "SampleView":
+        """The empty view (level 0 — the identity for union alignment)."""
+        return cls(frozenset(), 0, hasher)
+
+    @classmethod
+    def of_set(cls, ids: Iterable[int]) -> "SampleView":
+        """Exact (level-0) view of an explicit id collection."""
+        return cls(frozenset(ids), 0, None)
+
+    @classmethod
+    def of_hash_sample(cls, sample: HashSample) -> "SampleView":
+        """View of a stored hash sample."""
+        return cls(frozenset(sample.ids), sample.level, sample.hasher)
+
+    # -- alignment ----------------------------------------------------------
+
+    def at_level(self, level: int) -> frozenset[int]:
+        """This view's ids sub-sampled to *level* (>= own level)."""
+        if level == self.level or not self.ids:
+            return self.ids
+        if level < self.level:
+            raise ValueError("cannot lower a sample's level")
+        assert self.hasher is not None
+        return self.hasher.filter_to_level(self.ids, level)
+
+    def _hasher_for(self, other: "SampleView") -> Optional[DistinctHasher]:
+        return self.hasher or other.hasher
+
+    # -- operations ---------------------------------------------------------
+
+    def union(self, other: "SampleView") -> "SampleView":
+        """Aligned union of two views."""
+        level = max(self.level, other.level)
+        return SampleView(
+            self.at_level(level) | other.at_level(level),
+            level,
+            self._hasher_for(other),
+        )
+
+    def intersect(self, other: "SampleView") -> "SampleView":
+        """Aligned intersection of two views."""
+        level = max(self.level, other.level)
+        return SampleView(
+            self.at_level(level) & other.at_level(level),
+            level,
+            self._hasher_for(other),
+        )
+
+    def estimate_cardinality(self) -> float:
+        """Estimated cardinality of the underlying set: ``|ids| * 2**level``."""
+        return len(self.ids) * float(2**self.level)
+
+    def jaccard(self, other: "SampleView") -> float:
+        """Estimated Jaccard similarity ``|A∩B| / |A∪B|``; 1.0 when both
+        views are empty (identical empty sets — used by pruning scores)."""
+        level = max(self.level, other.level)
+        mine = self.at_level(level)
+        theirs = other.at_level(level)
+        union_size = len(mine | theirs)
+        if union_size == 0:
+            return 1.0
+        return len(mine & theirs) / union_size
+
+    def is_empty(self) -> bool:
+        """True when no sampled ids remain (the estimate is then 0)."""
+        return not self.ids
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SampleView):
+            return NotImplemented
+        return self.level == other.level and self.ids == other.ids
+
+    def __hash__(self) -> int:
+        return hash((self.level, self.ids))
+
+    def __repr__(self) -> str:
+        return f"SampleView(level={self.level}, n={len(self.ids)})"
+
+
+def union_views(views: Sequence[SampleView]) -> SampleView:
+    """Union of many views; the empty union is the empty view."""
+    if not views:
+        return SampleView.empty()
+    return reduce(SampleView.union, views)
+
+
+def intersect_views(views: Sequence[SampleView]) -> SampleView:
+    """Intersection of many views; requires at least one operand."""
+    if not views:
+        raise ValueError("intersection of zero views is undefined")
+    return reduce(SampleView.intersect, views)

@@ -1,0 +1,134 @@
+"""Sliding-window synopsis maintenance.
+
+The base synopsis summarises the *entire* document history; on an infinite,
+drifting stream (the paper's setting is "a possibly infinite stream of XML
+documents") one usually wants estimates over recent history only.  Counters
+and hash samples cannot delete individual documents, so the standard
+generational scheme is used:
+
+* documents are inserted into an **active** generation synopsis;
+* every ``window // 2`` documents the active generation is rotated into the
+  **frozen** slot and a fresh active generation starts;
+* estimates combine the frozen and active generations, so at any time they
+  cover between ``window/2`` and ``window`` of the most recent documents —
+  never anything older than ``window``.
+
+This trades a 2× space factor for O(1) expiry, the usual deal for
+non-decomposable stream summaries.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.synopsis.synopsis import DocumentSynopsis
+from repro.xmltree.tree import XMLTree
+
+if TYPE_CHECKING:  # imported lazily at runtime to avoid a package cycle
+    from repro.core.pattern import TreePattern
+
+__all__ = ["WindowedSynopsis", "WindowedEstimator"]
+
+
+class WindowedSynopsis:
+    """Two-generation sliding-window wrapper around
+    :class:`DocumentSynopsis`.
+
+    >>> windowed = WindowedSynopsis(window=100, mode="hashes", capacity=32)
+    >>> # windowed.insert_document(tree); WindowedEstimator(windowed)...
+    """
+
+    def __init__(
+        self,
+        window: int,
+        mode: str = "hashes",
+        capacity: int = 1000,
+        seed: int = 0,
+    ):
+        if window < 2:
+            raise ValueError("window must cover at least two documents")
+        self.window = window
+        self.mode = mode
+        self.capacity = capacity
+        self.seed = seed
+        self._generation = 0
+        self.active = self._new_generation()
+        self.frozen: Optional[DocumentSynopsis] = None
+
+    def _new_generation(self) -> DocumentSynopsis:
+        self._generation += 1
+        return DocumentSynopsis(
+            mode=self.mode,
+            capacity=self.capacity,
+            # Distinct hash seeds per generation keep samples independent.
+            seed=self.seed + self._generation,
+        )
+
+    @property
+    def half_window(self) -> int:
+        return self.window // 2
+
+    def insert_document(self, tree: XMLTree) -> int:
+        """Insert a document, rotating generations when the active one is
+        half-window full."""
+        doc_id = self.active.insert_document(tree)
+        if self.active.n_documents >= self.half_window:
+            self.frozen = self.active
+            self.active = self._new_generation()
+        return doc_id
+
+    @property
+    def covered_documents(self) -> int:
+        """How many recent documents current estimates reflect."""
+        total = self.active.n_documents
+        if self.frozen is not None:
+            total += self.frozen.n_documents
+        return total
+
+    def generations(self) -> list[DocumentSynopsis]:
+        """The synopses contributing to estimates (frozen first)."""
+        result = []
+        if self.frozen is not None:
+            result.append(self.frozen)
+        if self.active.n_documents > 0 or not result:
+            result.append(self.active)
+        return result
+
+
+class WindowedEstimator:
+    """Selectivity/similarity provider over a :class:`WindowedSynopsis`.
+
+    Estimates are document-count-weighted averages over the generations:
+    ``P(p) = Σ_g P_g(p) · N_g / Σ_g N_g``.
+    """
+
+    def __init__(self, windowed: WindowedSynopsis):
+        self.windowed = windowed
+
+    def _combine(self, pattern: "TreePattern") -> float:
+        # Local import: repro.core.selectivity itself imports this package.
+        from repro.core.selectivity import SelectivityEstimator
+
+        total_docs = 0
+        weighted = 0.0
+        for generation in self.windowed.generations():
+            if generation.n_documents == 0:
+                continue
+            estimator = SelectivityEstimator(generation)
+            weighted += (
+                estimator.selectivity(pattern) * generation.n_documents
+            )
+            total_docs += generation.n_documents
+        if total_docs == 0:
+            return 0.0
+        return weighted / total_docs
+
+    def selectivity(self, pattern: "TreePattern") -> float:
+        """Estimated ``P(p)`` over the current window."""
+        return self._combine(pattern)
+
+    def joint_selectivity(self, p: "TreePattern", q: "TreePattern") -> float:
+        """Estimated ``P(p ∧ q)`` over the current window."""
+        from repro.core.pattern_algebra import merge_patterns
+
+        return self._combine(merge_patterns(p, q))

@@ -1,0 +1,23 @@
+"""XML document substrate: compact trees, parsing, skeletons, and the exact
+tree-pattern matcher used as ground truth."""
+
+from repro.xmltree.corpus import DocumentCorpus
+from repro.xmltree.matcher import CompiledPattern, PatternMatcher, matches
+from repro.xmltree.parser import XMLParseError, parse_xml, tree_to_xml
+from repro.xmltree.skeleton import is_skeleton, skeleton, skeleton_paths
+from repro.xmltree.tree import XMLTree, XMLTreeBuilder
+
+__all__ = [
+    "XMLTree",
+    "XMLTreeBuilder",
+    "DocumentCorpus",
+    "parse_xml",
+    "tree_to_xml",
+    "XMLParseError",
+    "skeleton",
+    "skeleton_paths",
+    "is_skeleton",
+    "CompiledPattern",
+    "PatternMatcher",
+    "matches",
+]

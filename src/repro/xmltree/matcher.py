@@ -1,0 +1,162 @@
+"""Exact tree-pattern matching, ``T ⊨ p`` (Section 2 semantics).
+
+This module is the ground-truth oracle of the reproduction: the estimation
+error of every synopsis configuration is measured against it.  It implements
+the paper's matching definition directly:
+
+* a pattern node labeled with tag ``a`` at document node ``t`` requires a
+  *child* of ``t`` labeled ``a`` satisfying all the pattern node's children;
+* ``*`` requires some child of any tag;
+* ``//`` requires some descendant-or-self node satisfying the pattern node's
+  children;
+* pattern-root children are special (the root constrains the document root
+  node itself): a tag child requires the document root to carry that tag, and
+  a ``//`` child may re-anchor its subtree at any document node.
+
+Matching is memoised per (pattern node, document node) pair, giving the
+standard ``O(|T|·|p|)`` bound, and patterns are *compiled* once into integer
+arrays so one compiled pattern can be matched against a whole corpus.
+"""
+
+from __future__ import annotations
+
+from repro.core.labels import DESCENDANT, WILDCARD, is_tag
+from repro.core.pattern import PatternNode, TreePattern
+from repro.xmltree.tree import XMLTree
+
+__all__ = ["CompiledPattern", "PatternMatcher", "matches"]
+
+
+class CompiledPattern:
+    """A tree pattern flattened to parallel integer-indexed arrays."""
+
+    __slots__ = ("pattern", "labels", "children", "root_children", "required_tags")
+
+    def __init__(self, pattern: TreePattern):
+        self.pattern = pattern
+        self.labels: list[str] = []
+        self.children: list[list[int]] = []
+        self.root_children: list[int] = []
+
+        def compile_node(node: PatternNode) -> int:
+            index = len(self.labels)
+            self.labels.append(node.label)
+            self.children.append([])
+            kids = [compile_node(child) for child in node.children]
+            self.children[index] = kids
+            return index
+
+        for child in pattern.root_children:
+            self.root_children.append(compile_node(child))
+        self.required_tags = frozenset(
+            label for label in self.labels if is_tag(label)
+        )
+
+    def __len__(self) -> int:
+        return len(self.labels)
+
+
+class PatternMatcher:
+    """Reusable matcher for one pattern against many documents.
+
+    >>> from repro.core.pattern_parser import parse_xpath
+    >>> from repro.xmltree.tree import XMLTree
+    >>> m = PatternMatcher(parse_xpath("/a[b][.//d]"))
+    >>> m.matches(XMLTree.from_nested(("a", ["b", ("c", ["d"])])))
+    True
+    """
+
+    __slots__ = ("compiled",)
+
+    def __init__(self, pattern: TreePattern | CompiledPattern):
+        if isinstance(pattern, TreePattern):
+            pattern = CompiledPattern(pattern)
+        self.compiled = pattern
+
+    def matches(self, tree: XMLTree) -> bool:
+        """Decide ``tree ⊨ pattern``."""
+        cp = self.compiled
+        # Every tag label in the pattern must label some document node;
+        # this cheap filter rejects most non-matching documents outright.
+        if not cp.required_tags <= tree.tag_set:
+            return False
+        memo: dict[int, bool] = {}
+        root_memo: dict[int, bool] = {}
+        return all(
+            self._root_sat(tree, tree.root, u, memo, root_memo)
+            for u in cp.root_children
+        )
+
+    # -- internal recursion ---------------------------------------------------
+    #
+    # Memo keys pack (pattern node, document node) into one int; pattern
+    # count is small so ``u * n + t`` stays well within machine ints.
+
+    def _sat(
+        self, tree: XMLTree, t: int, u: int, memo: dict[int, bool]
+    ) -> bool:
+        """(T, t) ⊨ Subtree(u): the constraint of u holds below node t."""
+        key = u * len(tree.labels) + t
+        cached = memo.get(key)
+        if cached is not None:
+            return cached
+        cp = self.compiled
+        label = cp.labels[u]
+        pattern_kids = cp.children[u]
+        doc_labels = tree.labels
+        result = False
+        if label == DESCENDANT:
+            # Zero-length: u's children hold at t itself; otherwise recurse
+            # into some document child (memoisation bounds the re-visits).
+            memo[key] = False  # cycle-safe placeholder; tree has no cycles
+            result = all(self._sat(tree, t, ku, memo) for ku in pattern_kids)
+            if not result:
+                result = any(
+                    self._sat(tree, kid, u, memo) for kid in tree.children[t]
+                )
+        elif label == WILDCARD:
+            result = any(
+                all(self._sat(tree, kid, ku, memo) for ku in pattern_kids)
+                for kid in tree.children[t]
+            )
+        else:
+            result = any(
+                doc_labels[kid] == label
+                and all(self._sat(tree, kid, ku, memo) for ku in pattern_kids)
+                for kid in tree.children[t]
+            )
+        memo[key] = result
+        return result
+
+    def _root_sat(
+        self,
+        tree: XMLTree,
+        t: int,
+        u: int,
+        memo: dict[int, bool],
+        root_memo: dict[int, bool],
+    ) -> bool:
+        """Root semantics: pattern-root child u holds with t as the anchor."""
+        cp = self.compiled
+        label = cp.labels[u]
+        if label == DESCENDANT:
+            key = u * len(tree.labels) + t
+            cached = root_memo.get(key)
+            if cached is not None:
+                return cached
+            root_memo[key] = False
+            target = cp.children[u][0]
+            result = self._root_sat(tree, t, target, memo, root_memo) or any(
+                self._root_sat(tree, kid, u, memo, root_memo)
+                for kid in tree.children[t]
+            )
+            root_memo[key] = result
+            return result
+        if label != WILDCARD and tree.labels[t] != label:
+            return False
+        return all(self._sat(tree, t, ku, memo) for ku in cp.children[u])
+
+
+def matches(tree: XMLTree, pattern: TreePattern) -> bool:
+    """One-shot convenience wrapper around :class:`PatternMatcher`."""
+    return PatternMatcher(pattern).matches(tree)

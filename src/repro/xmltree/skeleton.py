@@ -1,0 +1,86 @@
+"""Skeleton trees (Section 3.1).
+
+The skeleton tree ``Ts`` of a document ``T`` coalesces, top-down, all
+children of a node that share a tag, so in ``Ts`` every node has at most one
+child per tag.  The document synopsis is maintained from skeleton paths: each
+root-to-leaf label path of ``Ts`` is inserted into the synopsis and the
+document id recorded at the path's final node.
+
+Skeletonisation is what makes the synopsis document-granular: it keeps the
+set of *label paths* of a document, deliberately discarding which paths share
+intermediate instance nodes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.xmltree.tree import XMLTree, XMLTreeBuilder
+
+__all__ = ["skeleton", "skeleton_paths", "is_skeleton"]
+
+
+def skeleton(tree: XMLTree) -> XMLTree:
+    """Return the skeleton tree of *tree*.
+
+    Built in a single top-down pass: groups of same-tag children are merged,
+    and the merge cascades because the grouped nodes' children are considered
+    together at the next level.
+    """
+    builder = XMLTreeBuilder()
+    root = builder.add(tree.labels[0], -1)
+    # Each work item is (skeleton parent, [document nodes merged into it]).
+    work: list[tuple[int, list[int]]] = [(root, [tree.root])]
+    while work:
+        skel_parent, doc_nodes = work.pop()
+        groups: dict[str, list[int]] = {}
+        order: list[str] = []
+        for doc_node in doc_nodes:
+            for child in tree.children[doc_node]:
+                tag = tree.labels[child]
+                if tag not in groups:
+                    groups[tag] = []
+                    order.append(tag)
+                groups[tag].append(child)
+        for tag in order:
+            skel_child = builder.add(tag, skel_parent)
+            work.append((skel_child, groups[tag]))
+    return builder.build(doc_id=tree.doc_id)
+
+
+def skeleton_paths(tree: XMLTree) -> Iterator[tuple[str, ...]]:
+    """Yield the root-to-leaf label paths of the *skeleton* of *tree*.
+
+    Paths are yielded directly from the document without materialising the
+    skeleton tree: the label-path set of ``Ts`` equals the set of *distinct*
+    maximal label paths of ``T``.  A document path is maximal in the skeleton
+    when no document path extends it, i.e. the skeleton node it ends at is a
+    leaf — equivalently, *every* document instance of that label path may be
+    a leaf or not, but the coalesced node is a leaf only when all instances
+    are.  We therefore enumerate distinct label paths and keep those that no
+    other distinct label path strictly extends.
+    """
+    # Collect distinct label paths of T (as tuples); mark which have children.
+    has_extension: dict[tuple[str, ...], bool] = {}
+    stack: list[tuple[int, tuple[str, ...]]] = [(tree.root, (tree.labels[0],))]
+    while stack:
+        node, path = stack.pop()
+        kids = tree.children[node]
+        if path not in has_extension:
+            has_extension[path] = bool(kids)
+        elif kids:
+            has_extension[path] = True
+        for kid in kids:
+            stack.append((kid, path + (tree.labels[kid],)))
+    for path, extended in has_extension.items():
+        if not extended:
+            yield path
+
+
+def is_skeleton(tree: XMLTree) -> bool:
+    """True when every node of *tree* has at most one child per tag."""
+    for kids in tree.children:
+        tags = [tree.labels[kid] for kid in kids]
+        if len(tags) != len(set(tags)):
+            return False
+    return True

@@ -1,0 +1,213 @@
+"""Compact node-labeled XML trees.
+
+The experiments stream tens of thousands of documents with a couple of
+hundred nodes each; a Python object per node would dominate memory and
+slow every traversal.  ``XMLTree`` therefore stores a document as parallel
+arrays over integer node indices:
+
+* ``labels[i]`` — the (interned) tag of node ``i``;
+* ``parents[i]`` — parent index, ``-1`` for the root;
+* ``children[i]`` — list of child indices, in document order.
+
+Node ``0`` is always the root.  Trees are built through
+:class:`XMLTreeBuilder` or :func:`XMLTree.from_nested` and are treated as
+immutable afterwards.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Iterator, Sequence
+
+__all__ = ["XMLTree", "XMLTreeBuilder", "NestedSpec"]
+
+#: Convenience type for literal tree construction:
+#: a tag, or a ``(tag, [children...])`` pair.
+NestedSpec = "str | tuple[str, list]"
+
+
+class XMLTree:
+    """A node-labeled document tree over integer node indices."""
+
+    __slots__ = ("labels", "parents", "children", "doc_id", "_tag_set")
+
+    def __init__(
+        self,
+        labels: list[str],
+        parents: list[int],
+        children: list[list[int]],
+        doc_id: int = -1,
+    ):
+        if not labels:
+            raise ValueError("an XML tree needs at least a root node")
+        if not (len(labels) == len(parents) == len(children)):
+            raise ValueError("parallel arrays must have equal length")
+        if parents[0] != -1:
+            raise ValueError("node 0 must be the root (parent -1)")
+        self.labels = labels
+        self.parents = parents
+        self.children = children
+        self.doc_id = doc_id
+        self._tag_set: frozenset[str] | None = None
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def from_nested(cls, spec, doc_id: int = -1) -> "XMLTree":
+        """Build a tree from nested ``(tag, [children])`` literals.
+
+        >>> t = XMLTree.from_nested(("a", ["b", ("c", ["d"])]))
+        >>> t.labels
+        ['a', 'b', 'c', 'd']
+        """
+        builder = XMLTreeBuilder()
+
+        def add(node_spec, parent: int) -> None:
+            if isinstance(node_spec, str):
+                builder.add(node_spec, parent)
+                return
+            tag, kids = node_spec
+            index = builder.add(tag, parent)
+            for kid in kids:
+                add(kid, index)
+
+        add(spec, -1)
+        return builder.build(doc_id=doc_id)
+
+    # -- basic structure -----------------------------------------------------
+
+    @property
+    def root(self) -> int:
+        """Index of the root node (always 0)."""
+        return 0
+
+    def __len__(self) -> int:
+        return len(self.labels)
+
+    @property
+    def n_edges(self) -> int:
+        """Number of parent-child edges ("tag pairs" in the paper's sizing)."""
+        return len(self.labels) - 1
+
+    def label(self, node: int) -> str:
+        """Tag of *node*."""
+        return self.labels[node]
+
+    def child_indices(self, node: int) -> Sequence[int]:
+        """Children of *node* in document order."""
+        return self.children[node]
+
+    def parent(self, node: int) -> int:
+        """Parent index of *node*, ``-1`` for the root."""
+        return self.parents[node]
+
+    def is_leaf(self, node: int) -> bool:
+        """True when *node* has no children."""
+        return not self.children[node]
+
+    @property
+    def tag_set(self) -> frozenset[str]:
+        """Set of distinct tags in the document (cached)."""
+        if self._tag_set is None:
+            self._tag_set = frozenset(self.labels)
+        return self._tag_set
+
+    # -- traversals ----------------------------------------------------------
+
+    def iter_preorder(self, start: int = 0) -> Iterator[int]:
+        """Yield node indices of the subtree under *start*, pre-order."""
+        stack = [start]
+        children = self.children
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(children[node]))
+
+    def descendants_or_self(self, node: int) -> Iterator[int]:
+        """Alias of :meth:`iter_preorder`, named for the matcher's use."""
+        return self.iter_preorder(node)
+
+    def depth(self) -> int:
+        """Number of levels (root counts as level 1)."""
+        depths = [1] * len(self.labels)
+        best = 1
+        for node in range(1, len(self.labels)):
+            depth = depths[self.parents[node]] + 1
+            depths[node] = depth
+            if depth > best:
+                best = depth
+        return best
+
+    def node_depths(self) -> list[int]:
+        """Per-node level, root = 1.  Nodes are in topological (index) order
+        because builders append children after their parents."""
+        depths = [1] * len(self.labels)
+        for node in range(1, len(self.labels)):
+            depths[node] = depths[self.parents[node]] + 1
+        return depths
+
+    def path_labels(self, node: int) -> tuple[str, ...]:
+        """Labels from the root down to *node* (inclusive)."""
+        path: list[str] = []
+        while node != -1:
+            path.append(self.labels[node])
+            node = self.parents[node]
+        path.reverse()
+        return tuple(path)
+
+    def leaves(self) -> Iterator[int]:
+        """Yield indices of all leaf nodes."""
+        for node, kids in enumerate(self.children):
+            if not kids:
+                yield node
+
+    # -- misc ------------------------------------------------------------------
+
+    def approx_bytes(self) -> int:
+        """Rough in-memory footprint, for stream-budget experiments."""
+        return (
+            sys.getsizeof(self.labels)
+            + sys.getsizeof(self.parents)
+            + sum(sys.getsizeof(kids) for kids in self.children)
+        )
+
+    def to_nested(self, node: int = 0):
+        """Inverse of :meth:`from_nested` (labels only)."""
+        kids = self.children[node]
+        if not kids:
+            return self.labels[node]
+        return (self.labels[node], [self.to_nested(kid) for kid in kids])
+
+    def __repr__(self) -> str:
+        return f"XMLTree(doc_id={self.doc_id}, nodes={len(self.labels)})"
+
+
+class XMLTreeBuilder:
+    """Incremental builder; append nodes in any order consistent with
+    parents-before-children (document order satisfies this)."""
+
+    def __init__(self) -> None:
+        self._labels: list[str] = []
+        self._parents: list[int] = []
+        self._children: list[list[int]] = []
+
+    def add(self, label: str, parent: int = -1) -> int:
+        """Append a node labeled *label* under *parent* and return its index.
+
+        The first added node must be the root (``parent=-1``).
+        """
+        index = len(self._labels)
+        if parent == -1 and index != 0:
+            raise ValueError("only node 0 may be the root")
+        if parent != -1 and not (0 <= parent < index):
+            raise ValueError(f"parent {parent} does not exist yet")
+        self._labels.append(sys.intern(label))
+        self._parents.append(parent)
+        self._children.append([])
+        if parent != -1:
+            self._children[parent].append(index)
+        return index
+
+    def build(self, doc_id: int = -1) -> XMLTree:
+        """Finish and return the tree."""
+        return XMLTree(self._labels, self._parents, self._children, doc_id=doc_id)

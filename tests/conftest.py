@@ -1,0 +1,102 @@
+"""Shared fixtures: the paper's worked examples and small reusable corpora."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.xmltree.tree import XMLTree
+
+
+@pytest.fixture(scope="session")
+def figure1_document() -> XMLTree:
+    """The XML tree T of Figure 1 (media catalogue with a book and a CD)."""
+    return XMLTree.from_nested(
+        (
+            "media",
+            [
+                (
+                    "book",
+                    [
+                        (
+                            "author",
+                            [
+                                ("first", ["William"]),
+                                ("last", ["Shakespeare"]),
+                            ],
+                        ),
+                        ("title", ["Hamlet"]),
+                    ],
+                ),
+                (
+                    "CD",
+                    [
+                        (
+                            "composer",
+                            [("first", ["Wolfgang"]), ("last", ["Mozart"])],
+                        ),
+                        ("title", ["Requiem"]),
+                        ("interpreter", [("ensemble", ["Berliner Phil."])]),
+                    ],
+                ),
+            ],
+        )
+    )
+
+
+def _figure2_specs() -> list[tuple]:
+    """The six documents T1..T6 of Figure 2 (label structure)."""
+    return [
+        # T1: a(b(e(k), e(m), g(n)), b(e(k), f, g(n)))
+        (
+            "a",
+            [
+                ("b", [("e", ["k"]), ("e", ["m"]), ("g", ["n"])]),
+                ("b", [("e", ["k"]), "f", ("g", ["n"])]),
+            ],
+        ),
+        # T2: a(b(e(k, m), f(n), g(n)))
+        ("a", [("b", [("e", ["k", "m"]), ("f", ["n"]), ("g", ["n"])])]),
+        # T3: a(b(e(k), f(n)), c(f(o), e(n), f, h(n)))
+        (
+            "a",
+            [
+                ("b", [("e", ["k"]), ("f", ["n"])]),
+                ("c", [("f", ["o"]), ("e", ["n"]), "f", ("h", ["n"])]),
+            ],
+        ),
+        # T4: a(c(e(k), f(o), f(m)), d(e(k), q(m), e(m)))
+        (
+            "a",
+            [
+                ("c", [("e", ["k"]), ("f", ["o"]), ("f", ["m"])]),
+                ("d", [("e", ["k"]), ("q", ["m"]), ("e", ["m"])]),
+            ],
+        ),
+        # T5: a(d(e(m), e, p))
+        ("a", [("d", [("e", ["m"]), "e", "p"])]),
+        # T6: a(d(e(m)))
+        ("a", [("d", [("e", ["m"])])]),
+    ]
+
+
+@pytest.fixture(scope="session")
+def figure2_documents() -> list[XMLTree]:
+    """T1..T6 with doc ids 1..6 as in the paper's matching sets."""
+    return [
+        XMLTree.from_nested(spec, doc_id=index)
+        for index, spec in enumerate(_figure2_specs(), start=1)
+    ]
+
+
+@pytest.fixture()
+def figure2_synopsis_factory(figure2_documents):
+    """Build a fresh Figure 2 synopsis in any mode."""
+    from repro.synopsis.synopsis import DocumentSynopsis
+
+    def build(mode: str = "sets", capacity: int = 100, seed: int = 0):
+        synopsis = DocumentSynopsis(mode=mode, capacity=capacity, seed=seed)
+        for document in figure2_documents:
+            synopsis.insert_document(document)
+        return synopsis
+
+    return build

@@ -1,0 +1,65 @@
+"""Hypothesis strategies for random documents and tree patterns.
+
+A small tag alphabet is deliberate: collisions between document tags and
+pattern tags must be likely, or every random pattern would trivially match
+nothing.
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.core.labels import DESCENDANT, WILDCARD
+from repro.core.pattern import PatternNode, TreePattern
+from repro.xmltree.tree import XMLTree
+
+TAGS = ("a", "b", "c", "d", "e")
+
+
+@st.composite
+def xml_trees(draw, max_depth: int = 4, max_children: int = 3) -> XMLTree:
+    """Random small documents over the shared tag alphabet."""
+
+    def subtree(depth: int):
+        tag = draw(st.sampled_from(TAGS))
+        if depth >= max_depth:
+            return tag
+        n_children = draw(st.integers(min_value=0, max_value=max_children))
+        if n_children == 0:
+            return tag
+        return (tag, [subtree(depth + 1) for _ in range(n_children)])
+
+    return XMLTree.from_nested(subtree(1), doc_id=draw(st.integers(0, 10_000)))
+
+
+@st.composite
+def pattern_nodes(draw, max_depth: int = 3, max_children: int = 2) -> PatternNode:
+    """Random pattern subtrees with tags, wildcards and descendant nodes."""
+    kind = draw(
+        st.sampled_from(("tag", "tag", "tag", "wildcard", "descendant"))
+    )
+    if kind == "descendant" and max_depth > 1:
+        child = draw(
+            pattern_nodes(max_depth=max_depth - 1, max_children=max_children)
+        )
+        while child.label == DESCENDANT:
+            child = draw(
+                pattern_nodes(max_depth=max_depth - 1, max_children=max_children)
+            )
+        return PatternNode(DESCENDANT, (child,))
+    label = WILDCARD if kind == "wildcard" else draw(st.sampled_from(TAGS))
+    if max_depth <= 1:
+        return PatternNode(label)
+    n_children = draw(st.integers(min_value=0, max_value=max_children))
+    children = tuple(
+        draw(pattern_nodes(max_depth=max_depth - 1, max_children=max_children))
+        for _ in range(n_children)
+    )
+    return PatternNode(label, children)
+
+
+@st.composite
+def tree_patterns(draw, max_root_children: int = 2) -> TreePattern:
+    """Random complete tree patterns."""
+    n = draw(st.integers(min_value=1, max_value=max_root_children))
+    return TreePattern(tuple(draw(pattern_nodes()) for _ in range(n)))

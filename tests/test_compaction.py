@@ -1,0 +1,68 @@
+"""Stream compaction measurement and the DBLP-like extreme case."""
+
+import pytest
+
+from repro.dtd.builtin import dblp_dtd
+from repro.experiments.compaction import CompactionResult, measure_compaction
+from repro.generators.docgen import DocumentGenerator, GeneratorConfig
+from repro.xmltree.tree import XMLTree
+
+
+class TestCompactionResult:
+    def test_ratio(self):
+        result = CompactionResult(documents=2, total_tag_nodes=200, synopsis_nodes=10)
+        assert result.ratio == pytest.approx(0.05)
+        assert result.percent == pytest.approx(5.0)
+
+    def test_empty_stream(self):
+        result = measure_compaction([])
+        assert result.ratio == 0.0
+        assert result.documents == 0
+
+    def test_str(self):
+        result = CompactionResult(documents=1, total_tag_nodes=100, synopsis_nodes=5)
+        assert "compaction" in str(result)
+
+
+class TestMeasureCompaction:
+    def test_single_document(self):
+        doc = XMLTree.from_nested(("a", ["b", "b", "b"]), doc_id=0)
+        result = measure_compaction([doc])
+        assert result.total_tag_nodes == 4
+        # Skeleton: a with one b child -> 2 synopsis nodes.
+        assert result.synopsis_nodes == 2
+        assert result.ratio == pytest.approx(0.5)
+
+    def test_identical_documents_share_everything(self):
+        docs = [
+            XMLTree.from_nested(("a", [("b", ["c"])]), doc_id=i) for i in range(50)
+        ]
+        result = measure_compaction(docs)
+        assert result.synopsis_nodes == 3
+        assert result.ratio == pytest.approx(3 / 150)
+
+    def test_figure2_compaction(self, figure2_documents):
+        result = measure_compaction(figure2_documents)
+        assert result.synopsis_nodes == 25  # 26 including the root
+        assert result.documents == 6
+
+
+class TestDblpAnecdote:
+    def test_dblp_dtd_shape(self):
+        dtd = dblp_dtd()
+        assert dtd.root == "dblp"
+        assert len(dtd) == 31  # dblp + 8 record types + 22 fields
+
+    def test_extreme_compaction(self):
+        """A large DBLP-like stream collapses to a tiny synopsis, orders of
+        magnitude below the document size (paper: 0.0017%)."""
+        config = GeneratorConfig(
+            max_depth=3, max_nodes=400, p_repeat=0.7, max_repeats=8
+        )
+        generator = DocumentGenerator(dblp_dtd(), seed=5, config=config)
+        docs = list(generator.stream(200))
+        result = measure_compaction(docs)
+        # The synopsis cannot exceed the full path vocabulary:
+        # dblp + 8 record types + 8*22 fields.
+        assert result.synopsis_nodes <= 1 + 8 + 8 * 22
+        assert result.ratio < 0.01  # < 1% — extreme factorisation

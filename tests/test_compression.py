@@ -1,0 +1,129 @@
+"""Compression driver: reaching target ratios, operator ordering, reports."""
+
+import pytest
+
+from repro.core.pattern_parser import parse_xpath
+from repro.core.selectivity import SelectivityEstimator
+from repro.synopsis.compression import compress_to_ratio, compress_to_size
+from repro.synopsis.size import measure
+from repro.synopsis.synopsis import DocumentSynopsis
+from repro.xmltree.tree import XMLTree
+
+
+def small_corpus_synopsis(mode="hashes", capacity=50, n_docs=40, seed=0):
+    """A synopsis with some structure worth compressing."""
+    synopsis = DocumentSynopsis(mode=mode, capacity=capacity, seed=seed)
+    specs = [
+        ("a", [("b", [("e", ["k"])]), ("c", [("f", ["o"])])]),
+        ("a", [("b", [("e", ["k", "m"])])]),
+        ("a", [("d", [("e", ["m"]), "p"])]),
+        ("a", [("c", [("f", ["o"]), ("h", ["n"])])]),
+    ]
+    for doc_id in range(n_docs):
+        spec = specs[doc_id % len(specs)]
+        synopsis.insert_document(XMLTree.from_nested(spec, doc_id=doc_id))
+    return synopsis
+
+
+class TestCompressToRatio:
+    def test_invalid_alpha(self):
+        synopsis = small_corpus_synopsis()
+        with pytest.raises(ValueError):
+            compress_to_ratio(synopsis, 0.0)
+        with pytest.raises(ValueError):
+            compress_to_ratio(synopsis, 1.5)
+
+    def test_alpha_one_is_lossless_only(self):
+        synopsis = small_corpus_synopsis()
+        reference = small_corpus_synopsis()
+        report = compress_to_ratio(synopsis, 1.0)
+        assert report.final.total <= report.initial.total
+        assert report.deletions == 0
+        assert report.merges == 0
+        # Lossless folds must not change estimates.
+        est = SelectivityEstimator(synopsis)
+        ref = SelectivityEstimator(reference)
+        for expression in ("/a/b", "/a/b/e/k", "/a[b][c]", "//f/o"):
+            pattern = parse_xpath(expression)
+            assert est.selectivity(pattern) == pytest.approx(
+                ref.selectivity(pattern)
+            ), expression
+
+    @pytest.mark.parametrize("alpha", [0.8, 0.5, 0.3])
+    def test_reaches_target(self, alpha):
+        synopsis = small_corpus_synopsis()
+        report = compress_to_ratio(synopsis, alpha)
+        assert report.reached_target
+        assert measure(synopsis).total <= int(report.initial.total * alpha)
+
+    def test_achieved_ratio_consistent(self):
+        synopsis = small_corpus_synopsis()
+        report = compress_to_ratio(synopsis, 0.5)
+        assert report.achieved_ratio == pytest.approx(
+            report.final.total / report.initial.total
+        )
+
+    def test_operations_counted(self):
+        synopsis = small_corpus_synopsis()
+        report = compress_to_ratio(synopsis, 0.3)
+        assert report.folds + report.deletions + report.merges > 0
+
+    def test_estimation_still_valid_after_heavy_compression(self):
+        synopsis = small_corpus_synopsis()
+        compress_to_ratio(synopsis, 0.25)
+        estimator = SelectivityEstimator(synopsis)
+        for expression in ("/a", "/a/b", "/a[b][c]", "//e", "//f/o"):
+            value = estimator.selectivity(parse_xpath(expression))
+            assert 0.0 <= value <= 1.0, expression
+
+    def test_str_report(self):
+        synopsis = small_corpus_synopsis()
+        report = compress_to_ratio(synopsis, 0.5)
+        text = str(report)
+        assert "alpha" in text
+        assert "folds" in text
+
+    def test_counters_mode_compression(self):
+        synopsis = small_corpus_synopsis(mode="counters")
+        report = compress_to_ratio(synopsis, 0.5)
+        assert report.reached_target
+
+    def test_sets_mode_compression(self):
+        synopsis = small_corpus_synopsis(mode="sets", capacity=100)
+        report = compress_to_ratio(synopsis, 0.5)
+        assert report.reached_target
+
+
+class TestCompressToSize:
+    def test_absolute_budget(self):
+        synopsis = small_corpus_synopsis()
+        target = measure(synopsis).total // 2
+        report = compress_to_size(synopsis, target_total=target)
+        assert measure(synopsis).total <= target
+        assert report.target_total == target
+
+    def test_unreachable_target_noted(self):
+        synopsis = small_corpus_synopsis()
+        report = compress_to_size(synopsis, target_total=0)
+        assert not report.reached_target
+        assert report.notes
+
+    def test_error_grows_as_alpha_shrinks(self):
+        """More compression should not *improve* accuracy on a branching
+        pattern whose truth requires correlations (monotonicity is not
+        strict, so compare the extremes)."""
+        exact = SelectivityEstimator(small_corpus_synopsis())
+        pattern = parse_xpath("/a[b/e/k][c/f/o]")
+        baseline = exact.selectivity(pattern)
+
+        lightly = small_corpus_synopsis()
+        compress_to_ratio(lightly, 0.9)
+        heavily = small_corpus_synopsis()
+        compress_to_ratio(heavily, 0.25)
+        light_err = abs(
+            SelectivityEstimator(lightly).selectivity(pattern) - baseline
+        )
+        heavy_err = abs(
+            SelectivityEstimator(heavily).selectivity(pattern) - baseline
+        )
+        assert heavy_err >= light_err - 1e-9

@@ -1,0 +1,95 @@
+"""Containment baseline: homomorphism soundness and known cases."""
+
+from hypothesis import given, settings
+
+from repro.core.containment import containment_order, contains, equivalent
+from repro.core.pattern_parser import parse_xpath
+from repro.xmltree.matcher import matches
+from tests.strategies import tree_patterns, xml_trees
+
+
+class TestKnownCases:
+    def test_reflexive(self):
+        p = parse_xpath("/a/b[c][d]")
+        assert contains(p, p)
+
+    def test_prefix_contains_extension(self):
+        assert contains(parse_xpath("/a"), parse_xpath("/a/b"))
+        assert not contains(parse_xpath("/a/b"), parse_xpath("/a"))
+
+    def test_wildcard_contains_tag(self):
+        assert contains(parse_xpath("/a/*"), parse_xpath("/a/b"))
+        assert not contains(parse_xpath("/a/b"), parse_xpath("/a/*"))
+
+    def test_descendant_contains_child(self):
+        assert contains(parse_xpath("/a//c"), parse_xpath("/a/c"))
+        assert contains(parse_xpath("/a//c"), parse_xpath("/a/b/c"))
+        assert not contains(parse_xpath("/a/c"), parse_xpath("/a//c"))
+
+    def test_root_descendant_contains_rooted(self):
+        assert contains(parse_xpath("//c"), parse_xpath("/c"))
+        assert contains(parse_xpath("//c"), parse_xpath("/a/b/c"))
+
+    def test_branch_subset(self):
+        assert contains(parse_xpath("/a[b]"), parse_xpath("/a[b][c]"))
+        assert not contains(parse_xpath("/a[b][c]"), parse_xpath("/a[b]"))
+
+    def test_figure1_pc_contains_pa(self):
+        # "it trivially appears that pc contains pa ... but the converse is
+        # not true" (Example 1.1).
+        pa = parse_xpath("/media/CD/*/last/Mozart")
+        pc = parse_xpath("/.[.//CD][.//Mozart]")
+        assert contains(pc, pa)
+        assert not contains(pa, pc)
+
+    def test_figure1_pa_pd_incomparable(self):
+        # "Formally, there is no containment relationship between pa and pd."
+        pa = parse_xpath("/media/CD/*/last/Mozart")
+        pd = parse_xpath("//composer[last/Mozart]")
+        assert not contains(pa, pd)
+        assert not contains(pd, pa)
+
+    def test_descendant_absorbs_descendant(self):
+        assert contains(parse_xpath("//a//c"), parse_xpath("//a/b//c"))
+
+    def test_equivalent(self):
+        assert equivalent(parse_xpath("/a[b][c]"), parse_xpath("/a[c][b]"))
+        assert not equivalent(parse_xpath("/a"), parse_xpath("/a/b"))
+
+
+class TestContainmentOrder:
+    def test_edges(self):
+        patterns = [
+            parse_xpath("/a"),
+            parse_xpath("/a/b"),
+            parse_xpath("/a/b/c"),
+        ]
+        edges = set(containment_order(patterns))
+        assert (0, 1) in edges
+        assert (0, 2) in edges
+        assert (1, 2) in edges
+        assert (2, 0) not in edges
+
+
+class TestSoundness:
+    @settings(max_examples=200, deadline=None)
+    @given(tree_patterns(), tree_patterns(), xml_trees())
+    def test_containment_implies_match_implication(self, p, q, tree):
+        """q ⊑ p and T ⊨ q together must imply T ⊨ p — the defining
+        property, checked over random documents."""
+        if contains(p, q) and matches(tree, q):
+            assert matches(tree, p)
+
+    @settings(max_examples=100, deadline=None)
+    @given(tree_patterns())
+    def test_reflexive_property(self, p):
+        assert contains(p, p)
+
+    @settings(max_examples=100, deadline=None)
+    @given(tree_patterns(), tree_patterns(), tree_patterns())
+    def test_transitive(self, p, q, r):
+        if contains(p, q) and contains(q, r):
+            # Homomorphisms compose, so the sound test must be transitive
+            # on the instances it certifies... composition gives an
+            # embedding, which the test finds (it searches exhaustively).
+            assert contains(p, r)

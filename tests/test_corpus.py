@@ -1,0 +1,111 @@
+"""DocumentCorpus: indexing, exact matching, statistics."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.pattern_parser import parse_xpath
+from repro.xmltree.corpus import DocumentCorpus
+from repro.xmltree.matcher import matches
+from repro.xmltree.tree import XMLTree
+from tests.strategies import tree_patterns
+from tests.test_selectivity_properties import corpora
+
+
+class TestConstruction:
+    def test_requires_doc_ids(self):
+        with pytest.raises(ValueError):
+            DocumentCorpus([XMLTree.from_nested("a")])  # doc_id == -1
+
+    def test_rejects_duplicate_ids(self):
+        docs = [
+            XMLTree.from_nested("a", doc_id=1),
+            XMLTree.from_nested("b", doc_id=1),
+        ]
+        with pytest.raises(ValueError):
+            DocumentCorpus(docs)
+
+    def test_len(self, figure2_documents):
+        assert len(DocumentCorpus(figure2_documents)) == 6
+
+
+class TestCandidatePruning:
+    @pytest.fixture()
+    def corpus(self, figure2_documents):
+        return DocumentCorpus(figure2_documents)
+
+    def test_candidates_superset_of_matches(self, corpus):
+        pattern = parse_xpath("/a/b/e/k")
+        assert corpus.match_set(pattern) <= corpus.candidate_ids(pattern)
+
+    def test_unknown_tag_empty(self, corpus):
+        assert corpus.candidate_ids(parse_xpath("//zzz")) == frozenset()
+
+    def test_tagless_pattern_returns_all(self, corpus):
+        assert corpus.candidate_ids(parse_xpath("/*")) == corpus.all_ids
+
+    def test_candidates_intersect_postings(self, corpus):
+        # h occurs only in doc 3, q only in 4: no candidate has both.
+        assert corpus.candidate_ids(parse_xpath("/.[.//h][.//q]")) == frozenset()
+
+
+class TestMatching:
+    @pytest.fixture()
+    def corpus(self, figure2_documents):
+        return DocumentCorpus(figure2_documents)
+
+    def test_match_set(self, corpus):
+        assert corpus.match_set(parse_xpath("/a/b")) == {1, 2, 3}
+
+    def test_match_count(self, corpus):
+        assert corpus.match_count(parse_xpath("//q")) == 1
+
+    def test_match_set_cached(self, corpus):
+        pattern = parse_xpath("/a/b")
+        first = corpus.match_set(pattern)
+        assert corpus.match_set(pattern) is first
+
+    def test_selectivity(self, corpus):
+        assert corpus.selectivity(parse_xpath("/a/b")) == pytest.approx(0.5)
+
+    def test_joint_selectivity(self, corpus):
+        joint = corpus.joint_selectivity(parse_xpath("//o"), parse_xpath("//q"))
+        assert joint == pytest.approx(1 / 6)
+
+    def test_branching_is_instance_level(self, corpus):
+        # Exact matching distinguishes instance-level branching that the
+        # synopsis cannot: /a/b[e/m][f/n] needs one b with both.
+        assert corpus.match_set(parse_xpath("/a/b[e/m][f/n]")) == {2}
+
+    @settings(max_examples=60, deadline=None)
+    @given(corpora(), tree_patterns())
+    def test_match_set_equals_naive_scan(self, docs, pattern):
+        corpus = DocumentCorpus(docs)
+        expected = {d.doc_id for d in docs if matches(d, pattern)}
+        assert corpus.match_set(pattern) == expected
+
+
+class TestStatistics:
+    @pytest.fixture()
+    def corpus(self, figure2_documents):
+        return DocumentCorpus(figure2_documents)
+
+    def test_tag_vocabulary(self, corpus):
+        assert "a" in corpus.tag_vocabulary()
+        assert "q" in corpus.tag_vocabulary()
+
+    def test_average_edges(self, corpus):
+        expected = sum(d.n_edges for d in corpus.documents) / 6
+        assert corpus.average_edges() == pytest.approx(expected)
+
+    def test_average_depth(self, corpus):
+        assert 1.0 < corpus.average_depth() <= 4.0
+
+    def test_selectivity_profile(self, corpus):
+        patterns = [parse_xpath("/a"), parse_xpath("//q")]
+        avg, low, high = corpus.selectivity_profile(patterns)
+        assert avg == pytest.approx((1.0 + 1 / 6) / 2)
+        assert low == pytest.approx(1 / 6)
+        assert high == pytest.approx(1.0)
+
+    def test_selectivity_profile_empty(self, corpus):
+        assert corpus.selectivity_profile([]) == (0.0, 0.0, 0.0)

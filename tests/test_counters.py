@@ -1,0 +1,39 @@
+"""Counter summaries (baseline representation)."""
+
+from repro.synopsis.counters import CounterSummary
+
+
+class TestCounterSummary:
+    def test_starts_at_zero(self):
+        assert CounterSummary().count == 0
+
+    def test_initial_value(self):
+        assert CounterSummary(5).count == 5
+
+    def test_increment(self):
+        counter = CounterSummary()
+        counter.increment()
+        counter.increment(3)
+        assert counter.count == 4
+
+    def test_merge_max(self):
+        counter = CounterSummary(2)
+        counter.merge_max(CounterSummary(7))
+        assert counter.count == 7
+        counter.merge_max(CounterSummary(1))
+        assert counter.count == 7
+
+    def test_merge_min(self):
+        counter = CounterSummary(5)
+        counter.merge_min(CounterSummary(3))
+        assert counter.count == 3
+
+    def test_copy_independent(self):
+        counter = CounterSummary(1)
+        clone = counter.copy()
+        clone.increment()
+        assert counter.count == 1
+        assert clone.count == 2
+
+    def test_repr(self):
+        assert "3" in repr(CounterSummary(3))

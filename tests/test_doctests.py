@@ -1,0 +1,32 @@
+"""Execute the doctest examples embedded in public docstrings, so the
+documentation cannot drift from the code."""
+
+import doctest
+
+import pytest
+
+import repro.core.labels
+import repro.core.pattern_parser
+import repro.core.selectivity
+import repro.generators.zipf
+import repro.synopsis.hashes
+import repro.synopsis.reservoir
+import repro.xmltree.matcher
+import repro.xmltree.tree
+
+MODULES = [
+    repro.core.labels,
+    repro.core.pattern_parser,
+    repro.core.selectivity,
+    repro.generators.zipf,
+    repro.synopsis.hashes,
+    repro.synopsis.reservoir,
+    repro.xmltree.matcher,
+    repro.xmltree.tree,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failures in {module.__name__}"

@@ -1,0 +1,110 @@
+"""DTD validation: content-model NFA acceptance and generator validity."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dtd.builtin import dblp_dtd, xcbl_dtd
+from repro.dtd.parser import parse_dtd
+from repro.dtd.validate import validate_tree
+from repro.generators.docgen import DocumentGenerator, GeneratorConfig
+from repro.xmltree.tree import XMLTree
+
+DTD = parse_dtd(
+    """
+    <!ELEMENT r (a, b?, (c | d)*, e+)>
+    <!ELEMENT a EMPTY>
+    <!ELEMENT b EMPTY>
+    <!ELEMENT c EMPTY>
+    <!ELEMENT d EMPTY>
+    <!ELEMENT e (#PCDATA)>
+    """
+)
+
+
+def tree_of(*children: str) -> XMLTree:
+    return XMLTree.from_nested(("r", list(children)))
+
+
+class TestContentModels:
+    @pytest.mark.parametrize(
+        "children",
+        [
+            ("a", "e"),
+            ("a", "b", "e"),
+            ("a", "c", "e"),
+            ("a", "c", "d", "c", "e"),
+            ("a", "b", "d", "e", "e", "e"),
+        ],
+    )
+    def test_accepts_valid_sequences(self, children):
+        report = validate_tree(DTD, tree_of(*children))
+        assert report.valid, str(report)
+
+    @pytest.mark.parametrize(
+        "children",
+        [
+            (),                      # missing mandatory a and e
+            ("a",),                  # missing mandatory e
+            ("e",),                  # missing mandatory a
+            ("a", "a", "e"),         # a repeated
+            ("a", "e", "c"),         # c after e
+            ("b", "a", "e"),         # wrong order
+        ],
+    )
+    def test_rejects_invalid_sequences(self, children):
+        report = validate_tree(DTD, tree_of(*children))
+        assert not report.valid
+
+    def test_wrong_root(self):
+        tree = XMLTree.from_nested(("a", []))
+        report = validate_tree(DTD, tree)
+        assert not report.valid
+        assert "root" in str(report)
+
+    def test_undeclared_element(self):
+        tree = XMLTree.from_nested(("r", ["a", "zzz", "e"]))
+        report = validate_tree(DTD, tree)
+        assert any("not declared" in str(e) for e in report.errors)
+
+    def test_empty_element_must_be_leaf(self):
+        tree = XMLTree.from_nested(("r", [("a", ["e"]), "e"]))
+        report = validate_tree(DTD, tree)
+        assert not report.valid
+
+    def test_error_report_renders(self):
+        report = validate_tree(DTD, tree_of("e"))
+        assert "content model" in str(report)
+
+    def test_max_errors_cap(self):
+        tree = XMLTree.from_nested(("r", ["zzz"] * 50))
+        report = validate_tree(DTD, tree, max_errors=3)
+        assert len(report.errors) == 3
+
+
+class TestGeneratedDocumentsValidate:
+    """The document generator's output is DTD-valid when no size/depth
+    truncation occurs."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_xcbl_documents_valid(self, seed):
+        config = GeneratorConfig(max_depth=12, max_nodes=100_000)
+        doc = DocumentGenerator(xcbl_dtd(), seed=seed, config=config).generate()
+        report = validate_tree(xcbl_dtd(), doc)
+        assert report.valid, str(report)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_dblp_documents_valid(self, seed):
+        config = GeneratorConfig(max_depth=4, max_nodes=100_000)
+        doc = DocumentGenerator(dblp_dtd(), seed=seed, config=config).generate()
+        report = validate_tree(dblp_dtd(), doc)
+        assert report.valid, str(report)
+
+    def test_truncated_document_may_fail(self):
+        # Depth truncation cuts mandatory content: validation must notice.
+        config = GeneratorConfig(max_depth=2, max_nodes=100_000)
+        doc = DocumentGenerator(xcbl_dtd(), seed=1, config=config).generate()
+        report = validate_tree(xcbl_dtd(), doc)
+        assert not report.valid

@@ -1,0 +1,117 @@
+"""Error metrics of Section 5.1: Erel and Esqr."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.errors import (
+    ErrorSummary,
+    average_relative_error,
+    root_mean_square_error,
+)
+
+
+class TestAverageRelativeError:
+    def test_perfect_estimates(self):
+        summary = average_relative_error([0.5, 0.2], [0.5, 0.2])
+        assert summary.value == 0.0
+        assert summary.used == 2
+        assert summary.skipped == 0
+
+    def test_single_error(self):
+        summary = average_relative_error([0.5], [0.25])
+        assert summary.value == pytest.approx(0.5)
+
+    def test_average_over_entries(self):
+        summary = average_relative_error([1.0, 0.5], [0.5, 0.5])
+        assert summary.value == pytest.approx(0.25)
+
+    def test_zero_truth_skipped(self):
+        summary = average_relative_error([0.0, 0.5], [0.3, 0.5])
+        assert summary.used == 1
+        assert summary.skipped == 1
+        assert summary.value == 0.0
+
+    def test_all_skipped(self):
+        summary = average_relative_error([0.0], [0.1])
+        assert summary.value == 0.0
+        assert summary.used == 0
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            average_relative_error([1.0], [1.0, 2.0])
+
+    def test_percent(self):
+        assert average_relative_error([1.0], [1.5]).percent == pytest.approx(50.0)
+
+    def test_overestimates_and_underestimates_count_alike(self):
+        over = average_relative_error([1.0], [1.5])
+        under = average_relative_error([1.0], [0.5])
+        assert over.value == pytest.approx(under.value)
+
+
+class TestRootMeanSquareError:
+    def test_perfect(self):
+        assert root_mean_square_error([0.0, 0.0], [0.0, 0.0]).value == 0.0
+
+    def test_known_value(self):
+        summary = root_mean_square_error([0.0, 0.0], [0.3, 0.4])
+        assert summary.value == pytest.approx(math.sqrt(0.125))
+
+    def test_empty(self):
+        assert root_mean_square_error([], []).value == 0.0
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            root_mean_square_error([0.0], [])
+
+    def test_log10(self):
+        summary = root_mean_square_error([0.0], [0.01])
+        assert summary.log10 == pytest.approx(-2.0)
+
+    def test_log10_of_zero(self):
+        assert root_mean_square_error([0.0], [0.0]).log10 == float("-inf")
+
+
+class TestErrorSummary:
+    def test_float_conversion(self):
+        assert float(ErrorSummary(value=0.25, used=4)) == 0.25
+
+    def test_frozen(self):
+        summary = ErrorSummary(value=0.1, used=1)
+        with pytest.raises(Exception):
+            summary.value = 0.2
+
+
+class TestProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(0.01, 1.0),
+                st.floats(0.0, 1.0),
+            ),
+            min_size=1,
+            max_size=50,
+        )
+    )
+    def test_erel_nonnegative(self, pairs):
+        exact = [a for a, _ in pairs]
+        estimated = [b for _, b in pairs]
+        assert average_relative_error(exact, estimated).value >= 0.0
+
+    @given(
+        st.lists(st.floats(0.0, 1.0), min_size=1, max_size=50),
+    )
+    def test_esqr_zero_iff_exact(self, values)  :
+        summary = root_mean_square_error(values, values)
+        assert summary.value == 0.0
+
+    @given(
+        st.lists(st.floats(0.0, 1.0), min_size=1, max_size=50),
+    )
+    def test_esqr_bounded_by_max_deviation(self, estimates):
+        exact = [0.0] * len(estimates)
+        summary = root_mean_square_error(exact, estimates)
+        assert summary.value <= max(estimates) + 1e-12

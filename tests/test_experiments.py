@@ -1,0 +1,198 @@
+"""Experiment harness and figure runners (tiny-scale integration tests)."""
+
+import math
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.figures import (
+    ALL_FIGURES,
+    figure4,
+    figure5,
+    figure6,
+    figure10,
+    setup_summary,
+)
+from repro.experiments.harness import (
+    build_synopsis,
+    clear_caches,
+    evaluate,
+    prepare,
+)
+from repro.experiments.report import figure_to_csv, render_figure, render_summary
+
+
+@pytest.fixture(scope="module")
+def tiny_nitf():
+    return ExperimentConfig.tiny("nitf")
+
+
+@pytest.fixture(scope="module")
+def prepared(tiny_nitf):
+    return prepare(tiny_nitf)
+
+
+class TestConfig:
+    def test_unknown_dtd_rejected(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(dtd_name="dblp")
+
+    def test_presets_scale(self):
+        quick = ExperimentConfig.quick("nitf")
+        paper = ExperimentConfig.paper("nitf")
+        assert paper.n_documents > quick.n_documents
+        assert paper.n_positive > quick.n_positive
+
+    def test_doc_config_defaults_per_dtd(self):
+        nitf = ExperimentConfig.quick("nitf")
+        xcbl = ExperimentConfig.quick("xcbl")
+        assert nitf.doc_config != xcbl.doc_config
+
+    def test_overrides(self):
+        config = ExperimentConfig.quick("nitf", n_documents=42)
+        assert config.n_documents == 42
+
+    def test_cache_key_distinguishes(self):
+        a = ExperimentConfig.tiny("nitf")
+        b = ExperimentConfig.tiny("xcbl")
+        assert a.cache_key != b.cache_key
+
+
+class TestPrepare:
+    def test_counts(self, prepared, tiny_nitf):
+        assert len(prepared.documents) == tiny_nitf.n_documents
+        assert len(prepared.positive) == tiny_nitf.n_positive
+        assert len(prepared.negative) == tiny_nitf.n_negative
+        assert len(prepared.pairs) == tiny_nitf.n_pairs
+
+    def test_exact_values_aligned(self, prepared):
+        assert len(prepared.exact_positive) == len(prepared.positive)
+        assert all(v > 0 for v in prepared.exact_positive)
+        assert all(v == 0 for v in prepared.exact_negative)
+
+    def test_exact_metrics_cover_all(self, prepared):
+        assert set(prepared.exact_metrics) == {"M1", "M2", "M3"}
+        for values in prepared.exact_metrics.values():
+            assert len(values) == len(prepared.pairs)
+
+    def test_prepare_cached(self, tiny_nitf):
+        assert prepare(tiny_nitf) is prepare(tiny_nitf)
+
+    def test_workload_profile(self, prepared):
+        avg, low, high = prepared.workload_profile()
+        assert 0 < low <= avg <= high <= 1.0
+
+
+class TestEvaluate:
+    def test_evaluation_cached(self, prepared):
+        first = evaluate(prepared, "hashes", 10)
+        assert evaluate(prepared, "hashes", 10) is first
+
+    @pytest.mark.parametrize("mode", ["counters", "sets", "hashes"])
+    def test_all_modes(self, prepared, mode):
+        result = evaluate(prepared, mode, 20)
+        assert result.erel_positive.value >= 0.0
+        assert result.esqr_negative.value >= 0.0
+        assert result.synopsis_size.total > 0
+        assert set(result.metric_errors) == {"M1", "M2", "M3"}
+
+    def test_unbounded_sets_have_zero_positive_error_or_small(self, prepared):
+        # With capacity >= corpus size, sets are lossless at path level;
+        # only skeletonisation error remains, which is upward.
+        result = evaluate(prepared, "sets", prepared.config.n_documents)
+        assert result.erel_positive.value < 0.5
+
+    def test_compression_evaluation(self, prepared):
+        result = evaluate(prepared, "hashes", 30, alpha=0.5)
+        assert result.alpha == 0.5
+        assert result.compression_ratio is not None
+        assert result.compression_ratio <= 0.75
+
+    def test_build_synopsis_counts_documents(self, prepared):
+        synopsis = build_synopsis(prepared, "sets", 100)
+        assert synopsis.n_documents == prepared.config.n_documents
+
+
+class TestFigures:
+    def test_figure4_structure(self, tiny_nitf):
+        figure = figure4([tiny_nitf])
+        assert figure.figure_id == "figure4"
+        assert len(figure.series) == 3  # counters, sets, hashes for one DTD
+        for series in figure.series:
+            assert len(series.xs) == len(tiny_nitf.sizes)
+
+    def test_figure4_counters_flat(self, tiny_nitf):
+        figure = figure4([tiny_nitf])
+        counters = figure.series_by_label("Counters - NITF")
+        assert len(set(counters.ys)) == 1
+
+    def test_figure5_drops_zero_series(self, tiny_nitf):
+        figure = figure5([tiny_nitf])
+        for series in figure.series:
+            assert all(math.isfinite(y) for y in series.ys)
+
+    def test_figure6_x_is_synopsis_size(self, tiny_nitf):
+        figure = figure6([tiny_nitf])
+        hashes = figure.series_by_label("Hashes - NITF")
+        assert all(x > 0 for x in hashes.xs)
+        # Larger capacity -> larger synopsis.
+        assert hashes.xs == sorted(hashes.xs)
+
+    def test_figure10_alpha_axis(self, tiny_nitf):
+        figure = figure10([tiny_nitf])
+        erel = figure.series_by_label("Erel - NITF")
+        assert erel.xs == [100.0 * a for a in tiny_nitf.alphas]
+
+    def test_all_figures_registry(self):
+        assert set(ALL_FIGURES) == {
+            "figure4", "figure5", "figure6", "figure7", "figure8",
+            "figure9", "figure10",
+        }
+
+    def test_metric_figures(self, tiny_nitf):
+        for name in ("figure7", "figure8", "figure9"):
+            figure = ALL_FIGURES[name]([tiny_nitf])
+            assert figure.series
+            for series in figure.series:
+                assert all(y >= 0 for y in series.ys)
+
+    def test_setup_summary(self, tiny_nitf):
+        summary = setup_summary([tiny_nitf])
+        stats = summary["nitf"]
+        assert stats["documents"] == tiny_nitf.n_documents
+        assert stats["max_depth"] <= 10
+        assert 0 < stats["positive_avg_selectivity_pct"] <= 100
+
+    def test_series_lookup_missing(self, tiny_nitf):
+        figure = figure4([tiny_nitf])
+        with pytest.raises(KeyError):
+            figure.series_by_label("nope")
+
+
+class TestReport:
+    def test_render_figure(self, tiny_nitf):
+        text = render_figure(figure4([tiny_nitf]))
+        assert "figure4" in text
+        assert "Hashes - NITF" in text
+        assert "Erel (%)" in text
+
+    def test_csv(self, tiny_nitf):
+        csv = figure_to_csv(figure4([tiny_nitf]))
+        lines = csv.strip().splitlines()
+        assert lines[0] == "series,x,y"
+        assert len(lines) > 1
+
+    def test_render_summary(self, tiny_nitf):
+        text = render_summary(setup_summary([tiny_nitf]))
+        assert "nitf" in text
+        assert "documents" in text
+
+    def test_render_empty_summary(self):
+        assert "empty" in render_summary({})
+
+
+class TestCacheLifecycle:
+    def test_clear_caches(self, tiny_nitf):
+        prepared = prepare(tiny_nitf)
+        clear_caches()
+        assert prepare(tiny_nitf) is not prepared

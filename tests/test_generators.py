@@ -1,0 +1,260 @@
+"""Workload substrate: Zipf sampling, document generation, pattern
+generation, and positive/negative workload construction."""
+
+import random
+
+import pytest
+
+from repro.core.labels import DESCENDANT, WILDCARD
+from repro.dtd.builtin import nitf_dtd
+from repro.dtd.parser import parse_dtd
+from repro.experiments.config import DOC_GENERATOR_PRESETS
+from repro.generators.docgen import DocumentGenerator, GeneratorConfig, generate_documents
+from repro.generators.querygen import PatternGenConfig, PatternGenerator
+from repro.generators.workload import WorkloadBuilder
+from repro.generators.zipf import ZipfSampler, zipf_choice
+from repro.xmltree.corpus import DocumentCorpus
+
+
+class TestZipf:
+    def test_needs_positive_n(self):
+        with pytest.raises(ValueError):
+            ZipfSampler(0)
+
+    def test_negative_theta_rejected(self):
+        with pytest.raises(ValueError):
+            ZipfSampler(3, theta=-1)
+
+    def test_samples_in_range(self):
+        sampler = ZipfSampler(5, rng=random.Random(1))
+        assert all(0 <= sampler.sample() < 5 for _ in range(500))
+
+    def test_probability_sums_to_one(self):
+        sampler = ZipfSampler(7, theta=1.0)
+        assert sum(sampler.probability(r) for r in range(7)) == pytest.approx(1.0)
+
+    def test_skew_orders_probabilities(self):
+        sampler = ZipfSampler(5, theta=1.0)
+        probs = [sampler.probability(r) for r in range(5)]
+        assert probs == sorted(probs, reverse=True)
+
+    def test_theta_zero_is_uniform(self):
+        sampler = ZipfSampler(4, theta=0.0)
+        for rank in range(4):
+            assert sampler.probability(rank) == pytest.approx(0.25)
+
+    def test_zipf1_frequencies(self):
+        rng = random.Random(3)
+        sampler = ZipfSampler(2, theta=1.0, rng=rng)
+        draws = [sampler.sample() for _ in range(20_000)]
+        # P(rank 0) = 1/(1 + 1/2) = 2/3.
+        share = draws.count(0) / len(draws)
+        assert abs(share - 2 / 3) < 0.02
+
+    def test_zipf_choice(self):
+        rng = random.Random(4)
+        items = ["x", "y", "z"]
+        chosen = {zipf_choice(items, 1.0, rng) for _ in range(200)}
+        assert chosen <= set(items)
+        assert "x" in chosen
+
+    def test_zipf_choice_empty_rejected(self):
+        with pytest.raises(ValueError):
+            zipf_choice([], 1.0, random.Random(0))
+
+    def test_zipf_choice_singleton(self):
+        assert zipf_choice(["only"], 1.0, random.Random(0)) == "only"
+
+
+TINY_DTD = parse_dtd(
+    """
+    <!ELEMENT root (section+)>
+    <!ELEMENT section (title, para*, section?)>
+    <!ELEMENT title (#PCDATA)>
+    <!ELEMENT para (#PCDATA)>
+    """
+)
+
+
+class TestDocumentGenerator:
+    def test_root_is_dtd_root(self):
+        doc = DocumentGenerator(TINY_DTD, seed=1).generate()
+        assert doc.labels[0] == "root"
+
+    def test_deterministic_per_seed(self):
+        a = DocumentGenerator(TINY_DTD, seed=5).generate()
+        b = DocumentGenerator(TINY_DTD, seed=5).generate()
+        assert a.to_nested() == b.to_nested()
+
+    def test_seed_variation(self):
+        docs = {
+            str(DocumentGenerator(TINY_DTD, seed=s).generate().to_nested())
+            for s in range(10)
+        }
+        assert len(docs) > 1
+
+    def test_depth_bound(self):
+        config = GeneratorConfig(max_depth=4)
+        for seed in range(20):
+            doc = DocumentGenerator(TINY_DTD, seed=seed, config=config).generate()
+            assert doc.depth() <= 4
+
+    def test_node_budget(self):
+        config = GeneratorConfig(max_nodes=20, p_repeat=0.9, max_repeats=10)
+        doc = DocumentGenerator(nitf_dtd(), seed=2, config=config).generate()
+        assert len(doc) <= 20 + 5  # small overshoot from the final particle
+
+    def test_children_conform_to_dtd(self):
+        dtd = nitf_dtd()
+        doc = DocumentGenerator(dtd, seed=3).generate()
+        for node in doc.iter_preorder():
+            allowed = set(dtd.element(doc.labels[node]).child_names())
+            for child in doc.children[node]:
+                assert doc.labels[child] in allowed
+
+    def test_values_emitted_when_enabled(self):
+        config = GeneratorConfig(include_values=True)
+        doc = DocumentGenerator(TINY_DTD, seed=4, config=config).generate()
+        assert any("-v" in label for label in doc.labels)
+
+    def test_values_absent_by_default(self):
+        doc = DocumentGenerator(TINY_DTD, seed=4).generate()
+        assert not any("-v" in label for label in doc.labels)
+
+    def test_stream_assigns_sequential_ids(self):
+        docs = list(DocumentGenerator(TINY_DTD, seed=1).stream(5, start_id=10))
+        assert [d.doc_id for d in docs] == [10, 11, 12, 13, 14]
+
+    def test_generate_documents_helper(self):
+        docs = generate_documents(TINY_DTD, 7, seed=2)
+        assert len(docs) == 7
+        assert [d.doc_id for d in docs] == list(range(7))
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            GeneratorConfig(max_depth=0)
+        with pytest.raises(ValueError):
+            GeneratorConfig(p_optional=1.5)
+        with pytest.raises(ValueError):
+            GeneratorConfig(p_repeat=1.0)
+
+    @pytest.mark.parametrize("dtd_name", ["nitf", "xcbl"])
+    def test_calibration_hits_paper_size(self, dtd_name):
+        """The per-DTD presets produce ~100 tag pairs per document."""
+        from repro.dtd.builtin import builtin_dtd
+
+        docs = generate_documents(
+            builtin_dtd(dtd_name), 150, seed=7,
+            config=DOC_GENERATOR_PRESETS[dtd_name],
+        )
+        corpus = DocumentCorpus(docs)
+        assert 60 <= corpus.average_edges() <= 160
+        assert max(d.depth() for d in docs) <= 10
+
+
+class TestPatternGenerator:
+    def test_rooted_at_dtd_root(self):
+        generator = PatternGenerator(
+            TINY_DTD, seed=1, config=PatternGenConfig(p_descendant=0.0)
+        )
+        for _ in range(20):
+            pattern = generator.generate()
+            top = pattern.root_children[0]
+            assert top.label in ("root", WILDCARD)
+
+    def test_deterministic_per_seed(self):
+        a = PatternGenerator(TINY_DTD, seed=9).generate_many(5)
+        b = PatternGenerator(TINY_DTD, seed=9).generate_many(5)
+        assert a == b
+
+    def test_distinct_patterns(self):
+        patterns = PatternGenerator(nitf_dtd(), seed=2).generate_many(50)
+        assert len(set(patterns)) == 50
+
+    def test_height_bounded(self):
+        config = PatternGenConfig(height=4)
+        generator = PatternGenerator(nitf_dtd(), seed=3, config=config)
+        for _ in range(50):
+            pattern = generator.generate()
+            # '//' wrappers may add nodes beyond the walk height.
+            assert pattern.height() <= 2 * config.height + 2
+
+    def test_no_operators_when_probabilities_zero(self):
+        config = PatternGenConfig(p_star=0.0, p_descendant=0.0)
+        generator = PatternGenerator(nitf_dtd(), seed=4, config=config)
+        for _ in range(30):
+            pattern = generator.generate()
+            assert not pattern.has_wildcards()
+            assert not pattern.has_descendant_ops()
+
+    def test_operators_appear_with_high_probabilities(self):
+        config = PatternGenConfig(p_star=0.8, p_descendant=0.8)
+        generator = PatternGenerator(nitf_dtd(), seed=5, config=config)
+        patterns = [generator.generate() for _ in range(30)]
+        assert any(p.has_wildcards() for p in patterns)
+        assert any(p.has_descendant_ops() for p in patterns)
+
+    def test_branching_controlled(self):
+        wide = PatternGenConfig(p_branch=0.95, p_stop=0.0)
+        narrow = PatternGenConfig(p_branch=0.0, p_stop=0.0)
+        wide_sizes = [
+            PatternGenerator(nitf_dtd(), seed=6, config=wide).generate().size()
+            for _ in range(30)
+        ]
+        narrow_sizes = [
+            PatternGenerator(nitf_dtd(), seed=6, config=narrow).generate().size()
+            for _ in range(30)
+        ]
+        assert sum(wide_sizes) > sum(narrow_sizes)
+
+    def test_tags_come_from_dtd(self):
+        generator = PatternGenerator(nitf_dtd(), seed=7)
+        for _ in range(20):
+            assert generator.generate().tags() <= set(nitf_dtd().elements)
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            PatternGenConfig(height=0)
+        with pytest.raises(ValueError):
+            PatternGenConfig(p_star=2.0)
+
+
+class TestWorkloadBuilder:
+    @pytest.fixture(scope="class")
+    def corpus(self):
+        docs = generate_documents(TINY_DTD, 60, seed=11)
+        return DocumentCorpus(docs)
+
+    def test_builds_both_sets(self, corpus):
+        builder = WorkloadBuilder(TINY_DTD, corpus, seed=1)
+        workload = builder.build(n_positive=10, n_negative=5)
+        assert len(workload.positive) == 10
+        assert len(workload.negative) == 5
+
+    def test_positive_patterns_match(self, corpus):
+        builder = WorkloadBuilder(TINY_DTD, corpus, seed=2)
+        workload = builder.build(n_positive=10, n_negative=3)
+        for pattern in workload.positive:
+            assert corpus.match_count(pattern) > 0
+
+    def test_negative_patterns_match_nothing(self, corpus):
+        builder = WorkloadBuilder(TINY_DTD, corpus, seed=3)
+        workload = builder.build(n_positive=5, n_negative=10)
+        for pattern in workload.negative:
+            assert corpus.match_count(pattern) == 0
+
+    def test_patterns_distinct(self, corpus):
+        builder = WorkloadBuilder(TINY_DTD, corpus, seed=4)
+        workload = builder.build(n_positive=10, n_negative=10)
+        combined = workload.positive + workload.negative
+        assert len(set(combined)) == len(combined)
+
+    def test_deterministic(self, corpus):
+        first = WorkloadBuilder(TINY_DTD, corpus, seed=5).build(5, 5)
+        second = WorkloadBuilder(TINY_DTD, corpus, seed=5).build(5, 5)
+        assert first.positive == second.positive
+        assert first.negative == second.negative
+
+    def test_repr(self, corpus):
+        workload = WorkloadBuilder(TINY_DTD, corpus, seed=6).build(2, 2)
+        assert "positive=2" in repr(workload)

@@ -1,0 +1,187 @@
+"""Distinct sampling (Gibbons): level law, bounded size, union/intersection."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.synopsis.hashes import DistinctHasher, HashSample
+
+
+class TestDistinctHasher:
+    def test_deterministic(self):
+        hasher = DistinctHasher(seed=5)
+        assert hasher.level_of(123) == hasher.level_of(123)
+
+    def test_seed_changes_levels(self):
+        a = DistinctHasher(seed=1)
+        b = DistinctHasher(seed=2)
+        ids = range(1000)
+        assert [a.level_of(x) for x in ids] != [b.level_of(x) for x in ids]
+
+    def test_level_distribution_is_geometric(self):
+        hasher = DistinctHasher(seed=7)
+        n = 20_000
+        levels = [hasher.level_of(x) for x in range(n)]
+        at_least_1 = sum(1 for lv in levels if lv >= 1) / n
+        at_least_2 = sum(1 for lv in levels if lv >= 2) / n
+        at_least_3 = sum(1 for lv in levels if lv >= 3) / n
+        assert abs(at_least_1 - 0.5) < 0.02
+        assert abs(at_least_2 - 0.25) < 0.02
+        assert abs(at_least_3 - 0.125) < 0.02
+
+    def test_filter_to_level(self):
+        hasher = DistinctHasher(seed=3)
+        ids = list(range(100))
+        filtered = hasher.filter_to_level(ids, 2)
+        assert filtered == frozenset(x for x in ids if hasher.level_of(x) >= 2)
+
+    def test_filter_to_level_zero_keeps_all(self):
+        hasher = DistinctHasher(seed=3)
+        assert hasher.filter_to_level([1, 2, 3], 0) == {1, 2, 3}
+
+
+class TestHashSample:
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            HashSample(DistinctHasher(0), capacity=0)
+
+    def test_small_streams_kept_exactly(self):
+        sample = HashSample(DistinctHasher(1), capacity=10)
+        for x in range(5):
+            sample.insert(x)
+        assert set(sample) == {0, 1, 2, 3, 4}
+        assert sample.level == 0
+        assert sample.estimate_cardinality() == 5.0
+
+    def test_size_stays_bounded(self):
+        sample = HashSample(DistinctHasher(2), capacity=16)
+        for x in range(10_000):
+            sample.insert(x)
+        assert len(sample) <= 16
+        assert sample.level > 0
+
+    def test_sample_invariant(self):
+        """Every id in the sample hashes to >= the current level, and every
+        inserted id at >= level is present."""
+        hasher = DistinctHasher(4)
+        sample = HashSample(hasher, capacity=32)
+        inserted = list(range(2_000))
+        for x in inserted:
+            sample.insert(x)
+        level = sample.level
+        expected = {x for x in inserted if hasher.level_of(x) >= level}
+        assert set(sample.ids) == expected
+
+    def test_estimate_accuracy(self):
+        estimates = []
+        for seed in range(20):
+            sample = HashSample(DistinctHasher(seed), capacity=64)
+            for x in range(5_000):
+                sample.insert(x)
+            estimates.append(sample.estimate_cardinality())
+        mean = sum(estimates) / len(estimates)
+        assert abs(mean - 5_000) / 5_000 < 0.25
+
+    def test_duplicates_do_not_inflate(self):
+        sample = HashSample(DistinctHasher(5), capacity=100)
+        for _ in range(50):
+            for x in range(10):
+                sample.insert(x)
+        assert sample.estimate_cardinality() == 10.0
+
+    def test_discard(self):
+        sample = HashSample(DistinctHasher(6), capacity=10)
+        sample.insert(1)
+        sample.discard(1)
+        assert 1 not in sample
+        sample.discard(99)  # absent: no error
+
+    def test_subsample_to_lower_level_is_noop(self):
+        sample = HashSample(DistinctHasher(7), capacity=8)
+        for x in range(1000):
+            sample.insert(x)
+        level = sample.level
+        sample.subsample_to(level - 1)
+        assert sample.level == level
+
+    def test_copy_is_independent(self):
+        sample = HashSample(DistinctHasher(8), capacity=10)
+        sample.insert(1)
+        clone = sample.copy()
+        clone.insert(2)
+        assert 2 not in sample
+        assert clone.hasher is sample.hasher
+
+
+class TestUnionIntersection:
+    def _filled(self, hasher, ids, capacity=64):
+        sample = HashSample(hasher, capacity)
+        for x in ids:
+            sample.insert(x)
+        return sample
+
+    def test_union_in_place_small(self):
+        hasher = DistinctHasher(9)
+        a = self._filled(hasher, range(0, 10))
+        b = self._filled(hasher, range(5, 15))
+        a.union_in_place(b)
+        assert set(a.ids) == set(range(15))
+
+    def test_union_respects_level_alignment(self):
+        hasher = DistinctHasher(10)
+        a = self._filled(hasher, range(2_000), capacity=16)
+        b = self._filled(hasher, range(2_000, 2_010), capacity=64)
+        level_before = a.level
+        a.union_in_place(b)
+        assert a.level >= level_before
+        for x in a.ids:
+            assert hasher.level_of(x) >= a.level
+
+    def test_union_estimate_reasonable(self):
+        errors = []
+        for seed in range(15):
+            hasher = DistinctHasher(seed)
+            a = self._filled(hasher, range(0, 3_000), capacity=64)
+            b = self._filled(hasher, range(1_500, 4_500), capacity=64)
+            a.union_in_place(b)
+            errors.append(abs(a.estimate_cardinality() - 4_500) / 4_500)
+        assert sum(errors) / len(errors) < 0.35
+
+    def test_intersect_in_place_small(self):
+        hasher = DistinctHasher(11)
+        a = self._filled(hasher, range(0, 10))
+        b = self._filled(hasher, range(5, 15))
+        a.intersect_in_place(b)
+        assert set(a.ids) == set(range(5, 10))
+
+    def test_intersect_coherence(self):
+        """Aligned intersection contains exactly the common ids surviving
+        the common level — the shared-hash coherence property."""
+        hasher = DistinctHasher(12)
+        a = self._filled(hasher, range(0, 3_000), capacity=32)
+        b = self._filled(hasher, range(1_000, 4_000), capacity=32)
+        level = max(a.level, b.level)
+        expected = {
+            x for x in range(1_000, 3_000) if hasher.level_of(x) >= level
+        }
+        a.intersect_in_place(b)
+        assert set(a.ids) == expected
+
+
+class TestHashSampleProperties:
+    @settings(max_examples=100, deadline=None)
+    @given(
+        st.lists(st.integers(0, 10_000), max_size=300),
+        st.integers(1, 50),
+        st.integers(0, 2**32),
+    )
+    def test_invariants(self, ids, capacity, seed):
+        hasher = DistinctHasher(seed)
+        sample = HashSample(hasher, capacity)
+        for x in ids:
+            sample.insert(x)
+        assert len(sample) <= capacity
+        for x in sample.ids:
+            assert hasher.level_of(x) >= sample.level
+        expected = {x for x in ids if hasher.level_of(x) >= sample.level}
+        assert set(sample.ids) == expected

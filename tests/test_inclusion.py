@@ -1,0 +1,88 @@
+"""Inclusion-forest organisation and routing."""
+
+import pytest
+
+from repro.core.pattern_parser import parse_xpath
+from repro.routing.inclusion import InclusionForest
+from repro.xmltree.corpus import DocumentCorpus
+
+
+@pytest.fixture()
+def corpus(figure2_documents):
+    return DocumentCorpus(figure2_documents)
+
+
+class TestForestConstruction:
+    def test_chain_nests(self):
+        forest = InclusionForest(
+            [parse_xpath("/a"), parse_xpath("/a/b"), parse_xpath("/a/b/e")]
+        )
+        assert forest.n_roots == 1
+        assert forest.depth() == 3
+
+    def test_insertion_order_irrelevant_for_chain(self):
+        forest = InclusionForest(
+            [parse_xpath("/a/b/e"), parse_xpath("/a"), parse_xpath("/a/b")]
+        )
+        # /a arrives second and must adopt the existing /a/b/e root.
+        assert forest.n_roots == 1
+        assert forest.depth() >= 2
+
+    def test_unrelated_patterns_stay_roots(self):
+        forest = InclusionForest(
+            [parse_xpath("/a/b"), parse_xpath("/a/c"), parse_xpath("/a/d")]
+        )
+        assert forest.n_roots == 3
+        assert forest.depth() == 1
+
+    def test_figure1_patterns_do_not_group(self):
+        # pa and pd are near-equivalent on the stream but containment sees
+        # nothing: both end up as roots (the paper's core criticism).
+        pa = parse_xpath("/media/CD/*/last/Mozart")
+        pd = parse_xpath("//composer[last/Mozart]")
+        forest = InclusionForest([pa, pd])
+        assert forest.n_roots == 2
+
+    def test_wildcard_root_covers(self):
+        forest = InclusionForest([parse_xpath("/a/b"), parse_xpath("/a/*")])
+        assert forest.n_roots == 1
+
+    def test_empty(self):
+        forest = InclusionForest([])
+        assert forest.n_roots == 0
+        assert forest.depth() == 0
+
+
+class TestForestRouting:
+    def test_routing_is_exact(self, corpus):
+        subscriptions = [
+            parse_xpath("/a"),
+            parse_xpath("/a/b"),
+            parse_xpath("/a/b/e/k"),
+            parse_xpath("/a/d"),
+        ]
+        forest = InclusionForest(subscriptions)
+        stats = forest.route(corpus)
+        assert stats.precision == 1.0
+        assert stats.recall == 1.0
+        expected = sum(len(corpus.match_set(p)) for p in subscriptions)
+        assert stats.deliveries == expected
+
+    def test_nesting_saves_match_operations(self, corpus):
+        subscriptions = [
+            parse_xpath("/a/b"),
+            parse_xpath("/a/b/e"),
+            parse_xpath("/a/b/e/k"),
+            parse_xpath("/a/b/e/m"),
+        ]
+        forest = InclusionForest(subscriptions)
+        stats = forest.route(corpus)
+        flat_cost = len(corpus) * len(subscriptions)
+        # Documents without /a/b (docs 4-6) are tested once, not four times.
+        assert stats.match_operations < flat_cost
+
+    def test_flat_forest_costs_like_flat_matching(self, corpus):
+        subscriptions = [parse_xpath("//h"), parse_xpath("//q"), parse_xpath("//p")]
+        forest = InclusionForest(subscriptions)
+        stats = forest.route(corpus)
+        assert stats.match_operations == len(corpus) * len(subscriptions)

@@ -1,0 +1,122 @@
+"""Label algebra: the partial order of Section 2 and label validation."""
+
+import pytest
+
+from repro.core.labels import (
+    DESCENDANT,
+    ROOT_LABEL,
+    WILDCARD,
+    doc_label_matches,
+    is_descendant,
+    is_root_label,
+    is_tag,
+    is_valid_tag,
+    is_wildcard,
+    label_below,
+    validate_label,
+)
+
+
+class TestPredicates:
+    def test_plain_tag_is_tag(self):
+        assert is_tag("media")
+
+    def test_wildcard_is_not_tag(self):
+        assert not is_tag(WILDCARD)
+
+    def test_descendant_is_not_tag(self):
+        assert not is_tag(DESCENDANT)
+
+    def test_root_label_is_not_tag(self):
+        assert not is_tag(ROOT_LABEL)
+
+    def test_is_wildcard(self):
+        assert is_wildcard("*")
+        assert not is_wildcard("a")
+
+    def test_is_descendant(self):
+        assert is_descendant("//")
+        assert not is_descendant("/")
+
+    def test_is_root_label(self):
+        assert is_root_label("/.")
+        assert not is_root_label("root")
+
+
+class TestTagValidity:
+    @pytest.mark.parametrize(
+        "tag", ["a", "CD", "body.content", "doc-id", "OrderHeader", "name_1"]
+    )
+    def test_valid_tags(self, tag):
+        assert is_valid_tag(tag)
+
+    @pytest.mark.parametrize(
+        "tag", ["", "*", "//", "/.", "a/b", "a[b]", "a b", 'a"b', "a*"]
+    )
+    def test_invalid_tags(self, tag):
+        assert not is_valid_tag(tag)
+
+    def test_validate_label_accepts_operators(self):
+        for label in (WILDCARD, DESCENDANT, ROOT_LABEL):
+            validate_label(label)  # must not raise
+
+    def test_validate_label_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            validate_label("a/b")
+
+
+class TestPartialOrder:
+    """The order is  a ≼ * ≼ //  with distinct tags incomparable."""
+
+    def test_tag_below_itself(self):
+        assert label_below("a", "a")
+
+    def test_distinct_tags_incomparable(self):
+        assert not label_below("a", "b")
+        assert not label_below("b", "a")
+
+    def test_tag_below_wildcard(self):
+        assert label_below("a", WILDCARD)
+
+    def test_tag_below_descendant(self):
+        assert label_below("a", DESCENDANT)
+
+    def test_wildcard_below_descendant(self):
+        assert label_below(WILDCARD, DESCENDANT)
+
+    def test_wildcard_not_below_tag(self):
+        assert not label_below(WILDCARD, "a")
+
+    def test_descendant_not_below_wildcard(self):
+        assert not label_below(DESCENDANT, WILDCARD)
+
+    def test_descendant_not_below_tag(self):
+        assert not label_below(DESCENDANT, "a")
+
+    def test_reflexive_on_operators(self):
+        assert label_below(WILDCARD, WILDCARD)
+        assert label_below(DESCENDANT, DESCENDANT)
+        assert label_below(ROOT_LABEL, ROOT_LABEL)
+
+    def test_root_label_only_below_itself(self):
+        assert not label_below(ROOT_LABEL, WILDCARD)
+        assert not label_below(ROOT_LABEL, DESCENDANT)
+        assert not label_below(ROOT_LABEL, "a")
+
+    def test_transitivity_samples(self):
+        # a ≼ * and * ≼ //  imply a ≼ //
+        assert label_below("a", WILDCARD)
+        assert label_below(WILDCARD, DESCENDANT)
+        assert label_below("a", DESCENDANT)
+
+
+class TestDocLabelMatches:
+    def test_tag_requires_equality(self):
+        assert doc_label_matches("a", "a")
+        assert not doc_label_matches("a", "b")
+
+    def test_wildcard_matches_any_tag(self):
+        assert doc_label_matches("whatever", WILDCARD)
+
+    def test_descendant_matches_any_tag(self):
+        assert doc_label_matches("whatever", DESCENDANT)

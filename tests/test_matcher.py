@@ -1,0 +1,137 @@
+"""Exact tree-pattern matching: the paper's Figure 1 cases and the Section 2
+semantics edge cases."""
+
+import pytest
+
+from repro.core.pattern_parser import parse_xpath
+from repro.xmltree.matcher import CompiledPattern, PatternMatcher, matches
+from repro.xmltree.tree import XMLTree
+
+
+class TestFigure1:
+    """The worked example: patterns pa..pd against document T."""
+
+    def test_pa_matches(self, figure1_document):
+        assert matches(figure1_document, parse_xpath("/media/CD/*/last/Mozart"))
+
+    def test_pb_does_not_match(self, figure1_document):
+        # "Mozart" has no *parent* labeled CD: it is two levels deeper.
+        assert not matches(figure1_document, parse_xpath("//CD/Mozart"))
+
+    def test_pc_matches(self, figure1_document):
+        assert matches(figure1_document, parse_xpath("/.[.//CD][.//Mozart]"))
+
+    def test_pd_matches(self, figure1_document):
+        assert matches(figure1_document, parse_xpath("//composer[last/Mozart]"))
+
+    def test_book_title(self, figure1_document):
+        assert matches(figure1_document, parse_xpath("/media/book/title/Hamlet"))
+
+    def test_wrong_root(self, figure1_document):
+        assert not matches(figure1_document, parse_xpath("/CD"))
+
+
+class TestRootSemantics:
+    """Pattern-root children constrain the document root node itself."""
+
+    def test_tag_child_requires_root_tag(self):
+        tree = XMLTree.from_nested(("a", ["b"]))
+        assert matches(tree, parse_xpath("/a"))
+        assert not matches(tree, parse_xpath("/b"))
+
+    def test_wildcard_child_matches_any_root(self):
+        tree = XMLTree.from_nested(("whatever", ["b"]))
+        assert matches(tree, parse_xpath("/*"))
+        assert matches(tree, parse_xpath("/*/b"))
+
+    def test_descendant_child_may_anchor_at_root(self):
+        tree = XMLTree.from_nested(("a", ["b"]))
+        assert matches(tree, parse_xpath("//a"))
+
+    def test_descendant_child_may_anchor_deep(self):
+        tree = XMLTree.from_nested(("x", [("y", ["a"])]))
+        assert matches(tree, parse_xpath("//a"))
+
+    def test_multi_constraint_root_is_conjunction(self):
+        tree = XMLTree.from_nested(("a", ["b", "c"]))
+        assert matches(tree, parse_xpath("/.[a/b][a/c]"))
+        assert not matches(tree, parse_xpath("/.[a/b][a/z]"))
+
+
+class TestChildSemantics:
+    def test_tag_requires_child_not_descendant(self):
+        tree = XMLTree.from_nested(("a", [("x", ["b"])]))
+        assert not matches(tree, parse_xpath("/a/b"))
+        assert matches(tree, parse_xpath("/a/x/b"))
+
+    def test_branching_requires_one_node_satisfying_all(self):
+        # a has two b-children; one has c, the other d.  /a/b[c][d] needs a
+        # single b with both — false here.
+        tree = XMLTree.from_nested(("a", [("b", ["c"]), ("b", ["d"])]))
+        assert not matches(tree, parse_xpath("/a/b[c][d]"))
+        assert matches(tree, parse_xpath("/.[a/b/c][a/b/d]"))
+
+    def test_branching_satisfied_on_one_node(self):
+        tree = XMLTree.from_nested(("a", [("b", ["c", "d"])]))
+        assert matches(tree, parse_xpath("/a/b[c][d]"))
+
+    def test_wildcard_child(self):
+        tree = XMLTree.from_nested(("a", [("x", ["c"])]))
+        assert matches(tree, parse_xpath("/a/*/c"))
+        assert not matches(tree, parse_xpath("/a/*/z"))
+
+
+class TestDescendantSemantics:
+    def test_zero_length_descendant(self):
+        # a//b matches when b is a direct child of a (t' = t case).
+        tree = XMLTree.from_nested(("a", ["b"]))
+        assert matches(tree, parse_xpath("/a//b"))
+
+    def test_deep_descendant(self):
+        tree = XMLTree.from_nested(("a", [("x", [("y", ["b"])])]))
+        assert matches(tree, parse_xpath("/a//b"))
+
+    def test_descendant_branch(self):
+        tree = XMLTree.from_nested(("a", [("x", ["c", "d"])]))
+        assert matches(tree, parse_xpath("/a//x[c][d]"))
+
+    def test_descendant_branch_split_fails(self):
+        tree = XMLTree.from_nested(("a", [("x", ["c"]), ("x", ["d"])]))
+        assert not matches(tree, parse_xpath("/a//x[c][d]"))
+
+    def test_descendant_under_wildcard(self):
+        tree = XMLTree.from_nested(("a", [("p", [("q", ["b"])])]))
+        assert matches(tree, parse_xpath("/a/*//b"))
+
+    def test_double_descendant(self):
+        tree = XMLTree.from_nested(("a", [("x", [("b", [("y", ["c"])])])]))
+        assert matches(tree, parse_xpath("/a//b//c"))
+
+    def test_descendant_no_match(self):
+        tree = XMLTree.from_nested(("a", ["b"]))
+        assert not matches(tree, parse_xpath("/a//z"))
+
+
+class TestMatcherMechanics:
+    def test_required_tags_prefilter(self):
+        compiled = CompiledPattern(parse_xpath("/a[.//b]/*"))
+        assert compiled.required_tags == {"a", "b"}
+
+    def test_prefilter_rejects_missing_tag(self):
+        matcher = PatternMatcher(parse_xpath("/a/zz"))
+        assert not matcher.matches(XMLTree.from_nested(("a", ["b"])))
+
+    def test_matcher_reusable_across_documents(self):
+        matcher = PatternMatcher(parse_xpath("/a/b"))
+        assert matcher.matches(XMLTree.from_nested(("a", ["b"])))
+        assert not matcher.matches(XMLTree.from_nested(("a", ["c"])))
+        assert matcher.matches(XMLTree.from_nested(("a", ["c", "b"])))
+
+    def test_accepts_precompiled(self):
+        compiled = CompiledPattern(parse_xpath("/a"))
+        assert PatternMatcher(compiled).matches(XMLTree.from_nested("a"))
+
+    def test_single_node_document_and_pattern(self):
+        assert matches(XMLTree.from_nested("a"), parse_xpath("/a"))
+        assert matches(XMLTree.from_nested("a"), parse_xpath("//a"))
+        assert not matches(XMLTree.from_nested("a"), parse_xpath("/a/b"))

@@ -1,0 +1,112 @@
+"""Property tests: the memoised matcher against an independent reference.
+
+The reference implementation computes, bottom-up over the pattern, the full
+*satisfaction sets* ``Sat(u) = {t : (T, t) ⊨ Subtree(u)}`` — a structurally
+different algorithm from the matcher's memoised top-down recursion, so
+agreement between the two is meaningful evidence for both.
+"""
+
+from hypothesis import given, settings
+
+from repro.core.labels import DESCENDANT, WILDCARD
+from repro.core.pattern import PatternNode, TreePattern
+from repro.xmltree.matcher import matches
+from repro.xmltree.skeleton import skeleton
+from repro.xmltree.tree import XMLTree
+from tests.strategies import tree_patterns, xml_trees
+
+
+def reference_matches(tree: XMLTree, pattern: TreePattern) -> bool:
+    """Bottom-up set-based implementation of the Section 2 semantics."""
+    all_nodes = frozenset(range(len(tree)))
+    parents = tree.parents
+    labels = tree.labels
+
+    def ancestors_or_self(nodes: frozenset[int]) -> frozenset[int]:
+        result = set(nodes)
+        frontier = list(nodes)
+        while frontier:
+            node = frontier.pop()
+            parent = parents[node]
+            if parent != -1 and parent not in result:
+                result.add(parent)
+                frontier.append(parent)
+        return frozenset(result)
+
+    def sat(u: PatternNode) -> frozenset[int]:
+        child_sets = [sat(child) for child in u.children]
+
+        def satisfies_children(t: int) -> bool:
+            return all(t in s for s in child_sets)
+
+        if u.label == DESCENDANT:
+            good = frozenset(t for t in all_nodes if satisfies_children(t))
+            return ancestors_or_self(good)
+        if u.label == WILDCARD:
+            good = (t for t in all_nodes if satisfies_children(t))
+        else:
+            good = (
+                t
+                for t in all_nodes
+                if labels[t] == u.label and satisfies_children(t)
+            )
+        return frozenset(
+            parents[t] for t in good if parents[t] != -1
+        )
+
+    def root_ok(v: PatternNode) -> bool:
+        child_sets = [sat(child) for child in v.children]
+        if v.label == DESCENDANT:
+            target = v.children[0]
+            target_sets = [sat(c) for c in target.children]
+            for t in all_nodes:
+                label_ok = (
+                    target.label == WILDCARD or labels[t] == target.label
+                )
+                if label_ok and all(t in s for s in target_sets):
+                    return True
+            return False
+        if v.label != WILDCARD and labels[tree.root] != v.label:
+            return False
+        return all(tree.root in s for s in child_sets)
+
+    return all(root_ok(v) for v in pattern.root_children)
+
+
+@settings(max_examples=300, deadline=None)
+@given(xml_trees(), tree_patterns())
+def test_matcher_agrees_with_reference(tree, pattern):
+    assert matches(tree, pattern) == reference_matches(tree, pattern)
+
+
+@settings(max_examples=200, deadline=None)
+@given(xml_trees(), tree_patterns())
+def test_skeletonisation_only_adds_matches(tree, pattern):
+    """Coalescing same-tag children can only bring constraint branches
+    together, never separate them: T ⊨ p implies skeleton(T) ⊨ p."""
+    if matches(tree, pattern):
+        assert matches(skeleton(tree), pattern)
+
+
+@settings(max_examples=200, deadline=None)
+@given(xml_trees())
+def test_trivial_root_pattern_always_matches(tree):
+    pattern = TreePattern((PatternNode(WILDCARD),))
+    assert matches(tree, pattern)
+
+
+@settings(max_examples=200, deadline=None)
+@given(xml_trees())
+def test_root_tag_pattern(tree):
+    pattern = TreePattern((PatternNode(tree.labels[0]),))
+    assert matches(tree, pattern)
+
+
+@settings(max_examples=200, deadline=None)
+@given(xml_trees())
+def test_descendant_tag_pattern_iff_tag_present(tree):
+    for tag in ("a", "e"):
+        pattern = TreePattern(
+            (PatternNode(DESCENDANT, (PatternNode(tag),)),)
+        )
+        assert matches(tree, pattern) == (tag in tree.tag_set)

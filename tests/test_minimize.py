@@ -1,0 +1,76 @@
+"""Tree-pattern minimization: equivalence preservation and known cases."""
+
+from hypothesis import given, settings
+
+from repro.core.minimize import is_minimal, minimize
+from repro.core.pattern_algebra import merge_patterns
+from repro.core.pattern_parser import parse_xpath, to_xpath
+from repro.xmltree.matcher import matches
+from tests.strategies import tree_patterns, xml_trees
+
+
+class TestKnownCases:
+    def test_duplicate_branch_removed(self):
+        assert minimize(parse_xpath("/a[b][b]")) == parse_xpath("/a/b")
+
+    def test_prefix_branch_removed(self):
+        assert minimize(parse_xpath("/a[b][b/c]")) == parse_xpath("/a/b/c")
+
+    def test_wildcard_branch_removed(self):
+        assert minimize(parse_xpath("/a[b][*]")) == parse_xpath("/a/b")
+
+    def test_descendant_branch_removed(self):
+        # b/c implies a descendant c somewhere below a.
+        assert minimize(parse_xpath("/a[.//c][b/c]")) == parse_xpath("/a/b/c")
+
+    def test_root_level_redundancy(self):
+        assert minimize(parse_xpath("/.[a][.//a]")) == parse_xpath("/a")
+
+    def test_nested_redundancy(self):
+        assert minimize(parse_xpath("/a/b[c][c/d]")) == parse_xpath("/a/b/c/d")
+
+    def test_independent_branches_kept(self):
+        pattern = parse_xpath("/a[b][c]")
+        assert minimize(pattern) == pattern
+
+    def test_deep_vs_shallow_same_tag(self):
+        pattern = parse_xpath("/a[b/x][b/y]")
+        assert minimize(pattern) == pattern  # different constraints: both stay
+
+    def test_merged_self_conjunction_collapses(self):
+        p = parse_xpath("/a/b[c][d]")
+        assert minimize(merge_patterns(p, p)) == p
+
+    def test_merged_containment_collapses(self):
+        broad = parse_xpath("//c")
+        narrow = parse_xpath("/a/b/c")
+        merged = merge_patterns(broad, narrow)
+        assert minimize(merged) == narrow
+
+    def test_is_minimal(self):
+        assert is_minimal(parse_xpath("/a[b][c]"))
+        assert not is_minimal(parse_xpath("/a[b][b]"))
+
+
+class TestEquivalencePreservation:
+    @settings(max_examples=200, deadline=None)
+    @given(tree_patterns(), xml_trees())
+    def test_minimization_preserves_semantics(self, pattern, tree):
+        assert matches(tree, pattern) == matches(tree, minimize(pattern))
+
+    @settings(max_examples=150, deadline=None)
+    @given(tree_patterns())
+    def test_never_grows(self, pattern):
+        assert minimize(pattern).size() <= pattern.size()
+
+    @settings(max_examples=150, deadline=None)
+    @given(tree_patterns())
+    def test_idempotent(self, pattern):
+        once = minimize(pattern)
+        assert minimize(once) == once
+
+    @settings(max_examples=100, deadline=None)
+    @given(tree_patterns(), tree_patterns(), xml_trees())
+    def test_minimized_merge_is_conjunction(self, p, q, tree):
+        merged = minimize(merge_patterns(p, q))
+        assert matches(tree, merged) == (matches(tree, p) and matches(tree, q))

@@ -1,0 +1,131 @@
+"""Pattern algebra: root-merge conjunction, path construction, relabeling."""
+
+import pytest
+from hypothesis import given
+
+from repro.core.labels import DESCENDANT
+from repro.core.pattern import PatternError, TreePattern
+from repro.core.pattern_algebra import (
+    merge_patterns,
+    path_pattern,
+    pattern_from_paths,
+    relabel,
+    trivially_contains,
+)
+from repro.core.pattern_parser import parse_xpath, to_xpath
+from repro.xmltree.matcher import matches
+from repro.xmltree.tree import XMLTree
+from tests.strategies import tree_patterns, xml_trees
+
+
+class TestMergePatterns:
+    def test_merge_two(self):
+        merged = merge_patterns(parse_xpath("/a"), parse_xpath("//b"))
+        assert len(merged.root_children) == 2
+
+    def test_merge_is_flat(self):
+        merged = merge_patterns(parse_xpath("/.[a][b]"), parse_xpath("/c"))
+        assert len(merged.root_children) == 3
+
+    def test_merge_deduplicates(self):
+        merged = merge_patterns(parse_xpath("/a/b"), parse_xpath("/a/b"))
+        assert merged == parse_xpath("/a/b")
+
+    def test_merge_single(self):
+        pattern = parse_xpath("/a")
+        assert merge_patterns(pattern) == pattern
+
+    def test_merge_none_rejected(self):
+        with pytest.raises(PatternError):
+            merge_patterns()
+
+    def test_merge_semantics_is_conjunction(self, figure1_document):
+        pa = parse_xpath("/media/CD/*/last/Mozart")
+        pd = parse_xpath("//composer[last/Mozart]")
+        merged = merge_patterns(pa, pd)
+        assert matches(figure1_document, merged)
+
+    def test_merge_with_nonmatching_is_false(self, figure1_document):
+        pa = parse_xpath("/media/CD/*/last/Mozart")
+        pb = parse_xpath("//CD/Mozart")
+        merged = merge_patterns(pa, pb)
+        assert not matches(figure1_document, merged)
+
+    @given(tree_patterns(), tree_patterns(), xml_trees())
+    def test_conjunction_property(self, p, q, tree):
+        merged = merge_patterns(p, q)
+        assert matches(tree, merged) == (matches(tree, p) and matches(tree, q))
+
+
+class TestPathPattern:
+    def test_simple_path(self):
+        assert to_xpath(path_pattern(["a", "b"])) == "/a/b"
+
+    def test_descendant_step(self):
+        assert to_xpath(path_pattern(["a", "//", "b"])) == "/a//b"
+
+    def test_unrooted(self):
+        assert to_xpath(path_pattern(["a"], rooted=False)) == "//a"
+
+    def test_unrooted_with_leading_descendant_not_doubled(self):
+        assert to_xpath(path_pattern(["//", "a"], rooted=False)) == "//a"
+
+    def test_empty_rejected(self):
+        with pytest.raises(PatternError):
+            path_pattern([])
+
+
+class TestPatternFromPaths:
+    def test_shared_prefix_merged(self):
+        pattern = pattern_from_paths([["a", "b"], ["a", "d"]])
+        assert pattern == parse_xpath("/a[b][d]")
+
+    def test_deep_shared_prefix(self):
+        pattern = pattern_from_paths([["a", "c", "f"], ["a", "c", "o"]])
+        assert pattern == parse_xpath("/a/c[f][o]")
+
+    def test_disjoint_paths(self):
+        pattern = pattern_from_paths([["a", "b"], ["c", "d"]])
+        assert pattern == parse_xpath("/.[a/b][c/d]")
+
+
+class TestRelabel:
+    def test_relabels_tags(self):
+        pattern = parse_xpath("/a/b")
+        assert relabel(pattern, {"b": "z"}) == parse_xpath("/a/z")
+
+    def test_keeps_operators(self):
+        pattern = parse_xpath("//a/*")
+        relabeled = relabel(pattern, {"a": "z"})
+        assert relabeled == parse_xpath("//z/*")
+
+    def test_unmapped_kept(self):
+        pattern = parse_xpath("/a/b")
+        assert relabel(pattern, {}) == pattern
+
+
+class TestTriviallyContains:
+    def test_wildcard_contains_tag(self):
+        outer = parse_xpath("/*").root_children[0]
+        inner = parse_xpath("/a").root_children[0]
+        assert trivially_contains(outer, inner)
+
+    def test_tag_not_contains_other_tag(self):
+        outer = parse_xpath("/a").root_children[0]
+        inner = parse_xpath("/b").root_children[0]
+        assert not trivially_contains(outer, inner)
+
+    def test_descendant_skips_levels(self):
+        outer = parse_xpath("//c").root_children[0]
+        inner = parse_xpath("/a/b/c").root_children[0]
+        assert trivially_contains(outer, inner)
+
+    def test_smaller_pattern_contains_larger(self):
+        outer = parse_xpath("/a").root_children[0]
+        inner = parse_xpath("/a[b][c]").root_children[0]
+        assert trivially_contains(outer, inner)
+
+    def test_larger_not_contains_smaller(self):
+        outer = parse_xpath("/a[b][c]").root_children[0]
+        inner = parse_xpath("/a").root_children[0]
+        assert not trivially_contains(outer, inner)

@@ -1,0 +1,279 @@
+"""Synopsis pruning (Section 3.3): folding, deletion, merging — including
+the Figure 3 transformations of the Figure 2 synopsis."""
+
+import pytest
+
+from repro.core.pattern_parser import parse_xpath
+from repro.core.selectivity import SelectivityEstimator
+from repro.synopsis.node import LabelTree
+from repro.synopsis.pruning import (
+    delete_low_cardinality,
+    fold_leaves,
+    merge_same_label,
+    node_pair_similarity,
+)
+from repro.synopsis.size import measure
+from repro.synopsis.synopsis import DocumentSynopsis
+from repro.xmltree.tree import XMLTree
+
+
+def find_node(synopsis, *path):
+    node = synopsis.root
+    for tag in path:
+        node = node.child_by_tag(tag)
+        assert node is not None, f"missing synopsis path {path}"
+    return node
+
+
+class TestLabelTree:
+    def test_plain_render(self):
+        assert LabelTree("a").render() == "a"
+
+    def test_nested_render(self):
+        nested = LabelTree("c", (LabelTree("f"), LabelTree("o", (LabelTree("n"),))))
+        assert nested.render() == "c[f][o[n]]"
+
+    def test_atoms(self):
+        nested = LabelTree("c", (LabelTree("f"), LabelTree("o", (LabelTree("n"),))))
+        assert nested.atoms() == 4
+
+    def test_equality_unordered(self):
+        a = LabelTree("x", (LabelTree("p"), LabelTree("q")))
+        b = LabelTree("x", (LabelTree("q"), LabelTree("p")))
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_with_folded(self):
+        folded = LabelTree("a").with_folded(LabelTree("b"))
+        assert folded.render() == "a[b]"
+
+    def test_immutable(self):
+        label = LabelTree("a")
+        with pytest.raises(AttributeError):
+            label.tag = "b"
+
+
+class TestNodePairSimilarity:
+    def test_identical_sets(self, figure2_synopsis_factory):
+        synopsis = figure2_synopsis_factory(mode="sets")
+        # a/c/f and a/c/f/o both have matching set {3,4}.
+        f = find_node(synopsis, "a", "c", "f")
+        o = f.child_by_tag("o")
+        assert node_pair_similarity(synopsis, f, o) == 1.0
+
+    def test_disjoint_sets(self, figure2_synopsis_factory):
+        synopsis = figure2_synopsis_factory(mode="sets")
+        b = find_node(synopsis, "a", "b")
+        d = find_node(synopsis, "a", "d")
+        assert node_pair_similarity(synopsis, b, d) == 0.0
+
+    def test_counter_similarity_is_count_ratio(self, figure2_synopsis_factory):
+        synopsis = figure2_synopsis_factory(mode="counters")
+        b = find_node(synopsis, "a", "b")  # count 3
+        c = find_node(synopsis, "a", "c")  # count 2
+        assert node_pair_similarity(synopsis, b, c) == pytest.approx(2 / 3)
+
+
+class TestFoldLeaves:
+    def test_lossless_fold_of_identical_sets(self, figure2_synopsis_factory):
+        synopsis = figure2_synopsis_factory(mode="sets")
+        folds = fold_leaves(synopsis, lossless_only=True)
+        assert folds > 0
+        # a/c/f/o had the same matching set {3,4} as a/c/f: o must be gone,
+        # folded into f's label.
+        f = find_node(synopsis, "a", "c", "f")
+        assert f.child_by_tag("o") is None
+        assert "o" in [c.tag for c in f.label.children]
+
+    def test_fold_unions_summaries(self):
+        synopsis = DocumentSynopsis(mode="sets", capacity=10)
+        synopsis.insert_document(XMLTree.from_nested(("a", [("b", ["c"])]), doc_id=0))
+        synopsis.insert_document(XMLTree.from_nested(("a", [("b", ["c"])]), doc_id=1))
+        folds = fold_leaves(synopsis, min_similarity=0.0)
+        assert folds > 0
+        # After folding everything into 'a', its stored summary holds both docs.
+        a = find_node(synopsis, "a")
+        assert set(synopsis.full_view(a).ids) == {0, 1}
+
+    def test_fold_reduces_size(self, figure2_synopsis_factory):
+        synopsis = figure2_synopsis_factory(mode="hashes")
+        before = measure(synopsis).total
+        assert fold_leaves(synopsis, min_similarity=0.5) > 0
+        assert measure(synopsis).total < before
+
+    def test_threshold_respected(self, figure2_synopsis_factory):
+        synopsis = figure2_synopsis_factory(mode="sets")
+        # With an impossible threshold nothing above 1.0 folds.
+        before = synopsis.n_nodes
+        fold_leaves(synopsis, min_similarity=1.01)
+        assert synopsis.n_nodes == before
+
+    def test_estimates_unchanged_by_lossless_folds(self, figure2_synopsis_factory):
+        synopsis = figure2_synopsis_factory(mode="sets")
+        reference = figure2_synopsis_factory(mode="sets")
+        fold_leaves(synopsis, lossless_only=True)
+        est = SelectivityEstimator(synopsis)
+        ref = SelectivityEstimator(reference)
+        for expression in ("/a/b", "/a/c/f/o", "/a[c/f][c/f/o]", "//f/o", "/a/d/e/m"):
+            pattern = parse_xpath(expression)
+            assert est.selectivity(pattern) == pytest.approx(
+                ref.selectivity(pattern)
+            ), expression
+
+
+class TestDeleteLowCardinality:
+    def test_deletes_smallest_first(self, figure2_synopsis_factory):
+        synopsis = figure2_synopsis_factory(mode="sets")
+        single_doc_leaves = {
+            node.node_id
+            for node in synopsis.iter_nodes()
+            if node.is_leaf and len(synopsis.full_view(node).ids) == 1
+        }
+        deleted = delete_low_cardinality(synopsis, max_deletions=2)
+        assert deleted == 2
+        remaining = {node.node_id for node in synopsis.iter_nodes()}
+        # Both deletions came from the 1-document leaves.
+        assert len(single_doc_leaves - remaining) == 2
+
+    def test_max_cardinality_bound(self, figure2_synopsis_factory):
+        synopsis = figure2_synopsis_factory(mode="sets")
+        before = synopsis.n_nodes
+        deleted = delete_low_cardinality(
+            synopsis, max_deletions=100, max_cardinality=0.5
+        )
+        assert deleted == 0
+        assert synopsis.n_nodes == before
+
+    def test_cascading_passes_prune_subtrees(self, figure2_synopsis_factory):
+        synopsis = figure2_synopsis_factory(mode="sets")
+        for _ in range(30):
+            if delete_low_cardinality(synopsis, max_deletions=5) == 0:
+                break
+        # Everything but the root is eventually deletable.
+        assert synopsis.n_nodes == 1
+
+    def test_counters_mode(self, figure2_synopsis_factory):
+        synopsis = figure2_synopsis_factory(mode="counters")
+        assert delete_low_cardinality(synopsis, max_deletions=3) == 3
+
+
+class TestMergeSameLabel:
+    def test_merges_same_label_leaves(self, figure2_synopsis_factory):
+        synopsis = figure2_synopsis_factory(mode="sets")
+        before = synopsis.n_nodes
+        merged = merge_same_label(synopsis, min_similarity=0.0)
+        assert merged > 0
+        assert synopsis.n_nodes < before
+
+    def test_merged_node_has_multiple_parents(self):
+        synopsis = DocumentSynopsis(mode="sets", capacity=10)
+        # Two distinct parents (b, c) each with an identical x-leaf.
+        synopsis.insert_document(
+            XMLTree.from_nested(("a", [("b", ["x"]), ("c", ["x"])]), doc_id=0)
+        )
+        merged = merge_same_label(synopsis, min_similarity=1.0)
+        assert merged == 1
+        b = find_node(synopsis, "a", "b")
+        c = find_node(synopsis, "a", "c")
+        x_from_b = b.child_by_tag("x")
+        x_from_c = c.child_by_tag("x")
+        assert x_from_b is x_from_c
+        assert {parent.tag for parent in x_from_b.parents} == {"b", "c"}
+
+    def test_merge_uses_intersection(self):
+        synopsis = DocumentSynopsis(mode="sets", capacity=10)
+        synopsis.insert_document(
+            XMLTree.from_nested(("a", [("b", ["x"]), ("c", ["x"])]), doc_id=0)
+        )
+        synopsis.insert_document(
+            XMLTree.from_nested(("a", [("b", ["x"])]), doc_id=1)
+        )
+        merged = merge_same_label(synopsis, min_similarity=0.0)
+        assert merged == 1
+        x = find_node(synopsis, "a", "b").child_by_tag("x")
+        # S(x_b)={0,1}, S(x_c)={0}: merged stored set is the intersection.
+        assert set(x.summary) == {0}
+
+    def test_threshold_blocks_dissimilar_merges(self):
+        synopsis = DocumentSynopsis(mode="sets", capacity=10)
+        synopsis.insert_document(XMLTree.from_nested(("a", [("b", ["x"])]), doc_id=0))
+        synopsis.insert_document(XMLTree.from_nested(("a", [("c", ["x"])]), doc_id=1))
+        # The two x-leaves have disjoint matching sets {0} and {1}.
+        assert merge_same_label(synopsis, min_similarity=0.5) == 0
+
+    def test_inner_nodes_merge_after_children(self):
+        synopsis = DocumentSynopsis(mode="sets", capacity=10)
+        synopsis.insert_document(
+            XMLTree.from_nested(("a", [("b", ["x"]), ("c", ["x"])]), doc_id=0)
+        )
+        first = merge_same_label(synopsis, min_similarity=0.0)
+        assert first == 1  # the x leaves
+        # b and c now share the single x child but have different labels,
+        # so they must NOT merge.
+        assert merge_same_label(synopsis, min_similarity=0.0) == 0
+
+    def test_same_label_inner_nodes_with_shared_children_merge(self):
+        synopsis = DocumentSynopsis(mode="sets", capacity=10)
+        # Two sibling-context b's (under x and y) with identical leaves.
+        synopsis.insert_document(
+            XMLTree.from_nested(
+                ("a", [("x", [("b", ["k"])]), ("y", [("b", ["k"])])]), doc_id=0
+            )
+        )
+        merges_round1 = merge_same_label(synopsis, min_similarity=0.0)
+        assert merges_round1 == 1  # the two k leaves
+        merges_round2 = merge_same_label(synopsis, min_similarity=0.0)
+        assert merges_round2 == 1  # now the two b's share the k child
+        x = find_node(synopsis, "a", "x")
+        y = find_node(synopsis, "a", "y")
+        assert x.child_by_tag("b") is y.child_by_tag("b")
+
+    def test_estimation_still_works_on_dag(self, figure2_synopsis_factory):
+        synopsis = figure2_synopsis_factory(mode="sets")
+        merge_same_label(synopsis, min_similarity=0.0)
+        merge_same_label(synopsis, min_similarity=0.0)
+        estimator = SelectivityEstimator(synopsis)
+        value = estimator.selectivity(parse_xpath("/a/b"))
+        assert 0.0 <= value <= 1.0
+
+
+class TestFoldedLabelEstimation:
+    """SEL must expand folded labels as virtual children."""
+
+    def test_selectivity_through_folded_leaf(self):
+        synopsis = DocumentSynopsis(mode="sets", capacity=10)
+        for doc_id in range(4):
+            synopsis.insert_document(
+                XMLTree.from_nested(("a", [("b", ["c"])]), doc_id=doc_id)
+            )
+        folds = fold_leaves(synopsis, lossless_only=True)
+        assert folds > 0
+        estimator = SelectivityEstimator(synopsis)
+        assert estimator.selectivity(parse_xpath("/a/b/c")) == pytest.approx(1.0)
+        assert estimator.selectivity(parse_xpath("/a/b")) == pytest.approx(1.0)
+        assert estimator.selectivity(parse_xpath("//c")) == pytest.approx(1.0)
+
+    def test_multi_level_nested_fold(self):
+        synopsis = DocumentSynopsis(mode="sets", capacity=10)
+        for doc_id in range(3):
+            synopsis.insert_document(
+                XMLTree.from_nested(("a", [("b", [("c", ["d"])])]), doc_id=doc_id)
+            )
+        # Fold twice: d into c, then c[d] into b, etc.
+        fold_leaves(synopsis, lossless_only=True)
+        fold_leaves(synopsis, lossless_only=True)
+        estimator = SelectivityEstimator(synopsis)
+        assert estimator.selectivity(parse_xpath("/a/b/c/d")) == pytest.approx(1.0)
+        assert estimator.selectivity(parse_xpath("//c/d")) == pytest.approx(1.0)
+
+    def test_folded_branch_pattern(self):
+        synopsis = DocumentSynopsis(mode="sets", capacity=10)
+        for doc_id in range(3):
+            synopsis.insert_document(
+                XMLTree.from_nested(("a", [("b", ["c", "d"])]), doc_id=doc_id)
+            )
+        fold_leaves(synopsis, lossless_only=True)
+        estimator = SelectivityEstimator(synopsis)
+        assert estimator.selectivity(parse_xpath("/a/b[c][d]")) == pytest.approx(
+            1.0
+        )

@@ -1,0 +1,76 @@
+"""Vitter reservoir sampling over the document stream."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.synopsis.reservoir import DocumentReservoir
+
+
+class TestBasics:
+    def test_size_must_be_positive(self):
+        with pytest.raises(ValueError):
+            DocumentReservoir(0)
+
+    def test_fills_up_first(self):
+        reservoir = DocumentReservoir(3, random.Random(0))
+        for doc in range(3):
+            decision = reservoir.offer(doc)
+            assert decision.admitted
+            assert decision.evicted is None
+        assert sorted(reservoir.members()) == [0, 1, 2]
+
+    def test_never_exceeds_size(self):
+        reservoir = DocumentReservoir(5, random.Random(1))
+        for doc in range(100):
+            reservoir.offer(doc)
+        assert len(reservoir) == 5
+
+    def test_eviction_reported_on_admission(self):
+        reservoir = DocumentReservoir(2, random.Random(2))
+        reservoir.offer(0)
+        reservoir.offer(1)
+        for doc in range(2, 100):
+            decision = reservoir.offer(doc)
+            if decision.admitted:
+                assert decision.evicted is not None
+                assert decision.evicted not in reservoir
+                assert doc in reservoir
+            else:
+                assert decision.evicted is None
+
+    def test_seen_counts_offers(self):
+        reservoir = DocumentReservoir(2, random.Random(3))
+        for doc in range(10):
+            reservoir.offer(doc)
+        assert reservoir.seen == 10
+
+    def test_contains(self):
+        reservoir = DocumentReservoir(2, random.Random(4))
+        reservoir.offer(42)
+        assert 42 in reservoir
+        assert 7 not in reservoir
+
+
+class TestUniformity:
+    def test_admission_probability_is_s_over_k(self):
+        """Across many runs, each stream position should be resident with
+        probability s/N at the end — the defining reservoir property."""
+        s, n, runs = 5, 40, 3_000
+        counts = Counter()
+        for run in range(runs):
+            reservoir = DocumentReservoir(s, random.Random(run))
+            for doc in range(n):
+                reservoir.offer(doc)
+            counts.update(reservoir.members())
+        expected = runs * s / n
+        for doc in range(n):
+            assert abs(counts[doc] - expected) < expected * 0.30
+
+    def test_members_are_distinct(self):
+        reservoir = DocumentReservoir(10, random.Random(9))
+        for doc in range(200):
+            reservoir.offer(doc)
+        members = reservoir.members()
+        assert len(members) == len(set(members))

@@ -1,0 +1,168 @@
+"""Semantic communities and the content-based routing simulation."""
+
+import pytest
+
+from repro.core.pattern_parser import parse_xpath
+from repro.core.similarity import SimilarityEstimator
+from repro.routing.broker import RoutingSimulator
+from repro.routing.community import (
+    Community,
+    agglomerative_clustering,
+    leader_clustering,
+)
+from repro.xmltree.corpus import DocumentCorpus
+
+
+@pytest.fixture()
+def corpus(figure2_documents):
+    return DocumentCorpus(figure2_documents)
+
+
+@pytest.fixture()
+def subscriptions():
+    # Three "b-interested", two "d-interested", one universal subscriber.
+    return [
+        parse_xpath("/a/b"),
+        parse_xpath("/a/b/e"),
+        parse_xpath("/a/b/e/k"),
+        parse_xpath("/a/d"),
+        parse_xpath("/a/d/e/m"),
+        parse_xpath("/a"),
+    ]
+
+
+@pytest.fixture()
+def similarity(corpus):
+    estimator = SimilarityEstimator(corpus)
+
+    def fn(p, q):
+        return estimator.similarity(p, q, metric="M3")
+
+    return fn
+
+
+class TestCommunity:
+    def test_leader_always_member(self):
+        community = Community(leader=3, members=[1, 2])
+        assert 3 in community
+        assert len(community) == 3
+
+
+class TestLeaderClustering:
+    def test_invalid_threshold(self, subscriptions, similarity):
+        with pytest.raises(ValueError):
+            leader_clustering(subscriptions, similarity, threshold=1.5)
+
+    def test_zero_threshold_single_community(self, subscriptions, similarity):
+        communities = leader_clustering(subscriptions, similarity, threshold=0.0)
+        assert len(communities) == 1
+        assert len(communities[0]) == len(subscriptions)
+
+    def test_exact_threshold_groups_equivalents(self, subscriptions, similarity):
+        # /a/b, /a/b/e and /a/b/e/k all match exactly {1,2,3}: M3 = 1.
+        communities = leader_clustering(subscriptions, similarity, threshold=1.0)
+        by_member = {}
+        for index, community in enumerate(communities):
+            for member in community.members:
+                by_member[member] = index
+        assert by_member[0] == by_member[1] == by_member[2]
+        assert by_member[3] == by_member[4]
+        assert by_member[5] not in (by_member[0], by_member[3])
+
+    def test_partition_covers_everything(self, subscriptions, similarity):
+        communities = leader_clustering(subscriptions, similarity, threshold=0.5)
+        members = sorted(m for c in communities for m in c.members)
+        assert members == list(range(len(subscriptions)))
+
+    def test_empty_input(self, similarity):
+        assert leader_clustering([], similarity, threshold=0.5) == []
+
+
+class TestAgglomerativeClustering:
+    def test_target_community_count(self, subscriptions, similarity):
+        communities = agglomerative_clustering(
+            subscriptions, similarity, n_communities=2
+        )
+        assert len(communities) == 2
+
+    def test_merges_most_similar_first(self, subscriptions, similarity):
+        communities = agglomerative_clustering(
+            subscriptions, similarity, n_communities=3
+        )
+        groups = [sorted(c.members) for c in communities]
+        # The b-family {0,1,2} must end up together before unrelated merges.
+        assert any(set([0, 1, 2]) <= set(g) for g in groups)
+
+    def test_min_similarity_stops_merging(self, subscriptions, similarity):
+        communities = agglomerative_clustering(
+            subscriptions, similarity, n_communities=1, min_similarity=0.99
+        )
+        # Only the perfect-similarity families can merge.
+        assert len(communities) == 3
+
+    def test_invalid_count(self, subscriptions, similarity):
+        with pytest.raises(ValueError):
+            agglomerative_clustering(subscriptions, similarity, n_communities=0)
+
+    def test_empty(self, similarity):
+        assert agglomerative_clustering([], similarity, 3) == []
+
+
+class TestRoutingSimulator:
+    def test_per_subscription_is_perfect(self, corpus, subscriptions):
+        simulator = RoutingSimulator(corpus, subscriptions)
+        stats = simulator.per_subscription()
+        assert stats.precision == 1.0
+        assert stats.recall == 1.0
+        assert stats.match_operations == len(corpus) * len(subscriptions)
+
+    def test_flooding_full_recall_low_precision(self, corpus, subscriptions):
+        simulator = RoutingSimulator(corpus, subscriptions)
+        stats = simulator.flooding()
+        assert stats.recall == 1.0
+        assert stats.precision < 1.0
+        assert stats.match_operations == 0
+
+    def test_singleton_communities_are_perfect(self, corpus, subscriptions):
+        simulator = RoutingSimulator(corpus, subscriptions)
+        singletons = [Community(leader=i) for i in range(len(subscriptions))]
+        stats = simulator.community(singletons)
+        assert stats.precision == 1.0
+        assert stats.recall == 1.0
+
+    def test_coherent_communities_good_quality(
+        self, corpus, subscriptions, similarity
+    ):
+        simulator = RoutingSimulator(corpus, subscriptions)
+        communities = leader_clustering(subscriptions, similarity, threshold=1.0)
+        stats = simulator.community(communities)
+        # Equivalence-class communities deliver exactly the right documents.
+        assert stats.precision == 1.0
+        assert stats.recall == 1.0
+        assert stats.match_operations < len(corpus) * len(subscriptions)
+
+    def test_incoherent_single_community(self, corpus, subscriptions):
+        simulator = RoutingSimulator(corpus, subscriptions)
+        one = [Community(leader=5, members=list(range(len(subscriptions))))]
+        stats = simulator.community(one)
+        # Leader /a matches everything: full recall, flooding-level precision.
+        assert stats.recall == 1.0
+        assert stats.precision < 1.0
+        assert stats.match_operations == len(corpus)
+
+    def test_community_must_cover_all(self, corpus, subscriptions):
+        simulator = RoutingSimulator(corpus, subscriptions)
+        with pytest.raises(ValueError):
+            simulator.community([Community(leader=0)])
+
+    def test_stats_properties_on_empty(self):
+        from repro.routing.broker import RoutingStats
+
+        stats = RoutingStats(
+            strategy="x", documents=0, subscribers=0, deliveries=0,
+            true_deliveries=0, false_positives=0, false_negatives=0,
+            match_operations=0,
+        )
+        assert stats.precision == 1.0
+        assert stats.recall == 1.0
+        assert stats.matches_per_document == 0.0

@@ -1,0 +1,116 @@
+"""Synopsis serialisation round trips for all modes and pruned structures."""
+
+import json
+
+import pytest
+
+from repro.core.pattern_parser import parse_xpath
+from repro.core.selectivity import SelectivityEstimator
+from repro.synopsis.compression import compress_to_ratio
+from repro.synopsis.serialize import (
+    dump_synopsis,
+    load_synopsis,
+    synopsis_from_dict,
+    synopsis_to_dict,
+)
+from repro.synopsis.size import measure
+from repro.synopsis.synopsis import DocumentSynopsis
+from repro.xmltree.tree import XMLTree
+
+PATTERNS = ["/a", "/a/b", "/a[b][d]", "//e", "/a/c/f/o", "//e[k][m]"]
+
+
+def assert_estimates_equal(first, second):
+    est_a = SelectivityEstimator(first)
+    est_b = SelectivityEstimator(second)
+    for expression in PATTERNS:
+        pattern = parse_xpath(expression)
+        assert est_a.selectivity(pattern) == pytest.approx(
+            est_b.selectivity(pattern)
+        ), expression
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("mode", ["counters", "sets", "hashes"])
+    def test_round_trip_preserves_estimates(self, figure2_synopsis_factory, mode):
+        original = figure2_synopsis_factory(mode=mode)
+        restored = synopsis_from_dict(synopsis_to_dict(original))
+        assert restored.mode == original.mode
+        assert restored.n_documents == original.n_documents
+        assert measure(restored).total == measure(original).total
+        assert_estimates_equal(original, restored)
+
+    def test_json_compatible(self, figure2_synopsis_factory):
+        data = synopsis_to_dict(figure2_synopsis_factory(mode="hashes"))
+        json.dumps(data)  # must not raise
+
+    def test_round_trip_compressed_synopsis(self, figure2_synopsis_factory):
+        original = figure2_synopsis_factory(mode="hashes")
+        compress_to_ratio(original, 0.6)
+        restored = synopsis_from_dict(synopsis_to_dict(original))
+        assert measure(restored).total == measure(original).total
+        assert_estimates_equal(original, restored)
+
+    def test_round_trip_preserves_folded_labels(self, figure2_synopsis_factory):
+        from repro.synopsis.pruning import fold_leaves
+
+        original = figure2_synopsis_factory(mode="sets")
+        fold_leaves(original, lossless_only=True)
+        restored = synopsis_from_dict(synopsis_to_dict(original))
+        original_labels = sorted(
+            node.label.render() for node in original.iter_nodes()
+        )
+        restored_labels = sorted(
+            node.label.render() for node in restored.iter_nodes()
+        )
+        assert original_labels == restored_labels
+
+    def test_round_trip_preserves_dag(self):
+        from repro.synopsis.pruning import merge_same_label
+
+        original = DocumentSynopsis(mode="sets", capacity=10)
+        original.insert_document(
+            XMLTree.from_nested(("a", [("b", ["x"]), ("c", ["x"])]), doc_id=0)
+        )
+        merge_same_label(original, min_similarity=0.0)
+        restored = synopsis_from_dict(synopsis_to_dict(original))
+        assert restored.n_nodes == original.n_nodes
+        assert measure(restored).edges == measure(original).edges
+
+    def test_continue_inserting_after_restore(self, figure2_synopsis_factory):
+        restored = synopsis_from_dict(
+            synopsis_to_dict(figure2_synopsis_factory(mode="hashes"))
+        )
+        before = restored.n_documents
+        restored.insert_document(XMLTree.from_nested(("a", [("b", ["e"])])))
+        assert restored.n_documents == before + 1
+        estimator = SelectivityEstimator(restored)
+        assert estimator.selectivity(parse_xpath("/a")) == pytest.approx(1.0)
+
+    def test_sets_mode_reservoir_restored(self, figure2_synopsis_factory):
+        original = figure2_synopsis_factory(mode="sets")
+        restored = synopsis_from_dict(synopsis_to_dict(original))
+        assert restored.reservoir is not None
+        assert sorted(restored.reservoir.members()) == [1, 2, 3, 4, 5, 6]
+        assert restored.reservoir.seen == 6
+
+
+class TestFileIO:
+    def test_dump_and_load(self, figure2_synopsis_factory, tmp_path):
+        original = figure2_synopsis_factory(mode="hashes")
+        path = tmp_path / "synopsis.json"
+        dump_synopsis(original, str(path))
+        restored = load_synopsis(str(path))
+        assert_estimates_equal(original, restored)
+
+
+class TestFormatGuards:
+    def test_rejects_foreign_payload(self):
+        with pytest.raises(ValueError):
+            synopsis_from_dict({"format": "something-else"})
+
+    def test_rejects_future_version(self, figure2_synopsis_factory):
+        data = synopsis_to_dict(figure2_synopsis_factory())
+        data["version"] = 99
+        with pytest.raises(ValueError):
+            synopsis_from_dict(data)

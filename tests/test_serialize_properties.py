@@ -1,0 +1,64 @@
+"""Property tests: serialisation round-trips arbitrary synopses, including
+randomly pruned ones, preserving structure and every estimate."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.selectivity import SelectivityEstimator
+from repro.synopsis.pruning import (
+    delete_low_cardinality,
+    fold_leaves,
+    merge_same_label,
+)
+from repro.synopsis.serialize import synopsis_from_dict, synopsis_to_dict
+from repro.synopsis.size import measure
+from repro.synopsis.synopsis import DocumentSynopsis
+from tests.strategies import tree_patterns, xml_trees
+from tests.test_selectivity_properties import corpora
+
+
+@st.composite
+def built_synopses(draw):
+    docs = draw(corpora())
+    mode = draw(st.sampled_from(["counters", "sets", "hashes"]))
+    capacity = draw(st.integers(1, 50))
+    synopsis = DocumentSynopsis(mode=mode, capacity=capacity, seed=draw(st.integers(0, 99)))
+    for doc in docs:
+        synopsis.insert_document(doc)
+    # Optionally prune, in a random order.
+    operations = draw(
+        st.lists(st.sampled_from(["fold", "delete", "merge"]), max_size=3)
+    )
+    for operation in operations:
+        if operation == "fold":
+            fold_leaves(synopsis, min_similarity=0.5)
+        elif operation == "delete":
+            delete_low_cardinality(synopsis, max_deletions=2)
+        else:
+            merge_same_label(synopsis, min_similarity=0.5)
+    return synopsis
+
+
+@settings(max_examples=60, deadline=None)
+@given(built_synopses(), tree_patterns())
+def test_round_trip_preserves_estimates(synopsis, pattern):
+    restored = synopsis_from_dict(synopsis_to_dict(synopsis))
+    assert measure(restored).total == measure(synopsis).total
+    original = SelectivityEstimator(synopsis).selectivity(pattern)
+    recovered = SelectivityEstimator(restored).selectivity(pattern)
+    assert original == recovered
+
+
+@settings(max_examples=60, deadline=None)
+@given(built_synopses())
+def test_round_trip_preserves_structure(synopsis):
+    restored = synopsis_from_dict(synopsis_to_dict(synopsis))
+    original_labels = sorted(n.label.render() for n in synopsis.iter_nodes())
+    restored_labels = sorted(n.label.render() for n in restored.iter_nodes())
+    assert original_labels == restored_labels
+    assert restored.n_documents == synopsis.n_documents
+
+    # The dict form must be stable under a second round trip.
+    once = synopsis_to_dict(restored)
+    twice = synopsis_to_dict(synopsis_from_dict(once))
+    assert once == twice

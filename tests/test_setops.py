@@ -1,0 +1,166 @@
+"""SampleView algebra: aligned unions/intersections and cardinality
+estimation over shared-hash distinct samples."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.synopsis.hashes import DistinctHasher, HashSample
+from repro.synopsis.setops import SampleView, intersect_views, union_views
+
+
+def view_of(hasher, ids, capacity=1000):
+    sample = HashSample(hasher, capacity)
+    for x in ids:
+        sample.insert(x)
+    return SampleView.of_hash_sample(sample)
+
+
+class TestConstruction:
+    def test_of_set_is_exact(self):
+        view = SampleView.of_set([1, 2, 3])
+        assert view.level == 0
+        assert view.estimate_cardinality() == 3.0
+
+    def test_empty(self):
+        view = SampleView.empty()
+        assert view.is_empty()
+        assert view.estimate_cardinality() == 0.0
+
+    def test_leveled_view_needs_hasher(self):
+        with pytest.raises(ValueError):
+            SampleView(frozenset({1}), level=2, hasher=None)
+
+    def test_of_hash_sample(self):
+        hasher = DistinctHasher(1)
+        view = view_of(hasher, range(10))
+        assert view.ids == frozenset(range(10))
+
+
+class TestAlignment:
+    def test_at_level_same(self):
+        view = SampleView.of_set([1, 2])
+        assert view.at_level(0) == {1, 2}
+
+    def test_at_level_lower_rejected(self):
+        hasher = DistinctHasher(2)
+        view = SampleView(frozenset({1}), level=3, hasher=hasher)
+        with pytest.raises(ValueError):
+            view.at_level(1)
+
+    def test_at_level_filters(self):
+        hasher = DistinctHasher(3)
+        ids = frozenset(range(100))
+        view = SampleView(ids, level=0, hasher=hasher)
+        raised = view.at_level(2)
+        assert raised == {x for x in ids if hasher.level_of(x) >= 2}
+
+    def test_empty_view_aligns_to_any_level(self):
+        # An empty level-0 view without a hasher must still combine with
+        # leveled views (SEL produces these constantly).
+        hasher = DistinctHasher(4)
+        leveled = SampleView(frozenset({1, 2}), level=2, hasher=hasher)
+        union = SampleView.empty().union(leveled)
+        assert union.level == 2
+        assert union.ids == {1, 2}
+
+
+class TestSetSemantics:
+    def test_union_level0(self):
+        a = SampleView.of_set([1, 2])
+        b = SampleView.of_set([2, 3])
+        assert a.union(b).ids == {1, 2, 3}
+
+    def test_intersect_level0(self):
+        a = SampleView.of_set([1, 2])
+        b = SampleView.of_set([2, 3])
+        assert a.intersect(b).ids == {2}
+
+    def test_union_views_empty_sequence(self):
+        assert union_views([]).is_empty()
+
+    def test_intersect_views_requires_operand(self):
+        with pytest.raises(ValueError):
+            intersect_views([])
+
+    def test_union_many(self):
+        views = [SampleView.of_set([i]) for i in range(5)]
+        assert union_views(views).ids == {0, 1, 2, 3, 4}
+
+    def test_intersect_many(self):
+        views = [SampleView.of_set(range(i, i + 10)) for i in range(3)]
+        assert intersect_views(views).ids == {2, 3, 4, 5, 6, 7, 8, 9}
+
+    def test_jaccard_identical(self):
+        a = SampleView.of_set([1, 2, 3])
+        assert a.jaccard(SampleView.of_set([1, 2, 3])) == 1.0
+
+    def test_jaccard_disjoint(self):
+        a = SampleView.of_set([1])
+        assert a.jaccard(SampleView.of_set([2])) == 0.0
+
+    def test_jaccard_both_empty(self):
+        assert SampleView.empty().jaccard(SampleView.empty()) == 1.0
+
+    def test_equality(self):
+        assert SampleView.of_set([1]) == SampleView.of_set([1])
+        assert SampleView.of_set([1]) != SampleView.of_set([2])
+
+
+class TestLeveledSemantics:
+    def test_union_aligns_to_max_level(self):
+        hasher = DistinctHasher(5)
+        low = SampleView(frozenset(range(50)), level=0, hasher=hasher)
+        high_ids = frozenset(
+            x for x in range(50, 100) if hasher.level_of(x) >= 2
+        )
+        high = SampleView(high_ids, level=2, hasher=hasher)
+        union = low.union(high)
+        assert union.level == 2
+        expected = {x for x in range(50) if hasher.level_of(x) >= 2} | high_ids
+        assert union.ids == expected
+
+    def test_estimate_scales_with_level(self):
+        hasher = DistinctHasher(6)
+        view = SampleView(frozenset({1, 2, 3}), level=4, hasher=hasher)
+        assert view.estimate_cardinality() == 3 * 16.0
+
+    def test_coherence_of_expression(self):
+        """(A ∪ B) ∩ C on views equals the filtered true expression."""
+        hasher = DistinctHasher(7)
+        a = view_of(hasher, range(0, 1_000), capacity=64)
+        b = view_of(hasher, range(500, 1_500), capacity=64)
+        c = view_of(hasher, range(800, 2_000), capacity=64)
+        result = a.union(b).intersect(c)
+        truth = (set(range(0, 1_500))) & set(range(800, 2_000))
+        expected = {x for x in truth if hasher.level_of(x) >= result.level}
+        assert result.ids == expected
+
+
+class TestProperties:
+    @settings(max_examples=100, deadline=None)
+    @given(
+        st.sets(st.integers(0, 500), max_size=80),
+        st.sets(st.integers(0, 500), max_size=80),
+        st.integers(0, 2**32),
+        st.integers(1, 32),
+    )
+    def test_union_intersect_coherence(self, xs, ys, seed, capacity):
+        hasher = DistinctHasher(seed)
+        a = view_of(hasher, xs, capacity)
+        b = view_of(hasher, ys, capacity)
+        union = a.union(b)
+        inter = a.intersect(b)
+        level_u = union.level
+        level_i = inter.level
+        assert union.ids == {
+            x for x in (xs | ys) if hasher.level_of(x) >= level_u
+        }
+        assert inter.ids == {
+            x for x in (xs & ys) if hasher.level_of(x) >= level_i
+        }
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.sets(st.integers(0, 200), max_size=50))
+    def test_level0_estimates_exact(self, xs):
+        assert SampleView.of_set(xs).estimate_cardinality() == float(len(xs))

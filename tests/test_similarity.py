@@ -1,0 +1,154 @@
+"""Proximity metrics M1, M2, M3 (Section 4) on exact and estimated providers."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.pattern_parser import parse_xpath
+from repro.core.selectivity import SelectivityEstimator
+from repro.core.similarity import (
+    METRICS,
+    SimilarityEstimator,
+    m1_conditional,
+    m2_mean_conditional,
+    m3_joint_over_union,
+)
+from repro.xmltree.corpus import DocumentCorpus
+from tests.strategies import tree_patterns, xml_trees
+from tests.test_selectivity_properties import build_synopsis, corpora
+
+
+@pytest.fixture()
+def corpus(figure2_documents):
+    return DocumentCorpus(figure2_documents)
+
+
+class TestMetricValues:
+    """Hand-computed values over the Figure 2 corpus.
+
+    //b matches docs {1,2,3}, //q matches {4}, //o matches {3,4},
+    //e matches {1,2,3,4,5,6}.
+    """
+
+    def test_m1_asymmetric(self, corpus):
+        b = parse_xpath("//b")
+        e = parse_xpath("//e")
+        # P(e|b) = P(e ∧ b)/P(b) = (3/6)/(3/6) = 1; P(b|e) = (3/6)/1 = 1/2.
+        assert m1_conditional(corpus, e, b) == pytest.approx(1.0)
+        assert m1_conditional(corpus, b, e) == pytest.approx(0.5)
+
+    def test_m2_symmetric_mean(self, corpus):
+        b = parse_xpath("//b")
+        e = parse_xpath("//e")
+        expected = (1.0 + 0.5) / 2
+        assert m2_mean_conditional(corpus, b, e) == pytest.approx(expected)
+        assert m2_mean_conditional(corpus, e, b) == pytest.approx(expected)
+
+    def test_m3_jaccard(self, corpus):
+        b = parse_xpath("//b")
+        o = parse_xpath("//o")
+        # b:{1,2,3}, o:{3,4}; joint {3}; union {1,2,3,4}.
+        assert m3_joint_over_union(corpus, b, o) == pytest.approx(1 / 4)
+
+    def test_disjoint_patterns_zero(self, corpus):
+        q = parse_xpath("//q")   # {4}
+        p = parse_xpath("//p")   # {5}
+        for metric in METRICS.values():
+            assert metric(corpus, q, p) == 0.0
+
+    def test_identical_patterns_one(self, corpus):
+        b = parse_xpath("//b")
+        for metric in METRICS.values():
+            assert metric(corpus, b, b) == pytest.approx(1.0)
+
+    def test_zero_denominator_handled(self, corpus):
+        nothing = parse_xpath("/zzz")
+        b = parse_xpath("//b")
+        assert m1_conditional(corpus, b, nothing) == 0.0
+        assert m2_mean_conditional(corpus, b, nothing) == 0.0
+        assert m3_joint_over_union(corpus, nothing, nothing) == 0.0
+
+
+class TestSimilarityEstimatorWrapper:
+    def test_metric_dispatch(self, corpus):
+        estimator = SimilarityEstimator(corpus)
+        b, e = parse_xpath("//b"), parse_xpath("//e")
+        assert estimator.similarity(b, e, metric="M1") == m1_conditional(
+            corpus, b, e
+        )
+        assert estimator.similarity(b, e, metric="M3") == m3_joint_over_union(
+            corpus, b, e
+        )
+
+    def test_unknown_metric(self, corpus):
+        with pytest.raises(ValueError):
+            SimilarityEstimator(corpus).similarity(
+                parse_xpath("/a"), parse_xpath("/a"), metric="M9"
+            )
+
+    def test_matrix_shape_and_symmetry(self, corpus):
+        patterns = [parse_xpath("//b"), parse_xpath("//o"), parse_xpath("//e")]
+        matrix = SimilarityEstimator(corpus).matrix(patterns, metric="M3")
+        assert len(matrix) == 3 and all(len(row) == 3 for row in matrix)
+        for i in range(3):
+            assert matrix[i][i] == pytest.approx(1.0)
+            for j in range(3):
+                assert matrix[i][j] == pytest.approx(matrix[j][i])
+
+    def test_matrix_m1_asymmetric(self, corpus):
+        patterns = [parse_xpath("//b"), parse_xpath("//e")]
+        matrix = SimilarityEstimator(corpus).matrix(patterns, metric="M1")
+        assert matrix[0][1] != matrix[1][0]
+
+
+class TestEstimatedVsExact:
+    def test_lossless_sets_estimator_matches_exact(self, figure2_documents):
+        corpus = DocumentCorpus(figure2_documents)
+        synopsis = build_synopsis(figure2_documents, mode="sets")
+        estimated = SelectivityEstimator(synopsis)
+        pairs = [
+            (parse_xpath("//b"), parse_xpath("//e")),
+            (parse_xpath("//o"), parse_xpath("//q")),
+            (parse_xpath("/a/b"), parse_xpath("/a/c")),
+        ]
+        for p, q in pairs:
+            for name, metric in METRICS.items():
+                # Skeletonisation can only widen match sets; on this corpus
+                # patterns are skeleton-exact, so values must agree.
+                assert metric(estimated, p, q) == pytest.approx(
+                    metric(corpus, p, q)
+                ), (name, p, q)
+
+
+class TestMetricProperties:
+    @settings(max_examples=80, deadline=None)
+    @given(corpora(), tree_patterns(), tree_patterns())
+    def test_bounds_and_symmetry(self, docs, p, q):
+        corpus = DocumentCorpus(docs)
+        for name, metric in METRICS.items():
+            value = metric(corpus, p, q)
+            assert 0.0 <= value <= 1.0
+        assert m2_mean_conditional(corpus, p, q) == pytest.approx(
+            m2_mean_conditional(corpus, q, p)
+        )
+        assert m3_joint_over_union(corpus, p, q) == pytest.approx(
+            m3_joint_over_union(corpus, q, p)
+        )
+
+    @settings(max_examples=80, deadline=None)
+    @given(corpora(), tree_patterns(), tree_patterns())
+    def test_m3_never_exceeds_m1(self, docs, p, q):
+        # joint/union <= joint/max(P(p),P(q)) <= min conditional <= M1, M2.
+        corpus = DocumentCorpus(docs)
+        m1 = m1_conditional(corpus, p, q)
+        m2 = m2_mean_conditional(corpus, p, q)
+        m3 = m3_joint_over_union(corpus, p, q)
+        assert m3 <= m1 + 1e-12
+        assert m3 <= m2 + 1e-12
+
+    @settings(max_examples=80, deadline=None)
+    @given(corpora(), tree_patterns())
+    def test_self_similarity(self, docs, p):
+        corpus = DocumentCorpus(docs)
+        expected = 1.0 if corpus.selectivity(p) > 0 else 0.0
+        for metric in METRICS.values():
+            assert metric(corpus, p, p) == pytest.approx(expected)

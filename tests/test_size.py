@@ -1,0 +1,78 @@
+"""Synopsis size accounting (|HS| = nodes + edges + labels + entries)."""
+
+import pytest
+
+from repro.synopsis.pruning import fold_leaves, merge_same_label
+from repro.synopsis.size import SynopsisSize, measure
+from repro.synopsis.synopsis import DocumentSynopsis
+from repro.xmltree.tree import XMLTree
+
+
+class TestSynopsisSize:
+    def test_total(self):
+        size = SynopsisSize(nodes=10, edges=9, label_atoms=10, entries=25)
+        assert size.total == 54
+
+    def test_approx_bytes(self):
+        size = SynopsisSize(nodes=1, edges=0, label_atoms=1, entries=1)
+        assert size.approx_bytes == 12
+
+    def test_str(self):
+        size = SynopsisSize(nodes=1, edges=0, label_atoms=1, entries=0)
+        assert "|HS|=2" in str(size)
+
+
+class TestMeasure:
+    def test_empty_synopsis(self):
+        size = measure(DocumentSynopsis(mode="sets"))
+        assert size.nodes == 1       # the root
+        assert size.edges == 0
+        assert size.label_atoms == 1
+        assert size.entries == 0
+
+    def test_figure2_sets(self, figure2_synopsis_factory):
+        synopsis = figure2_synopsis_factory(mode="sets")
+        size = measure(synopsis)
+        assert size.nodes == 26
+        assert size.edges == 25          # a tree: nodes - 1
+        assert size.label_atoms == 26    # one atom per plain node
+        # Ids are stored at skeleton-path final nodes only.
+        expected_entries = sum(
+            len(node.summary)
+            for node in synopsis.iter_nodes()
+            if node is not synopsis.root
+        )
+        assert size.entries == expected_entries
+
+    def test_counters_one_entry_per_node(self, figure2_synopsis_factory):
+        synopsis = figure2_synopsis_factory(mode="counters")
+        size = measure(synopsis)
+        assert size.entries == size.nodes
+
+    def test_folding_moves_cost_to_labels(self, figure2_synopsis_factory):
+        synopsis = figure2_synopsis_factory(mode="sets")
+        before = measure(synopsis)
+        fold_leaves(synopsis, lossless_only=True)
+        after = measure(synopsis)
+        assert after.nodes < before.nodes
+        assert after.label_atoms == before.label_atoms  # atoms preserved
+        assert after.total < before.total               # nodes+edges saved
+
+    def test_merging_reduces_nodes(self, figure2_synopsis_factory):
+        synopsis = figure2_synopsis_factory(mode="sets")
+        before = measure(synopsis)
+        merged = merge_same_label(synopsis, min_similarity=0.0)
+        assert merged > 0
+        assert measure(synopsis).nodes < before.nodes
+
+    def test_dag_edges_counted(self):
+        synopsis = DocumentSynopsis(mode="sets", capacity=10)
+        synopsis.insert_document(
+            XMLTree.from_nested(("a", [("b", ["x"]), ("c", ["x"])]), doc_id=0)
+        )
+        merge_same_label(synopsis, min_similarity=0.0)
+        size = measure(synopsis)
+        # Nodes: root, a, b, c, x(shared) = 5; edges: root-a, a-b, a-c,
+        # b-x, c-x = 5 (a DAG has edges >= nodes - 1).
+        assert size.nodes == 5
+        assert size.edges == 5

@@ -1,0 +1,112 @@
+"""Skeleton trees (Section 3.1): coalescing, idempotence, path extraction."""
+
+from hypothesis import given
+
+from repro.xmltree.skeleton import is_skeleton, skeleton, skeleton_paths
+from repro.xmltree.tree import XMLTree
+from tests.strategies import xml_trees
+
+
+def label_paths(tree: XMLTree) -> set[tuple[str, ...]]:
+    """All distinct root-to-node label paths of a tree."""
+    return {tree.path_labels(node) for node in tree.iter_preorder()}
+
+
+class TestSkeleton:
+    def test_same_tag_children_coalesced(self):
+        tree = XMLTree.from_nested(("a", [("b", ["c"]), ("b", ["d"])]))
+        result = skeleton(tree)
+        assert result.to_nested() == ("a", [("b", ["c", "d"])])
+
+    def test_coalescing_cascades(self):
+        # Two b-children each with an e-child: the e's merge too.
+        tree = XMLTree.from_nested(
+            ("a", [("b", [("e", ["k"])]), ("b", [("e", ["m"])])])
+        )
+        result = skeleton(tree)
+        assert result.to_nested() == ("a", [("b", [("e", ["k", "m"])])])
+
+    def test_distinct_tags_untouched(self):
+        tree = XMLTree.from_nested(("a", ["b", "c", "d"]))
+        assert skeleton(tree).to_nested() == tree.to_nested()
+
+    def test_figure2_t1(self, figure2_documents):
+        result = skeleton(figure2_documents[0])
+        # Paper: skeleton of T1 is a(b(e(k,m), g(n), f))
+        assert result.to_nested() == (
+            "a",
+            [("b", [("e", ["k", "m"]), ("g", ["n"]), "f"])],
+        )
+
+    def test_figure2_t3(self, figure2_documents):
+        result = skeleton(figure2_documents[2])
+        # Paper: skeleton of T3 is a(b(e(k), f(n)), c(f(o), e(n), h(n)))
+        assert result.to_nested() == (
+            "a",
+            [
+                ("b", [("e", ["k"]), ("f", ["n"])]),
+                ("c", [("f", ["o"]), ("e", ["n"]), ("h", ["n"])]),
+            ],
+        )
+
+    def test_doc_id_preserved(self):
+        tree = XMLTree.from_nested(("a", ["b"]), doc_id=42)
+        assert skeleton(tree).doc_id == 42
+
+
+class TestIsSkeleton:
+    def test_detects_duplicates(self):
+        assert not is_skeleton(XMLTree.from_nested(("a", ["b", "b"])))
+
+    def test_accepts_skeletons(self):
+        assert is_skeleton(XMLTree.from_nested(("a", ["b", "c"])))
+
+
+class TestSkeletonPaths:
+    def test_paths_of_figure2_t1(self, figure2_documents):
+        paths = sorted(skeleton_paths(figure2_documents[0]))
+        assert paths == [
+            ("a", "b", "e", "k"),
+            ("a", "b", "e", "m"),
+            ("a", "b", "f"),
+            ("a", "b", "g", "n"),
+        ]
+
+    def test_single_node_document(self):
+        assert list(skeleton_paths(XMLTree.from_nested("a"))) == [("a",)]
+
+    def test_path_not_extended_by_other_instance(self):
+        # One b is a leaf, another has a child: the coalesced b is NOT a
+        # leaf, so ('a','b') must not be reported as a full path.
+        tree = XMLTree.from_nested(("a", ["b", ("b", ["c"])]))
+        assert sorted(skeleton_paths(tree)) == [("a", "b", "c")]
+
+
+class TestSkeletonProperties:
+    @given(xml_trees())
+    def test_idempotent(self, tree):
+        once = skeleton(tree)
+        twice = skeleton(once)
+        assert once.to_nested() == twice.to_nested()
+
+    @given(xml_trees())
+    def test_result_is_skeleton(self, tree):
+        assert is_skeleton(skeleton(tree))
+
+    @given(xml_trees())
+    def test_label_paths_preserved(self, tree):
+        assert label_paths(tree) == label_paths(skeleton(tree))
+
+    @given(xml_trees())
+    def test_never_larger(self, tree):
+        assert len(skeleton(tree)) <= len(tree)
+
+    @given(xml_trees())
+    def test_paths_match_skeleton_leaves(self, tree):
+        skel = skeleton(tree)
+        expected = {skel.path_labels(leaf) for leaf in skel.leaves()}
+        assert set(skeleton_paths(tree)) == expected
+
+    @given(xml_trees())
+    def test_root_label_preserved(self, tree):
+        assert skeleton(tree).labels[0] == tree.labels[0]
