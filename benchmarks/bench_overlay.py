@@ -1,0 +1,153 @@
+"""Multi-broker overlay routing benchmark.
+
+Sweeps broker count × community threshold over the default NITF quick
+workload and reports, per configuration, the network-wide filtering cost
+(match operations), routing state (table entries), advertisement traffic
+and delivery precision/recall — the paper's scalability trade-off measured
+across an actual overlay instead of one broker.
+
+The headline claims asserted here:
+
+* community-aggregated advertisement performs fewer total match operations
+  than per-subscription advertisement at every broker count;
+* recall stays >= 0.9 at similarity threshold 0.5 on the default workload.
+
+Also runnable standalone for a quick smoke check (used by CI)::
+
+    PYTHONPATH=src python benchmarks/bench_overlay.py --smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.harness import prepare
+from repro.routing.overlay import BrokerOverlay, OverlayStats
+
+BROKER_COUNTS = (2, 4, 8)
+THRESHOLDS = (0.7, 0.5, 0.3)
+N_SUBSCRIBERS = 60
+TOPOLOGY = "random_tree"
+TOPOLOGY_SEED = 11
+ACCEPTANCE_THRESHOLD = 0.5
+
+
+def run_sweep(
+    prepared,
+    n_subscribers: int = N_SUBSCRIBERS,
+    broker_counts: tuple[int, ...] = BROKER_COUNTS,
+    thresholds: tuple[float, ...] = THRESHOLDS,
+    topology: str = TOPOLOGY,
+) -> list[tuple[int, object, OverlayStats]]:
+    """Route the prepared corpus under every (brokers, regime) cell.
+
+    Returns ``(n_brokers, threshold-or-None, stats)`` rows; ``None`` marks
+    the per-subscription baseline.  Community similarity uses the exact
+    corpus provider, isolating the routing trade-off from synopsis
+    estimation error (bench_routing.py covers the estimated-similarity
+    side).
+    """
+    subscriptions = prepared.positive[:n_subscribers]
+    corpus = prepared.corpus
+    rows: list[tuple[int, object, OverlayStats]] = []
+    for n_brokers in broker_counts:
+        overlay = BrokerOverlay.build(topology, n_brokers, seed=TOPOLOGY_SEED)
+        overlay.attach_round_robin(subscriptions)
+        overlay.advertise_subscriptions()
+        rows.append((n_brokers, None, overlay.route_corpus(corpus)))
+        for threshold in thresholds:
+            overlay.advertise_communities(corpus, threshold=threshold)
+            rows.append((n_brokers, threshold, overlay.route_corpus(corpus)))
+    return rows
+
+
+def render(rows: list[tuple[int, object, OverlayStats]]) -> str:
+    header = (
+        f"{'brokers':>7s} {'regime':24s} {'ops':>7s} {'tables':>6s} "
+        f"{'ads':>5s} {'fwd/doc':>7s} {'precision':>9s} {'recall':>7s}"
+    )
+    lines = [header, "-" * len(header)]
+    for n_brokers, threshold, stats in rows:
+        regime = (
+            "per_subscription"
+            if threshold is None
+            else f"community(th={threshold})"
+        )
+        lines.append(
+            f"{n_brokers:7d} {regime:24s} {stats.match_operations:7d} "
+            f"{stats.total_table_entries:6d} "
+            f"{stats.advertisement_messages:5d} "
+            f"{stats.forwards_per_document:7.2f} "
+            f"{stats.precision:9.3f} {stats.recall:7.3f}"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def check_acceptance(rows: list[tuple[int, object, OverlayStats]]) -> None:
+    """Assert the headline claims over a finished sweep."""
+    baselines = {
+        n_brokers: stats for n_brokers, th, stats in rows if th is None
+    }
+    for n_brokers, threshold, stats in rows:
+        if threshold is None:
+            # Per-subscription advertisement routes exactly.
+            assert stats.precision == 1.0 and stats.recall == 1.0, stats
+            continue
+        baseline = baselines[n_brokers]
+        assert stats.match_operations < baseline.match_operations, (
+            n_brokers,
+            threshold,
+        )
+        if threshold == ACCEPTANCE_THRESHOLD:
+            assert stats.recall >= 0.9, (n_brokers, stats.recall)
+
+
+def test_overlay_routing(benchmark, nitf_quick):
+    from _bench_utils import RESULTS_DIR
+
+    prepared = prepare(nitf_quick)
+    rows = benchmark.pedantic(
+        lambda: run_sweep(prepared), rounds=1, iterations=1
+    )
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    report = render(rows)
+    (RESULTS_DIR / "overlay.txt").write_text(report)
+    print()
+    print(report)
+
+    check_acceptance(rows)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny workload: a fast end-to-end sanity run for CI",
+    )
+    parser.add_argument("--dtd", default="nitf", choices=("nitf", "xcbl"))
+    args = parser.parse_args()
+
+    if args.smoke:
+        config = ExperimentConfig.quick(
+            args.dtd, n_documents=60, n_positive=16, n_negative=0, n_pairs=0
+        )
+        prepared = prepare(config)
+        rows = run_sweep(
+            prepared,
+            n_subscribers=16,
+            broker_counts=(2, 3),
+            thresholds=(0.5,),
+        )
+    else:
+        prepared = prepare(ExperimentConfig.quick(args.dtd))
+        rows = run_sweep(prepared)
+    print(render(rows))
+    check_acceptance(rows)
+    print("acceptance checks passed")
+
+
+if __name__ == "__main__":
+    main()

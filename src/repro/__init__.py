@@ -22,6 +22,7 @@ subpackages for the full surface:
 from repro.core import (
     SelectivityEstimator,
     SimilarityEstimator,
+    SimilarityMatrix,
     TreePattern,
     average_relative_error,
     merge_patterns,
@@ -29,6 +30,7 @@ from repro.core import (
     root_mean_square_error,
     to_xpath,
 )
+from repro.routing import BrokerOverlay, OverlayStats, RoutingTable
 from repro.synopsis import DocumentSynopsis, compress_to_ratio, measure
 from repro.xmltree import PatternMatcher, XMLTree, matches, parse_xml, skeleton
 
@@ -41,6 +43,10 @@ __all__ = [
     "merge_patterns",
     "SelectivityEstimator",
     "SimilarityEstimator",
+    "SimilarityMatrix",
+    "BrokerOverlay",
+    "OverlayStats",
+    "RoutingTable",
     "average_relative_error",
     "root_mean_square_error",
     "DocumentSynopsis",

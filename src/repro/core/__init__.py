@@ -16,6 +16,7 @@ from repro.core.selectivity import SelectivityEstimator
 from repro.core.similarity import (
     METRICS,
     SimilarityEstimator,
+    SimilarityMatrix,
     m1_conditional,
     m2_mean_conditional,
     m3_joint_over_union,
@@ -43,6 +44,7 @@ __all__ = [
     "SelectivityEstimator",
     "METRICS",
     "SimilarityEstimator",
+    "SimilarityMatrix",
     "m1_conditional",
     "m2_mean_conditional",
     "m3_joint_over_union",

@@ -13,6 +13,9 @@ Given any provider of selectivities — a synopsis-backed
 ``P(p ∧ q)`` uses the root-merge construction; ``P(p ∨ q)`` follows by
 inclusion-exclusion.  All metrics return values in [0, 1]; pairs whose
 denominator is zero (a pattern that matches nothing) evaluate to 0.
+Canonically equal patterns short-circuit: their similarity is exactly 1.0
+under every metric whenever they match anything at all, without paying for
+a joint-selectivity evaluation.
 """
 
 from __future__ import annotations
@@ -28,6 +31,7 @@ __all__ = [
     "m3_joint_over_union",
     "METRICS",
     "SimilarityEstimator",
+    "SimilarityMatrix",
 ]
 
 
@@ -43,10 +47,17 @@ def _clamp(value: float) -> float:
     return 0.0 if value < 0.0 else 1.0 if value > 1.0 else value
 
 
+def _self_similarity(provider: SelectivityProvider, p: TreePattern) -> float:
+    """Similarity of a pattern with itself: 1 when it matches anything."""
+    return 1.0 if provider.selectivity(p) > 0.0 else 0.0
+
+
 def m1_conditional(
     provider: SelectivityProvider, p: TreePattern, q: TreePattern
 ) -> float:
     """``M1(p, q) = P(p ∧ q) / P(q)`` — probability of p given q."""
+    if p == q:
+        return _self_similarity(provider, p)
     denominator = provider.selectivity(q)
     if denominator <= 0.0:
         return 0.0
@@ -57,6 +68,8 @@ def m2_mean_conditional(
     provider: SelectivityProvider, p: TreePattern, q: TreePattern
 ) -> float:
     """``M2(p, q) = (P(p|q) + P(q|p)) / 2`` — symmetric mean conditional."""
+    if p == q:
+        return _self_similarity(provider, p)
     sel_p = provider.selectivity(p)
     sel_q = provider.selectivity(q)
     if sel_p <= 0.0 or sel_q <= 0.0:
@@ -69,6 +82,8 @@ def m3_joint_over_union(
     provider: SelectivityProvider, p: TreePattern, q: TreePattern
 ) -> float:
     """``M3(p, q) = P(p ∧ q) / P(p ∨ q)`` — Jaccard over matched documents."""
+    if p == q:
+        return _self_similarity(provider, p)
     joint = provider.joint_selectivity(p, q)
     union = provider.selectivity(p) + provider.selectivity(q) - joint
     if union <= 0.0:
@@ -149,3 +164,163 @@ class SimilarityEstimator:
                 else:
                     result[j][i] = self.similarity(patterns[j], patterns[i], metric)
         return result
+
+
+class SimilarityMatrix:
+    """A cached pairwise-similarity engine over a fixed pattern population.
+
+    Every proximity metric of Section 4 is an arithmetic combination of
+    ``P(p)``, ``P(q)`` and ``P(p ∧ q)``; the joint term dominates the cost
+    (it requires a root-merge match or a synopsis probe).  This engine
+    memoises both primitives so that **each distinct pattern's selectivity
+    and each unordered distinct pattern pair's joint selectivity reach the
+    underlying provider at most once**, no matter how many metric
+    evaluations, matrix builds or clustering passes consume the engine.
+
+    The class itself implements the :class:`SelectivityProvider` protocol
+    (memoising pass-through), so the M1/M2/M3 callables evaluate through it
+    unchanged.  It is also directly usable as the ``similarity(p, q)``
+    callable expected by :mod:`repro.routing.community`;
+    ``agglomerative_clustering`` additionally detects an aligned matrix
+    and reads its precomputed values without re-dispatching, while
+    ``leader_clustering`` evaluates lazily through the memo.
+
+    >>> # matrix = SimilarityMatrix(corpus, subscriptions, metric="M3")
+    >>> # matrix.top_k(0, 3)          # closest communities for pattern 0
+    >>> # leader_clustering(subscriptions, matrix, threshold=0.5)
+    """
+
+    def __init__(
+        self,
+        provider: SelectivityProvider,
+        patterns: list[TreePattern],
+        metric: str = "M3",
+    ):
+        if metric not in METRICS:
+            raise ValueError(
+                f"unknown metric {metric!r}; choose from {sorted(METRICS)}"
+            )
+        self.provider = provider
+        self.patterns = list(patterns)
+        self.metric = metric
+        self._selectivity_memo: dict[TreePattern, float] = {}
+        self._joint_memo: dict[frozenset[TreePattern], float] = {}
+        self._values: list[list[float]] | None = None
+
+    # -- memoised SelectivityProvider protocol ------------------------------
+
+    def selectivity(self, pattern: TreePattern) -> float:
+        """``P(p)`` from the provider, computed once per distinct pattern."""
+        cached = self._selectivity_memo.get(pattern)
+        if cached is None:
+            cached = self.provider.selectivity(pattern)
+            self._selectivity_memo[pattern] = cached
+        return cached
+
+    def joint_selectivity(self, p: TreePattern, q: TreePattern) -> float:
+        """``P(p ∧ q)``, computed once per unordered distinct pattern pair.
+
+        The memo key is the frozen *pair* ``{p, q}`` under canonical pattern
+        equality, so ``(p, q)`` and ``(q, p)`` — and any equal-by-canon
+        duplicates in the population — share one provider call.
+        """
+        key = frozenset((p, q))
+        cached = self._joint_memo.get(key)
+        if cached is None:
+            cached = self.provider.joint_selectivity(p, q)
+            self._joint_memo[key] = cached
+        return cached
+
+    # -- metric evaluation ---------------------------------------------------
+
+    def similarity(
+        self, p: TreePattern, q: TreePattern, metric: str | None = None
+    ) -> float:
+        """Proximity of two (arbitrary) patterns through the memo."""
+        name = self.metric if metric is None else metric
+        try:
+            fn = METRICS[name]
+        except KeyError:
+            raise ValueError(
+                f"unknown metric {name!r}; choose from {sorted(METRICS)}"
+            ) from None
+        return fn(self, p, q)
+
+    def __call__(self, p: TreePattern, q: TreePattern) -> float:
+        """Make the engine a drop-in ``SimilarityFn`` for the routing layer."""
+        return self.similarity(p, q)
+
+    def __len__(self) -> int:
+        return len(self.patterns)
+
+    # -- whole-population queries -------------------------------------------
+
+    @property
+    def values(self) -> list[list[float]]:
+        """The full pairwise matrix over the population (computed lazily,
+        once).  ``values[i][j]`` is the configured metric on patterns i, j;
+        asymmetric M1 fills both triangles in their respective directions."""
+        if self._values is None:
+            n = len(self.patterns)
+            symmetric = self.metric != "M1"
+            result = [[0.0] * n for _ in range(n)]
+            for i in range(n):
+                result[i][i] = self.similarity(
+                    self.patterns[i], self.patterns[i]
+                )
+                for j in range(i + 1, n):
+                    value = self.similarity(self.patterns[i], self.patterns[j])
+                    result[i][j] = value
+                    result[j][i] = value if symmetric else self.similarity(
+                        self.patterns[j], self.patterns[i]
+                    )
+            self._values = result
+        return self._values
+
+    def _normalize(self, index: int) -> int:
+        if not -len(self.patterns) <= index < len(self.patterns):
+            raise IndexError(f"pattern index {index} out of range")
+        return index % len(self.patterns)
+
+    def top_k(self, index: int, k: int) -> list[tuple[int, float]]:
+        """The *k* most similar population members to ``patterns[index]``
+        (excluding itself), as ``(index, similarity)`` in decreasing
+        similarity with index as tie-break."""
+        if k < 1:
+            raise ValueError("k must be at least 1")
+        index = self._normalize(index)
+        scored = [
+            (other, score)
+            for other, score in enumerate(self.values[index])
+            if other != index
+        ]
+        scored.sort(key=lambda pair: (-pair[1], pair[0]))
+        return scored[:k]
+
+    def neighbors(self, index: int, threshold: float) -> list[tuple[int, float]]:
+        """All population members with similarity ``>= threshold`` to
+        ``patterns[index]`` (excluding itself), in decreasing similarity."""
+        if not 0.0 <= threshold <= 1.0:
+            raise ValueError("threshold must be in [0, 1]")
+        index = self._normalize(index)
+        found = [
+            (other, score)
+            for other, score in enumerate(self.values[index])
+            if other != index and score >= threshold
+        ]
+        found.sort(key=lambda pair: (-pair[1], pair[0]))
+        return found
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def distinct_joint_pairs(self) -> int:
+        """Distinct unordered pattern pairs whose joint selectivity has been
+        computed so far — the number of provider calls the memo admitted."""
+        return len(self._joint_memo)
+
+    def __repr__(self) -> str:
+        return (
+            f"SimilarityMatrix(patterns={len(self.patterns)}, "
+            f"metric={self.metric!r}, joint_pairs={len(self._joint_memo)})"
+        )

@@ -1,5 +1,27 @@
-"""Content-based routing application layer: semantic communities and the
-broker simulation that motivates the paper's similarity metrics."""
+"""Content-based routing application layer.
+
+Module map:
+
+* :mod:`repro.routing.community` — semantic communities:
+  :func:`leader_clustering` (online, greedy) and
+  :func:`agglomerative_clustering` (offline, average-linkage with
+  incremental linkage maintenance), both able to read a precomputed
+  :class:`~repro.core.similarity.SimilarityMatrix`;
+* :mod:`repro.routing.broker` — the single-broker routing simulation:
+  per-subscription / flooding / community strategies scored for delivery
+  precision, recall and filtering cost;
+* :mod:`repro.routing.table` — covering-aware broker routing tables:
+  pattern → destination entries minimised through
+  :mod:`repro.core.containment`;
+* :mod:`repro.routing.overlay` — the multi-broker overlay: chain / star /
+  random-tree topologies, hop-by-hop advertisement with covering pruning,
+  reverse-path document routing, per-broker cost accounting, and the
+  community-aggregated advertisement regime built on the similarity
+  engine;
+* :mod:`repro.routing.inclusion` — containment-based inclusion forests,
+  the baseline structure the paper's introduction argues is the wrong
+  proximity notion for communities.
+"""
 
 from repro.routing.broker import RoutingSimulator, RoutingStats
 from repro.routing.community import (
@@ -8,6 +30,13 @@ from repro.routing.community import (
     leader_clustering,
 )
 from repro.routing.inclusion import InclusionForest, InclusionNode
+from repro.routing.overlay import (
+    TOPOLOGIES,
+    BrokerNode,
+    BrokerOverlay,
+    OverlayStats,
+)
+from repro.routing.table import RoutingTable, TableEntry
 
 __all__ = [
     "Community",
@@ -17,4 +46,10 @@ __all__ = [
     "RoutingStats",
     "InclusionForest",
     "InclusionNode",
+    "RoutingTable",
+    "TableEntry",
+    "BrokerNode",
+    "BrokerOverlay",
+    "OverlayStats",
+    "TOPOLOGIES",
 ]

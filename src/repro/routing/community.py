@@ -14,6 +14,14 @@ clusterings over a pattern similarity function:
 * :func:`agglomerative_clustering` — average-linkage hierarchical
   clustering down to a target community count; quadratic, but a better
   optimiser for offline re-organisation.
+
+Both accept any ``similarity(p, q)`` callable, including a
+:class:`~repro.core.similarity.SimilarityMatrix`, whose memo shares the
+dominant joint-selectivity work across clustering runs (and with the
+overlay layer).  :func:`agglomerative_clustering` additionally detects a
+matrix aligned with its pattern population and reads the precomputed
+values directly; :func:`leader_clustering` stays lazy on purpose — it
+only ever needs O(n · #communities) of the n² pairs.
 """
 
 from __future__ import annotations
@@ -22,10 +30,35 @@ from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence
 
 from repro.core.pattern import TreePattern
+from repro.core.similarity import SimilarityMatrix
 
 __all__ = ["Community", "leader_clustering", "agglomerative_clustering"]
 
 SimilarityFn = Callable[[TreePattern, TreePattern], float]
+
+
+def _pairwise_values(
+    patterns: Sequence[TreePattern], similarity: SimilarityFn
+) -> list[list[float]]:
+    """The full symmetric similarity matrix over *patterns*.
+
+    An aligned :class:`SimilarityMatrix` (same population, in order) hands
+    over its cached values; any other callable is evaluated once per
+    unordered pair.
+    """
+    if isinstance(similarity, SimilarityMatrix) and similarity.patterns == list(
+        patterns
+    ):
+        return similarity.values
+    n = len(patterns)
+    sims = [[0.0] * n for _ in range(n)]
+    for i in range(n):
+        sims[i][i] = 1.0
+        for j in range(i + 1, n):
+            value = similarity(patterns[i], patterns[j])
+            sims[i][j] = value
+            sims[j][i] = value
+    return sims
 
 
 @dataclass
@@ -85,6 +118,13 @@ def agglomerative_clustering(
     Merging stops early when the best average inter-cluster similarity
     drops below *min_similarity*.  The member most similar to the rest of
     its community becomes the leader.
+
+    Average linkage is cached per cluster pair: after a merge, only the
+    pairs involving the merged cluster are recomputed from the similarity
+    matrix — every untouched pair keeps its cached sum.  The recomputation
+    deliberately iterates members in the same order as a full rescan
+    would, so results (including near-tie merge decisions) are
+    bit-identical to the naive rescan-everything implementation.
     """
     if n_communities < 1:
         raise ValueError("need at least one community")
@@ -92,41 +132,57 @@ def agglomerative_clustering(
     if n == 0:
         return []
 
-    # Precompute the symmetric similarity matrix once.
-    sims = [[0.0] * n for _ in range(n)]
-    for i in range(n):
-        sims[i][i] = 1.0
-        for j in range(i + 1, n):
-            value = similarity(patterns[i], patterns[j])
-            sims[i][j] = value
-            sims[j][i] = value
+    sims = _pairwise_values(patterns, similarity)
 
-    clusters: list[list[int]] = [[i] for i in range(n)]
+    # Active cluster uids in creation order (always ascending: merges keep
+    # the earlier uid, deletions preserve order); ``members[uid]`` holds
+    # pattern indices, ``pair_sum[(u, v)]`` (u < v) the similarity mass
+    # between two active clusters, summed over members of u then v.
+    uids: list[int] = list(range(n))
+    members: dict[int, list[int]] = {uid: [uid] for uid in uids}
+    pair_sum: dict[tuple[int, int], float] = {
+        (i, j): sims[i][j] for i in range(n) for j in range(i + 1, n)
+    }
 
-    def average_linkage(a: list[int], b: list[int]) -> float:
-        total = sum(sims[i][j] for i in a for j in b)
-        return total / (len(a) * len(b))
+    def key(u: int, v: int) -> tuple[int, int]:
+        return (u, v) if u < v else (v, u)
 
-    while len(clusters) > n_communities:
+    def linkage_sum(u: int, v: int) -> float:
+        first, second = (u, v) if u < v else (v, u)
+        return sum(
+            sims[i][j] for i in members[first] for j in members[second]
+        )
+
+    while len(uids) > n_communities:
         best_pair: Optional[tuple[int, int]] = None
         best_score = -1.0
-        for a in range(len(clusters)):
-            for b in range(a + 1, len(clusters)):
-                score = average_linkage(clusters[a], clusters[b])
+        for a in range(len(uids)):
+            for b in range(a + 1, len(uids)):
+                u, v = uids[a], uids[b]
+                score = pair_sum[key(u, v)] / (len(members[u]) * len(members[v]))
                 if score > best_score:
                     best_score = score
                     best_pair = (a, b)
         if best_pair is None or best_score < min_similarity:
             break
         a, b = best_pair
-        clusters[a].extend(clusters[b])
-        del clusters[b]
+        u, v = uids[a], uids[b]
+        members[u].extend(members.pop(v))
+        del uids[b]
+        pair_sum.pop(key(u, v))
+        for w in uids:
+            if w != u:
+                pair_sum.pop(key(v, w))
+                pair_sum[key(u, w)] = linkage_sum(u, w)
 
     communities: list[Community] = []
-    for members in clusters:
+    for uid in uids:
+        group = members[uid]
         leader = max(
-            members,
-            key=lambda i: sum(sims[i][j] for j in members),
+            group,
+            key=lambda i: sum(
+                1.0 if i == j else sims[i][j] for j in group
+            ),
         )
-        communities.append(Community(leader=leader, members=list(members)))
+        communities.append(Community(leader=leader, members=list(group)))
     return communities

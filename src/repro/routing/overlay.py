@@ -1,0 +1,455 @@
+"""Multi-broker overlay routing (the paper's target deployment).
+
+The single-broker simulation in :mod:`repro.routing.broker` measures
+filtering cost at one node; the scalability argument of Section 1 is about
+a *network* of brokers, each holding a routing table whose size and
+filtering cost grow with the subscription population.  This module builds
+that network:
+
+* :class:`BrokerNode` — one broker: neighbours, a covering-aware
+  :class:`~repro.routing.table.RoutingTable`, and the subscriptions homed
+  on it;
+* :class:`BrokerOverlay` — a tree of brokers (chain, star or random tree)
+  that propagates subscription advertisements hop-by-hop (pruned by
+  containment covering), routes document streams end-to-end by
+  reverse-path forwarding, and reports per-broker match operations, table
+  sizes and delivery precision/recall.
+
+Two advertisement regimes realise the paper's trade-off:
+
+* ``advertise_subscriptions`` — every subscription is advertised through
+  the overlay: exact delivery, maximal routing state (the baseline);
+* ``advertise_communities`` — each broker first clusters its local
+  subscriptions into semantic communities with a
+  :class:`~repro.core.similarity.SimilarityMatrix` and advertises one
+  pattern per community: routing state shrinks to one entry per community,
+  delivery quality is governed by community coherence — i.e. by the
+  similarity metric.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from repro.core.pattern import TreePattern
+from repro.core.similarity import SelectivityProvider, SimilarityMatrix
+from repro.routing.community import leader_clustering
+from repro.routing.table import RoutingTable
+from repro.xmltree.corpus import DocumentCorpus
+from repro.xmltree.tree import XMLTree
+
+__all__ = ["BrokerNode", "BrokerOverlay", "OverlayStats", "TOPOLOGIES"]
+
+#: Destination tags used in broker routing tables.
+_FORWARD = "forward"
+_DELIVER = "deliver"
+
+TOPOLOGIES = ("chain", "star", "random_tree")
+
+
+@dataclass
+class BrokerNode:
+    """One broker of the overlay."""
+
+    broker_id: int
+    neighbors: list[int] = field(default_factory=list)
+    table: RoutingTable = field(default_factory=RoutingTable)
+    #: Global subscriber ids homed on this broker.
+    local_subscribers: list[int] = field(default_factory=list)
+    #: Communities advertised in the last aggregation, as
+    #: ``(advertised_pattern, member subscriber ids)``.
+    communities: list[tuple[TreePattern, tuple[int, ...]]] = field(
+        default_factory=list
+    )
+
+    def degree(self) -> int:
+        return len(self.neighbors)
+
+    def __repr__(self) -> str:
+        return (
+            f"BrokerNode(id={self.broker_id}, neighbors={self.neighbors}, "
+            f"subscribers={len(self.local_subscribers)}, "
+            f"table={len(self.table)})"
+        )
+
+
+@dataclass(frozen=True)
+class OverlayStats:
+    """Outcome of routing one document stream through the overlay."""
+
+    mode: str
+    brokers: int
+    documents: int
+    subscribers: int
+    deliveries: int
+    true_deliveries: int
+    false_positives: int
+    false_negatives: int
+    match_operations: int
+    forwards: int
+    advertisement_messages: int
+    table_sizes: dict[int, int]
+    match_operations_by_broker: dict[int, int]
+
+    @property
+    def precision(self) -> float:
+        """Fraction of deliveries that were wanted."""
+        if self.deliveries == 0:
+            return 1.0
+        return self.true_deliveries / self.deliveries
+
+    @property
+    def recall(self) -> float:
+        """Fraction of wanted deliveries that happened."""
+        wanted = self.true_deliveries + self.false_negatives
+        if wanted == 0:
+            return 1.0
+        return self.true_deliveries / wanted
+
+    @property
+    def total_table_entries(self) -> int:
+        """Routing state across the whole overlay."""
+        return sum(self.table_sizes.values())
+
+    @property
+    def matches_per_document(self) -> float:
+        """Network-wide filtering cost per routed document."""
+        if self.documents == 0:
+            return 0.0
+        return self.match_operations / self.documents
+
+    @property
+    def forwards_per_document(self) -> float:
+        """Inter-broker transmissions per routed document."""
+        if self.documents == 0:
+            return 0.0
+        return self.forwards / self.documents
+
+
+class BrokerOverlay:
+    """A tree-shaped broker network with content-based routing."""
+
+    def __init__(self, n_brokers: int, edges: list[tuple[int, int]]):
+        if n_brokers < 1:
+            raise ValueError("need at least one broker")
+        self.brokers: dict[int, BrokerNode] = {
+            broker_id: BrokerNode(broker_id) for broker_id in range(n_brokers)
+        }
+        for a, b in edges:
+            if a == b or a not in self.brokers or b not in self.brokers:
+                raise ValueError(f"invalid overlay edge ({a}, {b})")
+            self.brokers[a].neighbors.append(b)
+            self.brokers[b].neighbors.append(a)
+        for node in self.brokers.values():
+            node.neighbors.sort()
+        self._check_tree(n_brokers, edges)
+        #: subscriber id -> (home broker id, pattern)
+        self.subscriptions: list[tuple[int, TreePattern]] = []
+        self.advertisement_messages = 0
+        self.mode: Optional[str] = None
+
+    @staticmethod
+    def _check_tree(n_brokers: int, edges: list[tuple[int, int]]) -> None:
+        if len(edges) != n_brokers - 1:
+            raise ValueError(
+                f"an overlay tree over {n_brokers} brokers needs exactly "
+                f"{n_brokers - 1} edges, got {len(edges)}"
+            )
+        seen = {0}
+        frontier = [0]
+        adjacency: dict[int, list[int]] = {i: [] for i in range(n_brokers)}
+        for a, b in edges:
+            adjacency[a].append(b)
+            adjacency[b].append(a)
+        while frontier:
+            node = frontier.pop()
+            for neighbor in adjacency[node]:
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    frontier.append(neighbor)
+        if len(seen) != n_brokers:
+            raise ValueError("overlay edges do not connect all brokers")
+
+    # ------------------------------------------------------------------
+    # topology factories
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def chain(cls, n_brokers: int) -> "BrokerOverlay":
+        """``0 — 1 — 2 — ... — n-1`` (maximal diameter)."""
+        return cls(n_brokers, [(i, i + 1) for i in range(n_brokers - 1)])
+
+    @classmethod
+    def star(cls, n_brokers: int) -> "BrokerOverlay":
+        """Broker 0 as hub, all others leaves (minimal diameter)."""
+        return cls(n_brokers, [(0, i) for i in range(1, n_brokers)])
+
+    @classmethod
+    def random_tree(cls, n_brokers: int, seed: int = 0) -> "BrokerOverlay":
+        """A uniformly random recursive tree: broker *i* attaches to a
+        random earlier broker."""
+        rng = random.Random(seed)
+        edges = [
+            (rng.randrange(i), i) for i in range(1, n_brokers)
+        ]
+        return cls(n_brokers, edges)
+
+    @classmethod
+    def build(
+        cls, topology: str, n_brokers: int, seed: int = 0
+    ) -> "BrokerOverlay":
+        """Factory dispatching on a topology name from :data:`TOPOLOGIES`."""
+        if topology == "chain":
+            return cls.chain(n_brokers)
+        if topology == "star":
+            return cls.star(n_brokers)
+        if topology == "random_tree":
+            return cls.random_tree(n_brokers, seed=seed)
+        raise ValueError(
+            f"unknown topology {topology!r}; choose from {TOPOLOGIES}"
+        )
+
+    # ------------------------------------------------------------------
+    # subscription management
+    # ------------------------------------------------------------------
+
+    def attach(self, broker_id: int, pattern: TreePattern) -> int:
+        """Home a new subscriber with *pattern* on *broker_id*; returns its
+        global subscriber id."""
+        if broker_id not in self.brokers:
+            raise ValueError(f"no broker {broker_id}")
+        subscriber_id = len(self.subscriptions)
+        self.subscriptions.append((broker_id, pattern))
+        self.brokers[broker_id].local_subscribers.append(subscriber_id)
+        return subscriber_id
+
+    def attach_round_robin(self, patterns: list[TreePattern]) -> list[int]:
+        """Spread *patterns* over brokers in round-robin order."""
+        return [
+            self.attach(index % len(self.brokers), pattern)
+            for index, pattern in enumerate(patterns)
+        ]
+
+    def reset_routing(self) -> None:
+        """Drop all routing state (tables, communities, ad counters)."""
+        for node in self.brokers.values():
+            node.table = RoutingTable()
+            node.communities = []
+        self.advertisement_messages = 0
+        self.mode = None
+
+    # ------------------------------------------------------------------
+    # advertisement
+    # ------------------------------------------------------------------
+
+    def _propagate(self, home_id: int, pattern: TreePattern) -> None:
+        """Flood one advertisement away from its home broker.
+
+        Each receiving broker installs ``pattern → (forward, sender)`` —
+        reverse-path routing state — and re-advertises to its remaining
+        neighbours only when covering did *not* absorb the entry: if an
+        existing entry for the same link contains the pattern, every broker
+        further out already routes the pattern's documents this way.
+        """
+        frontier = [
+            (neighbor, home_id) for neighbor in self.brokers[home_id].neighbors
+        ]
+        while frontier:
+            broker_id, sender = frontier.pop(0)
+            self.advertisement_messages += 1
+            node = self.brokers[broker_id]
+            if node.table.add(pattern, (_FORWARD, sender)):
+                frontier.extend(
+                    (neighbor, broker_id)
+                    for neighbor in node.neighbors
+                    if neighbor != sender
+                )
+
+    def advertise_subscriptions(self) -> None:
+        """Per-subscription advertisement: exact routing, maximal state."""
+        self.reset_routing()
+        self.mode = "per_subscription"
+        for subscriber_id, (home_id, pattern) in enumerate(self.subscriptions):
+            home = self.brokers[home_id]
+            home.table.add(pattern, (_DELIVER, (subscriber_id,)))
+            self._propagate(home_id, pattern)
+
+    def advertise_communities(
+        self,
+        provider: SelectivityProvider,
+        threshold: float,
+        metric: str = "M3",
+        elect_by_selectivity: bool = True,
+    ) -> None:
+        """Community-aggregated advertisement.
+
+        Each broker clusters its local subscriptions with
+        :func:`~repro.routing.community.leader_clustering` over a
+        :class:`SimilarityMatrix` (one joint-selectivity computation per
+        pattern pair, shared across all queries), then advertises a single
+        pattern per community.  With ``elect_by_selectivity`` the advertised
+        pattern is the community member with the highest selectivity — the
+        member whose match set covers the most of the community's traffic,
+        which trades a little precision for recall; otherwise the
+        clustering leader is advertised.
+        """
+        self.reset_routing()
+        self.mode = f"community(threshold={threshold})"
+        for node in self.brokers.values():
+            if not node.local_subscribers:
+                continue
+            local_patterns = [
+                self.subscriptions[subscriber_id][1]
+                for subscriber_id in node.local_subscribers
+            ]
+            matrix = SimilarityMatrix(provider, local_patterns, metric=metric)
+            communities = leader_clustering(local_patterns, matrix, threshold)
+            for community in communities:
+                members = tuple(
+                    node.local_subscribers[index] for index in community.members
+                )
+                advertised = local_patterns[community.leader]
+                if elect_by_selectivity:
+                    advertised = max(
+                        (local_patterns[index] for index in community.members),
+                        key=matrix.selectivity,
+                    )
+                node.communities.append((advertised, members))
+                node.table.add(advertised, (_DELIVER, members))
+                self._propagate(node.broker_id, advertised)
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+
+    def route(
+        self, document: XMLTree, publish_at: int = 0
+    ) -> tuple[set[int], dict[int, int], int]:
+        """Route one document published at *publish_at*.
+
+        Returns ``(delivered subscriber ids, match operations per visited
+        broker, inter-broker forwards)``.
+        """
+        if publish_at not in self.brokers:
+            raise ValueError(f"no broker {publish_at}")
+        delivered: set[int] = set()
+        operations: dict[int, int] = {}
+        forwards = 0
+        frontier: list[tuple[int, Optional[int]]] = [(publish_at, None)]
+        while frontier:
+            broker_id, origin = frontier.pop(0)
+            node = self.brokers[broker_id]
+            exclude = () if origin is None else ((_FORWARD, origin),)
+            destinations, ops = node.table.destinations_for(
+                document, exclude=exclude
+            )
+            operations[broker_id] = operations.get(broker_id, 0) + ops
+            for kind, payload in destinations:
+                if kind == _DELIVER:
+                    delivered.update(payload)
+                else:
+                    forwards += 1
+                    frontier.append((payload, broker_id))
+        return delivered, operations, forwards
+
+    def route_corpus(
+        self,
+        corpus: DocumentCorpus,
+        publish_at: Union[int, str] = "round_robin",
+    ) -> OverlayStats:
+        """Route every corpus document and score delivery quality.
+
+        ``publish_at`` is a fixed broker id or ``"round_robin"`` to spread
+        publishers over the overlay.  Ground truth comes from the corpus'
+        exact match sets; a delivery to an uninterested subscriber is a
+        false positive, a missed interested subscriber a false negative.
+        """
+        if self.mode is None:
+            raise ValueError(
+                "no routing state: call advertise_subscriptions() or "
+                "advertise_communities() first"
+            )
+        interest = [
+            corpus.match_set(pattern) for _, pattern in self.subscriptions
+        ]
+        deliveries = 0
+        true_deliveries = 0
+        false_positives = 0
+        false_negatives = 0
+        total_operations = 0
+        total_forwards = 0
+        by_broker: dict[int, int] = {
+            broker_id: 0 for broker_id in self.brokers
+        }
+        for index, document in enumerate(corpus.documents):
+            if publish_at == "round_robin":
+                source = index % len(self.brokers)
+            else:
+                source = int(publish_at)
+            delivered, operations, forwards = self.route(document, source)
+            total_forwards += forwards
+            for broker_id, ops in operations.items():
+                by_broker[broker_id] += ops
+                total_operations += ops
+            doc_id = document.doc_id
+            wanted = {
+                subscriber_id
+                for subscriber_id in range(len(self.subscriptions))
+                if doc_id in interest[subscriber_id]
+            }
+            deliveries += len(delivered)
+            true_deliveries += len(delivered & wanted)
+            false_positives += len(delivered - wanted)
+            false_negatives += len(wanted - delivered)
+        return OverlayStats(
+            mode=self.mode,
+            brokers=len(self.brokers),
+            documents=len(corpus),
+            subscribers=len(self.subscriptions),
+            deliveries=deliveries,
+            true_deliveries=true_deliveries,
+            false_positives=false_positives,
+            false_negatives=false_negatives,
+            match_operations=total_operations,
+            forwards=total_forwards,
+            advertisement_messages=self.advertisement_messages,
+            table_sizes={
+                broker_id: len(node.table)
+                for broker_id, node in self.brokers.items()
+            },
+            match_operations_by_broker=by_broker,
+        )
+
+    def flooding_stats(self, corpus: DocumentCorpus) -> OverlayStats:
+        """The no-filtering baseline: every document visits every broker
+        and is delivered to every subscriber."""
+        interest = [
+            corpus.match_set(pattern) for _, pattern in self.subscriptions
+        ]
+        total = len(corpus) * len(self.subscriptions)
+        wanted = sum(len(match_set) for match_set in interest)
+        return OverlayStats(
+            mode="flooding",
+            brokers=len(self.brokers),
+            documents=len(corpus),
+            subscribers=len(self.subscriptions),
+            deliveries=total,
+            true_deliveries=wanted,
+            false_positives=total - wanted,
+            false_negatives=0,
+            match_operations=0,
+            forwards=len(corpus) * (len(self.brokers) - 1),
+            advertisement_messages=0,
+            table_sizes={broker_id: 0 for broker_id in self.brokers},
+            match_operations_by_broker={
+                broker_id: 0 for broker_id in self.brokers
+            },
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"BrokerOverlay(brokers={len(self.brokers)}, "
+            f"subscribers={len(self.subscriptions)}, mode={self.mode!r})"
+        )

@@ -1,0 +1,143 @@
+"""Broker routing tables with containment-based covering.
+
+A content-based router keeps, per destination (a neighbouring broker or a
+local delivery group), the set of tree patterns whose matching documents
+must be sent there.  The table applies the classic *covering* optimisation
+using :mod:`repro.core.containment`:
+
+* an inserted pattern already contained in an existing same-destination
+  entry is dropped — any document it matches is routed there anyway;
+* conversely, existing same-destination entries contained in the new
+  pattern are evicted, so the table keeps only the maximal patterns.
+
+Because the homomorphism containment test is sound but not complete, a
+missed covering relation only costs table space, never correctness.
+
+Matching a document evaluates entries destination by destination and
+short-circuits within a destination on the first hit (a broker needs one
+reason to forward, not all of them); every pattern-vs-document evaluation
+counts as one *match operation* — the filtering-cost unit reported by the
+overlay layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Iterator
+
+from repro.core.containment import contains
+from repro.core.pattern import TreePattern
+from repro.xmltree.matcher import CompiledPattern, PatternMatcher
+from repro.xmltree.tree import XMLTree
+
+__all__ = ["TableEntry", "RoutingTable"]
+
+Destination = Hashable
+
+
+@dataclass(frozen=True)
+class TableEntry:
+    """One routing-table row: forward documents matching *pattern* to
+    *destination*."""
+
+    pattern: TreePattern
+    destination: Destination
+
+
+class RoutingTable:
+    """Covering-aware pattern → destination table of one broker."""
+
+    def __init__(self) -> None:
+        self._by_destination: dict[Destination, list[TreePattern]] = {}
+        self._matchers: dict[TreePattern, PatternMatcher] = {}
+        self.match_operations = 0
+        self.covered_inserts = 0
+        self.evicted_entries = 0
+
+    # ------------------------------------------------------------------
+    # maintenance
+    # ------------------------------------------------------------------
+
+    def add(self, pattern: TreePattern, destination: Destination) -> bool:
+        """Insert an advertisement; returns False when covering dropped it.
+
+        Covering is evaluated per destination only: two destinations never
+        absorb each other's entries, because a document must reach every
+        interested next hop independently.
+        """
+        patterns = self._by_destination.setdefault(destination, [])
+        for existing in patterns:
+            if contains(existing, pattern):
+                self.covered_inserts += 1
+                return False
+        survivors = [p for p in patterns if not contains(pattern, p)]
+        self.evicted_entries += len(patterns) - len(survivors)
+        survivors.append(pattern)
+        self._by_destination[destination] = survivors
+        return True
+
+    def remove_destination(self, destination: Destination) -> int:
+        """Drop every entry routed to *destination*; returns how many."""
+        return len(self._by_destination.pop(destination, ()))
+
+    # ------------------------------------------------------------------
+    # matching
+    # ------------------------------------------------------------------
+
+    def _matcher(self, pattern: TreePattern) -> PatternMatcher:
+        matcher = self._matchers.get(pattern)
+        if matcher is None:
+            matcher = PatternMatcher(CompiledPattern(pattern))
+            self._matchers[pattern] = matcher
+        return matcher
+
+    def destinations_for(
+        self,
+        document: XMLTree,
+        exclude: Iterable[Destination] = (),
+    ) -> tuple[set[Destination], int]:
+        """Destinations *document* must be sent to, plus the match
+        operations spent deciding.
+
+        ``exclude`` destinations are skipped entirely (a broker never
+        forwards a document back over the link it arrived on).
+        """
+        skip = set(exclude)
+        found: set[Destination] = set()
+        operations = 0
+        for destination, patterns in self._by_destination.items():
+            if destination in skip:
+                continue
+            for pattern in patterns:
+                operations += 1
+                if self._matcher(pattern).matches(document):
+                    found.add(destination)
+                    break
+        self.match_operations += operations
+        return found, operations
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return sum(len(patterns) for patterns in self._by_destination.values())
+
+    def __iter__(self) -> Iterator[TableEntry]:
+        for destination, patterns in self._by_destination.items():
+            for pattern in patterns:
+                yield TableEntry(pattern=pattern, destination=destination)
+
+    def destinations(self) -> list[Destination]:
+        """All destinations with at least one entry."""
+        return list(self._by_destination)
+
+    def patterns_for(self, destination: Destination) -> list[TreePattern]:
+        """The (maximal) patterns currently routed to *destination*."""
+        return list(self._by_destination.get(destination, ()))
+
+    def __repr__(self) -> str:
+        return (
+            f"RoutingTable(entries={len(self)}, "
+            f"destinations={len(self._by_destination)})"
+        )

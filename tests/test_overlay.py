@@ -1,0 +1,225 @@
+"""Multi-broker overlay routing over the Figure 2 corpus."""
+
+import pytest
+
+from repro.core.pattern_parser import parse_xpath
+from repro.routing.overlay import TOPOLOGIES, BrokerOverlay
+from repro.xmltree.corpus import DocumentCorpus
+
+
+@pytest.fixture()
+def corpus(figure2_documents):
+    return DocumentCorpus(figure2_documents)
+
+
+@pytest.fixture()
+def subscriptions():
+    return [
+        parse_xpath("/a/b"),
+        parse_xpath("/a/b/e"),
+        parse_xpath("/a/b/e/k"),
+        parse_xpath("/a/d"),
+        parse_xpath("/a/d/e/m"),
+        parse_xpath("/a"),
+    ]
+
+
+def build_overlay(topology, subscriptions, n_brokers=3):
+    overlay = BrokerOverlay.build(topology, n_brokers, seed=7)
+    overlay.attach_round_robin(subscriptions)
+    return overlay
+
+
+class TestTopologies:
+    def test_chain_degrees(self):
+        overlay = BrokerOverlay.chain(4)
+        degrees = sorted(node.degree() for node in overlay.brokers.values())
+        assert degrees == [1, 1, 2, 2]
+
+    def test_star_hub(self):
+        overlay = BrokerOverlay.star(5)
+        assert overlay.brokers[0].degree() == 4
+        assert all(overlay.brokers[i].degree() == 1 for i in range(1, 5))
+
+    def test_random_tree_is_connected_tree(self):
+        overlay = BrokerOverlay.random_tree(12, seed=3)
+        total_degree = sum(node.degree() for node in overlay.brokers.values())
+        assert total_degree == 2 * 11  # n-1 edges
+
+    def test_random_tree_seed_determinism(self):
+        a = BrokerOverlay.random_tree(10, seed=5)
+        b = BrokerOverlay.random_tree(10, seed=5)
+        assert [n.neighbors for n in a.brokers.values()] == [
+            n.neighbors for n in b.brokers.values()
+        ]
+
+    def test_single_broker(self):
+        overlay = BrokerOverlay.chain(1)
+        assert len(overlay.brokers) == 1
+
+    def test_unknown_topology(self):
+        with pytest.raises(ValueError):
+            BrokerOverlay.build("hypercube", 4)
+
+    def test_rejects_non_tree_edge_count(self):
+        with pytest.raises(ValueError):
+            BrokerOverlay(3, [(0, 1)])
+
+    def test_rejects_disconnected(self):
+        with pytest.raises(ValueError):
+            BrokerOverlay(4, [(0, 1), (0, 1), (2, 3)])
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(ValueError):
+            BrokerOverlay(2, [(0, 0)])
+
+
+class TestSubscriptions:
+    def test_attach_assigns_sequential_ids(self, subscriptions):
+        overlay = BrokerOverlay.chain(2)
+        ids = [overlay.attach(0, p) for p in subscriptions]
+        assert ids == list(range(len(subscriptions)))
+
+    def test_attach_unknown_broker(self, subscriptions):
+        overlay = BrokerOverlay.chain(2)
+        with pytest.raises(ValueError):
+            overlay.attach(9, subscriptions[0])
+
+    def test_round_robin_spreads_evenly(self, subscriptions):
+        overlay = build_overlay("chain", subscriptions)
+        sizes = [
+            len(node.local_subscribers) for node in overlay.brokers.values()
+        ]
+        assert sizes == [2, 2, 2]
+
+    def test_route_without_advertisement_raises(self, corpus, subscriptions):
+        overlay = build_overlay("chain", subscriptions)
+        with pytest.raises(ValueError):
+            overlay.route_corpus(corpus)
+
+
+class TestPerSubscriptionRouting:
+    @pytest.mark.parametrize("topology", TOPOLOGIES)
+    def test_exact_delivery_everywhere(self, corpus, subscriptions, topology):
+        overlay = build_overlay(topology, subscriptions)
+        overlay.advertise_subscriptions()
+        stats = overlay.route_corpus(corpus)
+        assert stats.precision == 1.0
+        assert stats.recall == 1.0
+        assert stats.mode == "per_subscription"
+
+    @pytest.mark.parametrize("publish_at", [0, 1, 2, "round_robin"])
+    def test_publish_point_never_affects_delivery(
+        self, corpus, subscriptions, publish_at
+    ):
+        overlay = build_overlay("chain", subscriptions)
+        overlay.advertise_subscriptions()
+        stats = overlay.route_corpus(corpus, publish_at=publish_at)
+        assert stats.precision == 1.0
+        assert stats.recall == 1.0
+
+    def test_covering_prunes_advertisements(self):
+        # Ten identical subscriptions at the end of a long chain: the first
+        # advertisement installs state everywhere, the rest die at the
+        # first hop, so ads stay far below the no-covering flood.
+        overlay = BrokerOverlay.chain(6)
+        for _ in range(10):
+            overlay.attach(5, parse_xpath("/a/b"))
+        overlay.advertise_subscriptions()
+        no_covering_flood = 10 * 5
+        assert overlay.advertisement_messages == 5 + 9
+        assert overlay.advertisement_messages < no_covering_flood
+        # Forward state: one entry per chain link.
+        stats_tables = [
+            len(overlay.brokers[i].table) for i in range(6)
+        ]
+        assert stats_tables == [1, 1, 1, 1, 1, 10]
+
+    def test_general_subscription_covers_narrow_ones(self, corpus):
+        overlay = BrokerOverlay.chain(3)
+        overlay.attach(2, parse_xpath("/a"))
+        overlay.attach(2, parse_xpath("/a/b"))
+        overlay.advertise_subscriptions()
+        # Brokers 0 and 1 only need the maximal pattern /a per link.
+        assert len(overlay.brokers[0].table) == 1
+        assert len(overlay.brokers[1].table) == 1
+        stats = overlay.route_corpus(corpus)
+        assert stats.recall == 1.0
+        assert stats.precision == 1.0
+
+
+class TestCommunityRouting:
+    @pytest.mark.parametrize("topology", TOPOLOGIES)
+    def test_aggregation_shrinks_state_keeps_recall(
+        self, corpus, subscriptions, topology
+    ):
+        overlay = build_overlay(topology, subscriptions)
+        overlay.advertise_subscriptions()
+        baseline = overlay.route_corpus(corpus)
+        overlay.advertise_communities(corpus, threshold=0.5)
+        aggregated = overlay.route_corpus(corpus)
+        assert aggregated.total_table_entries <= baseline.total_table_entries
+        assert aggregated.match_operations <= baseline.match_operations
+        assert aggregated.recall >= 0.9
+
+    def test_threshold_one_is_near_exact(self, corpus, subscriptions):
+        overlay = build_overlay("chain", subscriptions)
+        overlay.advertise_communities(corpus, threshold=1.0)
+        stats = overlay.route_corpus(corpus)
+        # Equivalence-class communities deliver exactly the right documents.
+        assert stats.precision == 1.0
+        assert stats.recall == 1.0
+
+    def test_communities_recorded_per_broker(self, corpus, subscriptions):
+        overlay = build_overlay("chain", subscriptions)
+        overlay.advertise_communities(corpus, threshold=0.5)
+        communities = [
+            community
+            for node in overlay.brokers.values()
+            for community in node.communities
+        ]
+        members = sorted(
+            subscriber
+            for _, group in communities
+            for subscriber in group
+        )
+        assert members == list(range(len(subscriptions)))
+
+    def test_mode_label_carries_threshold(self, corpus, subscriptions):
+        overlay = build_overlay("chain", subscriptions)
+        overlay.advertise_communities(corpus, threshold=0.7)
+        assert overlay.route_corpus(corpus).mode == "community(threshold=0.7)"
+
+
+class TestStats:
+    def test_flooding_baseline(self, corpus, subscriptions):
+        overlay = build_overlay("chain", subscriptions)
+        stats = overlay.flooding_stats(corpus)
+        assert stats.recall == 1.0
+        assert stats.precision < 1.0
+        assert stats.match_operations == 0
+        assert stats.forwards == len(corpus) * 2
+
+    def test_per_broker_accounting_sums_to_totals(self, corpus, subscriptions):
+        overlay = build_overlay("star", subscriptions)
+        overlay.advertise_subscriptions()
+        stats = overlay.route_corpus(corpus)
+        assert sum(stats.match_operations_by_broker.values()) == (
+            stats.match_operations
+        )
+        assert stats.total_table_entries == sum(stats.table_sizes.values())
+        assert stats.matches_per_document == pytest.approx(
+            stats.match_operations / len(corpus)
+        )
+        assert stats.forwards_per_document == pytest.approx(
+            stats.forwards / len(corpus)
+        )
+
+    def test_reset_routing_clears_state(self, corpus, subscriptions):
+        overlay = build_overlay("chain", subscriptions)
+        overlay.advertise_subscriptions()
+        overlay.reset_routing()
+        assert overlay.mode is None
+        assert all(len(n.table) == 0 for n in overlay.brokers.values())
+        with pytest.raises(ValueError):
+            overlay.route_corpus(corpus)

@@ -1,0 +1,120 @@
+"""Covering-aware broker routing tables."""
+
+import pytest
+
+from repro.core.pattern_parser import parse_xpath
+from repro.routing.table import RoutingTable, TableEntry
+from repro.xmltree.tree import XMLTree
+
+
+@pytest.fixture()
+def document():
+    # a(b(e(k)), d(e(m)))
+    return XMLTree.from_nested(
+        ("a", [("b", [("e", ["k"])]), ("d", [("e", ["m"])])]), doc_id=1
+    )
+
+
+class TestCoveringInsert:
+    def test_plain_insert(self):
+        table = RoutingTable()
+        assert table.add(parse_xpath("/a/b"), "link-1")
+        assert len(table) == 1
+
+    def test_covered_insert_dropped(self):
+        table = RoutingTable()
+        table.add(parse_xpath("/a"), "link-1")
+        # /a/b ⊑ /a: anything matching /a/b already routes over link-1.
+        assert not table.add(parse_xpath("/a/b"), "link-1")
+        assert len(table) == 1
+        assert table.covered_inserts == 1
+
+    def test_general_insert_evicts_covered(self):
+        table = RoutingTable()
+        table.add(parse_xpath("/a/b/e"), "link-1")
+        table.add(parse_xpath("/a/b/f"), "link-1")
+        assert table.add(parse_xpath("/a/b"), "link-1")
+        assert len(table) == 1
+        assert table.evicted_entries == 2
+        assert table.patterns_for("link-1") == [parse_xpath("/a/b")]
+
+    def test_duplicate_pattern_same_destination_dropped(self):
+        table = RoutingTable()
+        table.add(parse_xpath("//e"), "link-1")
+        assert not table.add(parse_xpath("//e"), "link-1")
+        assert len(table) == 1
+
+    def test_covering_is_per_destination(self):
+        table = RoutingTable()
+        table.add(parse_xpath("/a"), "link-1")
+        # The same narrow pattern must survive for a different destination.
+        assert table.add(parse_xpath("/a/b"), "link-2")
+        assert len(table) == 2
+
+    def test_incomparable_patterns_coexist(self):
+        table = RoutingTable()
+        table.add(parse_xpath("/a/b"), "link-1")
+        assert table.add(parse_xpath("/a/d"), "link-1")
+        assert len(table) == 2
+
+
+class TestMatching:
+    def test_destinations_and_operation_count(self, document):
+        table = RoutingTable()
+        table.add(parse_xpath("/a/b"), "link-1")
+        table.add(parse_xpath("/a/q"), "link-2")
+        destinations, operations = table.destinations_for(document)
+        assert destinations == {"link-1"}
+        assert operations == 2
+        assert table.match_operations == 2
+
+    def test_short_circuit_within_destination(self, document):
+        table = RoutingTable()
+        # Both match; one evaluation suffices to decide the destination.
+        table.add(parse_xpath("/a/b"), "link-1")
+        table.add(parse_xpath("/a/d"), "link-1")
+        destinations, operations = table.destinations_for(document)
+        assert destinations == {"link-1"}
+        assert operations == 1
+
+    def test_exclude_skips_without_counting(self, document):
+        table = RoutingTable()
+        table.add(parse_xpath("/a/b"), "link-1")
+        table.add(parse_xpath("/a/b"), "link-2")
+        destinations, operations = table.destinations_for(
+            document, exclude=["link-1"]
+        )
+        assert destinations == {"link-2"}
+        assert operations == 1
+
+    def test_no_match_empty(self, document):
+        table = RoutingTable()
+        table.add(parse_xpath("/z"), "link-1")
+        destinations, operations = table.destinations_for(document)
+        assert destinations == set()
+        assert operations == 1
+
+
+class TestMaintenance:
+    def test_remove_destination(self):
+        table = RoutingTable()
+        table.add(parse_xpath("/a/b"), "link-1")
+        table.add(parse_xpath("/a/d"), "link-1")
+        table.add(parse_xpath("/a"), "link-2")
+        assert table.remove_destination("link-1") == 2
+        assert len(table) == 1
+        assert table.destinations() == ["link-2"]
+        assert table.remove_destination("missing") == 0
+
+    def test_iteration_yields_entries(self):
+        table = RoutingTable()
+        table.add(parse_xpath("/a/b"), "link-1")
+        entries = list(table)
+        assert entries == [
+            TableEntry(pattern=parse_xpath("/a/b"), destination="link-1")
+        ]
+
+    def test_repr_mentions_sizes(self):
+        table = RoutingTable()
+        table.add(parse_xpath("/a"), "link-1")
+        assert "entries=1" in repr(table)

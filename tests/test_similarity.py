@@ -8,6 +8,7 @@ from repro.core.selectivity import SelectivityEstimator
 from repro.core.similarity import (
     METRICS,
     SimilarityEstimator,
+    SimilarityMatrix,
     m1_conditional,
     m2_mean_conditional,
     m3_joint_over_union,
@@ -117,6 +118,143 @@ class TestEstimatedVsExact:
                 assert metric(estimated, p, q) == pytest.approx(
                     metric(corpus, p, q)
                 ), (name, p, q)
+
+
+class CountingProvider:
+    """Wraps a provider and counts every call per argument (pair)."""
+
+    def __init__(self, provider):
+        self.provider = provider
+        self.selectivity_calls: dict = {}
+        self.joint_calls: dict = {}
+
+    def selectivity(self, pattern):
+        self.selectivity_calls[pattern] = (
+            self.selectivity_calls.get(pattern, 0) + 1
+        )
+        return self.provider.selectivity(pattern)
+
+    def joint_selectivity(self, p, q):
+        key = frozenset((p, q))
+        self.joint_calls[key] = self.joint_calls.get(key, 0) + 1
+        return self.provider.joint_selectivity(p, q)
+
+    @property
+    def max_joint_calls_per_pair(self):
+        return max(self.joint_calls.values(), default=0)
+
+    @property
+    def max_selectivity_calls_per_pattern(self):
+        return max(self.selectivity_calls.values(), default=0)
+
+
+def _sixty_patterns():
+    """60 distinct patterns over the Figure 2 tag alphabet."""
+    tags = ("b", "c", "d", "e", "f", "g", "h", "k", "m", "n", "o", "p", "q")
+    patterns = [parse_xpath("/a")]
+    patterns += [parse_xpath(f"/a/{t}") for t in tags]
+    patterns += [parse_xpath(f"/a//{t}") for t in tags]
+    patterns += [parse_xpath(f"/a/*/{t}") for t in tags]
+    patterns += [parse_xpath(f"/a/b/{t}") for t in tags]
+    patterns += [parse_xpath(f"/a/d/{t}") for t in tags[:7]]
+    assert len(patterns) == 60 and len(set(patterns)) == 60
+    return patterns
+
+
+class TestSimilarityMatrix:
+    @pytest.fixture()
+    def patterns(self):
+        return [
+            parse_xpath("//b"),
+            parse_xpath("//o"),
+            parse_xpath("//e"),
+            parse_xpath("//q"),
+        ]
+
+    def test_values_match_estimator_matrix(self, corpus, patterns):
+        for metric in METRICS:
+            engine = SimilarityMatrix(corpus, patterns, metric=metric)
+            assert engine.values == SimilarityEstimator(corpus).matrix(
+                patterns, metric=metric
+            )
+
+    def test_unknown_metric_rejected(self, corpus, patterns):
+        with pytest.raises(ValueError):
+            SimilarityMatrix(corpus, patterns, metric="M9")
+        with pytest.raises(ValueError):
+            SimilarityMatrix(corpus, patterns).similarity(
+                patterns[0], patterns[1], metric="M9"
+            )
+
+    def test_callable_protocol(self, corpus, patterns):
+        engine = SimilarityMatrix(corpus, patterns, metric="M3")
+        assert engine(patterns[0], patterns[2]) == m3_joint_over_union(
+            corpus, patterns[0], patterns[2]
+        )
+        assert len(engine) == 4
+
+    def test_top_k(self, corpus, patterns):
+        engine = SimilarityMatrix(corpus, patterns, metric="M3")
+        # //b: sim 1/4 with //o, 1/2 with //e, 0 with //q.
+        assert engine.top_k(0, 2) == [
+            (2, pytest.approx(0.5)),
+            (1, pytest.approx(0.25)),
+        ]
+        with pytest.raises(ValueError):
+            engine.top_k(0, 0)
+        with pytest.raises(IndexError):
+            engine.top_k(9, 1)
+
+    def test_neighbors(self, corpus, patterns):
+        engine = SimilarityMatrix(corpus, patterns, metric="M3")
+        assert [index for index, _ in engine.neighbors(0, 0.25)] == [2, 1]
+        assert engine.neighbors(0, 0.9) == []
+        with pytest.raises(ValueError):
+            engine.neighbors(0, 1.5)
+
+    def test_each_joint_pair_computed_at_most_once(self, corpus):
+        patterns = _sixty_patterns()
+        counting = CountingProvider(corpus)
+        engine = SimilarityMatrix(counting, patterns, metric="M3")
+        engine.values
+        # Re-query everything; the memo must absorb all of it.
+        engine.values
+        engine.top_k(0, 10)
+        engine.neighbors(3, 0.2)
+        for p in patterns[:10]:
+            for q in patterns[:10]:
+                engine.similarity(p, q)
+        assert counting.max_joint_calls_per_pair == 1
+        assert counting.max_selectivity_calls_per_pattern == 1
+        assert engine.distinct_joint_pairs == len(counting.joint_calls)
+
+    def test_agglomerative_over_60_patterns_no_duplicate_provider_calls(
+        self, corpus
+    ):
+        from repro.routing.community import agglomerative_clustering
+
+        patterns = _sixty_patterns()
+        counting = CountingProvider(corpus)
+        engine = SimilarityMatrix(counting, patterns, metric="M3")
+        communities = agglomerative_clustering(
+            patterns, engine, n_communities=8
+        )
+        assert sorted(m for c in communities for m in c.members) == list(
+            range(60)
+        )
+        assert counting.max_joint_calls_per_pair == 1
+        assert counting.max_selectivity_calls_per_pattern == 1
+
+    def test_leader_clustering_through_matrix_no_duplicate_calls(self, corpus):
+        from repro.routing.community import leader_clustering
+
+        patterns = _sixty_patterns()
+        counting = CountingProvider(corpus)
+        engine = SimilarityMatrix(counting, patterns, metric="M3")
+        leader_clustering(patterns, engine, threshold=0.5)
+        leader_clustering(patterns, engine, threshold=0.3)
+        assert counting.max_joint_calls_per_pair == 1
+        assert counting.max_selectivity_calls_per_pattern == 1
 
 
 class TestMetricProperties:
