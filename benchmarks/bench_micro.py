@@ -10,7 +10,6 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core.pattern_parser import parse_xpath
 from repro.core.selectivity import SelectivityEstimator
 from repro.dtd.builtin import nitf_dtd
 from repro.experiments.config import DOC_GENERATOR_PRESETS

@@ -22,6 +22,7 @@ subpackages for the full surface:
 from repro.core import (
     SelectivityEstimator,
     SimilarityEstimator,
+    SimilarityIndex,
     SimilarityMatrix,
     TreePattern,
     average_relative_error,
@@ -43,6 +44,7 @@ __all__ = [
     "merge_patterns",
     "SelectivityEstimator",
     "SimilarityEstimator",
+    "SimilarityIndex",
     "SimilarityMatrix",
     "BrokerOverlay",
     "OverlayStats",

@@ -15,7 +15,9 @@ from repro.core.pattern_parser import XPathSyntaxError, parse_xpath, to_xpath
 from repro.core.selectivity import SelectivityEstimator
 from repro.core.similarity import (
     METRICS,
+    IndexStats,
     SimilarityEstimator,
+    SimilarityIndex,
     SimilarityMatrix,
     m1_conditional,
     m2_mean_conditional,
@@ -43,7 +45,9 @@ __all__ = [
     "to_xpath",
     "SelectivityEstimator",
     "METRICS",
+    "IndexStats",
     "SimilarityEstimator",
+    "SimilarityIndex",
     "SimilarityMatrix",
     "m1_conditional",
     "m2_mean_conditional",

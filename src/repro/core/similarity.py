@@ -16,12 +16,21 @@ denominator is zero (a pattern that matches nothing) evaluate to 0.
 Canonically equal patterns short-circuit: their similarity is exactly 1.0
 under every metric whenever they match anything at all, without paying for
 a joint-selectivity evaluation.
+
+Two engines amortise the dominant joint-selectivity cost across queries:
+:class:`SimilarityIndex` maintains a *mutable* population under
+subscription churn (handle-based ``add``/``remove``, lazily evaluated
+rows, a tag-disjointness prefilter with :class:`IndexStats` accounting),
+and :class:`SimilarityMatrix` freezes a population for offline clustering
+as a thin positional view over the same machinery.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Protocol
+from dataclasses import dataclass
+from typing import Callable, Iterable, Optional, Protocol
 
+from repro.core.labels import is_tag
 from repro.core.pattern import TreePattern
 
 __all__ = [
@@ -31,6 +40,8 @@ __all__ = [
     "m3_joint_over_union",
     "METRICS",
     "SimilarityEstimator",
+    "IndexStats",
+    "SimilarityIndex",
     "SimilarityMatrix",
 ]
 
@@ -98,6 +109,9 @@ METRICS: dict[str, Callable[[SelectivityProvider, TreePattern, TreePattern], flo
     "M3": m3_joint_over_union,
 }
 
+#: Sentinel distinguishing "anchor not cached" from a cached ``None``.
+_UNSET = object()
+
 
 class SimilarityEstimator:
     """Convenience wrapper evaluating proximity metrics over one provider.
@@ -148,22 +162,291 @@ class SimilarityEstimator:
     ) -> list[list[float]]:
         """Pairwise similarity matrix over *patterns*.
 
-        Symmetric metrics fill both triangles from one evaluation; M1 is
-        evaluated in both directions.
+        Delegates to the :class:`SimilarityMatrix` engine, so each distinct
+        pattern's selectivity and each unordered pair's joint selectivity
+        reach the provider at most once; symmetric metrics fill both
+        triangles from one evaluation, M1 is evaluated in both directions.
         """
-        n = len(patterns)
-        result = [[0.0] * n for _ in range(n)]
-        symmetric = metric in ("M2", "M3")
-        for i in range(n):
-            result[i][i] = self.similarity(patterns[i], patterns[i], metric)
-            for j in range(i + 1, n):
-                value = self.similarity(patterns[i], patterns[j], metric)
-                result[i][j] = value
-                if symmetric:
-                    result[j][i] = value
-                else:
-                    result[j][i] = self.similarity(patterns[j], patterns[i], metric)
-        return result
+        return SimilarityMatrix(self.provider, patterns, metric=metric).values
+
+
+@dataclass
+class IndexStats:
+    """Provider-call accounting of one :class:`SimilarityIndex`.
+
+    ``joint_evaluated`` counts the distinct unordered pattern pairs whose
+    joint selectivity actually reached the provider; ``joint_pruned`` the
+    distinct pairs the tag-disjointness prefilter answered with 0 instead.
+    Pruned versus evaluated is exactly the sparse-evaluation saving.
+    """
+
+    joint_evaluated: int = 0
+    joint_pruned: int = 0
+    selectivity_evaluated: int = 0
+    adds: int = 0
+    removes: int = 0
+
+    @property
+    def prune_ratio(self) -> float:
+        """Fraction of decided joint pairs the prefilter answered."""
+        decided = self.joint_evaluated + self.joint_pruned
+        if decided == 0:
+            return 0.0
+        return self.joint_pruned / decided
+
+
+class SimilarityIndex:
+    """A mutable, incrementally maintained pairwise-similarity engine.
+
+    The fixed-population :class:`SimilarityMatrix` serves offline
+    re-organisation; a live broker instead sees a *churning* subscription
+    population — patterns arrive (:meth:`add`) and leave (:meth:`remove`)
+    one at a time, and rebuilding an n×n matrix per event would waste the
+    O(n²) joint-selectivity work that dominates the cost.  This index keeps
+    that work incremental:
+
+    * **handles** — :meth:`add` returns a monotonically increasing integer
+      handle; :meth:`remove` retires it.  The live population is the
+      insertion-ordered set of surviving handles.
+    * **lazy rows** — nothing is evaluated at mutation time.  A similarity
+      value is computed when first demanded (:meth:`row`, :meth:`top_k`,
+      :meth:`neighbors`, or plain calls), and both primitives are memoised
+      *by pattern*, so only pairs never seen before reach the provider:
+      adding a pattern to an n-pattern population costs at most n new joint
+      evaluations, removing one costs zero, and re-adding a previously seen
+      pattern costs nothing.  A full rebuild never happens.
+    * **tag-disjointness prefilter** — for ``//``-free patterns every
+      root-level tag child pins the *document root's* tag (Section 2 root
+      semantics), so two such patterns anchored at disjoint tag sets can
+      never match a common document: ``P(p ∧ q)`` is provably 0 and the
+      provider call is skipped.  :attr:`stats` exposes pruned versus
+      evaluated pair counts.  The prefilter is sound for exact providers by
+      construction; for synopsis estimators it can only *sharpen* a pair
+      the estimator would have scored ≥ 0 (pass ``prune_disjoint=False``
+      to reproduce raw estimator output bit-for-bit).
+
+    The index implements the :class:`SelectivityProvider` protocol
+    (memoising, pruning pass-through) so the M1/M2/M3 callables evaluate
+    through it unchanged, and it is directly usable as the
+    ``similarity(p, q)`` callable expected by :mod:`repro.routing.community`.
+
+    >>> # index = SimilarityIndex(provider, metric="M3")
+    >>> # h = index.add(pattern)      # O(1); no provider calls yet
+    >>> # index.row(h)                # lazily evaluates this row only
+    >>> # index.remove(h)             # O(1); memo survives for re-adds
+    """
+
+    def __init__(
+        self,
+        provider: SelectivityProvider,
+        patterns: Iterable[TreePattern] = (),
+        metric: str = "M3",
+        prune_disjoint: bool = True,
+    ):
+        if metric not in METRICS:
+            raise ValueError(
+                f"unknown metric {metric!r}; choose from {sorted(METRICS)}"
+            )
+        self.provider = provider
+        self.metric = metric
+        self.prune_disjoint = prune_disjoint
+        self.stats = IndexStats()
+        self._metric_fn = METRICS[metric]
+        self._population: dict[int, TreePattern] = {}
+        self._next_handle = 0
+        self._selectivity_memo: dict[TreePattern, float] = {}
+        self._joint_memo: dict[frozenset[TreePattern], float] = {}
+        #: Root-anchor cache: frozenset of root tag labels for prunable
+        #: (``//``-free, tag-anchored) patterns, None for unprunable ones.
+        self._anchor_memo: dict[TreePattern, Optional[frozenset[str]]] = {}
+        for pattern in patterns:
+            self.add(pattern)
+
+    # -- population lifecycle ------------------------------------------------
+
+    def add(self, pattern: TreePattern) -> int:
+        """Admit *pattern* and return its handle.
+
+        O(1): no similarity is evaluated until a row is demanded, and pairs
+        already seen (for this or an equal pattern) never recompute.
+        """
+        handle = self._next_handle
+        self._next_handle += 1
+        self._population[handle] = pattern
+        self.stats.adds += 1
+        return handle
+
+    def remove(self, handle: int) -> TreePattern:
+        """Retire *handle*; returns the pattern it referenced.
+
+        O(1): rows referencing the pattern simply stop being produced; the
+        pattern-keyed memos survive, so a later re-add is free.
+        """
+        try:
+            pattern = self._population.pop(handle)
+        except KeyError:
+            raise KeyError(f"unknown or already removed handle {handle}") from None
+        self.stats.removes += 1
+        return pattern
+
+    def pattern(self, handle: int) -> TreePattern:
+        """The pattern a live handle references."""
+        try:
+            return self._population[handle]
+        except KeyError:
+            raise KeyError(f"unknown or already removed handle {handle}") from None
+
+    def handles(self) -> list[int]:
+        """Live handles in insertion order."""
+        return list(self._population)
+
+    @property
+    def patterns(self) -> list[TreePattern]:
+        """Live patterns in insertion order."""
+        return list(self._population.values())
+
+    def __len__(self) -> int:
+        return len(self._population)
+
+    def __contains__(self, handle: int) -> bool:
+        return handle in self._population
+
+    # -- memoised, pruning SelectivityProvider protocol ----------------------
+
+    def selectivity(self, pattern: TreePattern) -> float:
+        """``P(p)`` from the provider, computed once per distinct pattern."""
+        cached = self._selectivity_memo.get(pattern)
+        if cached is None:
+            self.stats.selectivity_evaluated += 1
+            cached = self.provider.selectivity(pattern)
+            self._selectivity_memo[pattern] = cached
+        return cached
+
+    def _root_anchors(self, pattern: TreePattern) -> Optional[frozenset[str]]:
+        """The root tag labels pinning the document root, or None.
+
+        Only ``//``-free patterns with at least one tag-labelled root child
+        participate: each such child requires the document root to carry
+        exactly that tag, so the anchor set must be satisfiable jointly.
+        """
+        cached = self._anchor_memo.get(pattern, _UNSET)
+        if cached is not _UNSET:
+            return cached
+        anchors: Optional[frozenset[str]] = None
+        if not pattern.has_descendant_ops():
+            tags = frozenset(
+                child.label
+                for child in pattern.root_children
+                if is_tag(child.label)
+            )
+            anchors = tags or None
+        self._anchor_memo[pattern] = anchors
+        return anchors
+
+    def joint_selectivity(self, p: TreePattern, q: TreePattern) -> float:
+        """``P(p ∧ q)``, computed once per unordered distinct pattern pair.
+
+        Pairs of ``//``-free patterns whose root tag anchors are disjoint
+        are answered 0 without a provider call: the document root would
+        have to carry two different tags at once.
+        """
+        key = frozenset((p, q))
+        cached = self._joint_memo.get(key)
+        if cached is not None:
+            return cached
+        if self.prune_disjoint and p != q:
+            anchors_p = self._root_anchors(p)
+            anchors_q = self._root_anchors(q)
+            if (
+                anchors_p is not None
+                and anchors_q is not None
+                and anchors_p.isdisjoint(anchors_q)
+            ):
+                self.stats.joint_pruned += 1
+                self._joint_memo[key] = 0.0
+                return 0.0
+        self.stats.joint_evaluated += 1
+        value = self.provider.joint_selectivity(p, q)
+        self._joint_memo[key] = value
+        return value
+
+    # -- metric evaluation ---------------------------------------------------
+
+    def similarity(
+        self, p: TreePattern, q: TreePattern, metric: str | None = None
+    ) -> float:
+        """Proximity of two (arbitrary) patterns through the memo."""
+        if metric is None or metric == self.metric:
+            return self._metric_fn(self, p, q)
+        try:
+            fn = METRICS[metric]
+        except KeyError:
+            raise ValueError(
+                f"unknown metric {metric!r}; choose from {sorted(METRICS)}"
+            ) from None
+        return fn(self, p, q)
+
+    def __call__(self, p: TreePattern, q: TreePattern) -> float:
+        """Make the index a drop-in ``SimilarityFn`` for the routing layer."""
+        return self._metric_fn(self, p, q)
+
+    # -- live-population queries ---------------------------------------------
+
+    def row(self, handle: int) -> dict[int, float]:
+        """Similarity of *handle*'s pattern to every live pattern.
+
+        ``row(h)[g]`` is ``metric(pattern(h), pattern(g))`` — rows follow
+        the matrix orientation, so under M1 the row conditions on the
+        *other* pattern.  Only this row's never-seen pairs are evaluated.
+        """
+        pattern = self.pattern(handle)
+        return {
+            other: self._metric_fn(self, pattern, candidate)
+            for other, candidate in self._population.items()
+        }
+
+    def top_k(self, handle: int, k: int) -> list[tuple[int, float]]:
+        """The *k* most similar live handles to *handle* (excluding
+        itself), as ``(handle, similarity)`` in decreasing similarity with
+        handle order as tie-break."""
+        if k < 1:
+            raise ValueError("k must be at least 1")
+        scored = [
+            (other, score)
+            for other, score in self.row(handle).items()
+            if other != handle
+        ]
+        scored.sort(key=lambda pair: (-pair[1], pair[0]))
+        return scored[:k]
+
+    def neighbors(self, handle: int, threshold: float) -> list[tuple[int, float]]:
+        """All live handles with similarity ``>= threshold`` to *handle*
+        (excluding itself), in decreasing similarity."""
+        if not 0.0 <= threshold <= 1.0:
+            raise ValueError("threshold must be in [0, 1]")
+        found = [
+            (other, score)
+            for other, score in self.row(handle).items()
+            if other != handle and score >= threshold
+        ]
+        found.sort(key=lambda pair: (-pair[1], pair[0]))
+        return found
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def distinct_joint_pairs(self) -> int:
+        """Distinct unordered pattern pairs whose joint selectivity reached
+        the provider so far — pruned pairs are not counted."""
+        return self.stats.joint_evaluated
+
+    def __repr__(self) -> str:
+        return (
+            f"SimilarityIndex(patterns={len(self._population)}, "
+            f"metric={self.metric!r}, "
+            f"joint_pairs={self.stats.joint_evaluated}, "
+            f"pruned={self.stats.joint_pruned})"
+        )
 
 
 class SimilarityMatrix:
@@ -176,6 +459,14 @@ class SimilarityMatrix:
     and each unordered distinct pattern pair's joint selectivity reach the
     underlying provider at most once**, no matter how many metric
     evaluations, matrix builds or clustering passes consume the engine.
+
+    Since the lifecycle redesign this class is a thin frozen-population
+    view over a private :class:`SimilarityIndex`; mutation-free callers
+    (both clustering functions, the offline benchmarks, existing tests)
+    keep the familiar positional API while churn-facing callers hold the
+    index directly.  The tag-disjointness prefilter is off by default here
+    so estimator-backed matrices reproduce historical values bit-for-bit;
+    pass ``prune_disjoint=True`` to opt in.
 
     The class itself implements the :class:`SelectivityProvider` protocol
     (memoising pass-through), so the M1/M2/M3 callables evaluate through it
@@ -195,27 +486,21 @@ class SimilarityMatrix:
         provider: SelectivityProvider,
         patterns: list[TreePattern],
         metric: str = "M3",
+        prune_disjoint: bool = False,
     ):
-        if metric not in METRICS:
-            raise ValueError(
-                f"unknown metric {metric!r}; choose from {sorted(METRICS)}"
-            )
+        self._index = SimilarityIndex(
+            provider, patterns, metric=metric, prune_disjoint=prune_disjoint
+        )
         self.provider = provider
         self.patterns = list(patterns)
         self.metric = metric
-        self._selectivity_memo: dict[TreePattern, float] = {}
-        self._joint_memo: dict[frozenset[TreePattern], float] = {}
         self._values: list[list[float]] | None = None
 
     # -- memoised SelectivityProvider protocol ------------------------------
 
     def selectivity(self, pattern: TreePattern) -> float:
         """``P(p)`` from the provider, computed once per distinct pattern."""
-        cached = self._selectivity_memo.get(pattern)
-        if cached is None:
-            cached = self.provider.selectivity(pattern)
-            self._selectivity_memo[pattern] = cached
-        return cached
+        return self._index.selectivity(pattern)
 
     def joint_selectivity(self, p: TreePattern, q: TreePattern) -> float:
         """``P(p ∧ q)``, computed once per unordered distinct pattern pair.
@@ -224,12 +509,7 @@ class SimilarityMatrix:
         equality, so ``(p, q)`` and ``(q, p)`` — and any equal-by-canon
         duplicates in the population — share one provider call.
         """
-        key = frozenset((p, q))
-        cached = self._joint_memo.get(key)
-        if cached is None:
-            cached = self.provider.joint_selectivity(p, q)
-            self._joint_memo[key] = cached
-        return cached
+        return self._index.joint_selectivity(p, q)
 
     # -- metric evaluation ---------------------------------------------------
 
@@ -237,18 +517,11 @@ class SimilarityMatrix:
         self, p: TreePattern, q: TreePattern, metric: str | None = None
     ) -> float:
         """Proximity of two (arbitrary) patterns through the memo."""
-        name = self.metric if metric is None else metric
-        try:
-            fn = METRICS[name]
-        except KeyError:
-            raise ValueError(
-                f"unknown metric {name!r}; choose from {sorted(METRICS)}"
-            ) from None
-        return fn(self, p, q)
+        return self._index.similarity(p, q, metric)
 
     def __call__(self, p: TreePattern, q: TreePattern) -> float:
         """Make the engine a drop-in ``SimilarityFn`` for the routing layer."""
-        return self.similarity(p, q)
+        return self._index(p, q)
 
     def __len__(self) -> int:
         return len(self.patterns)
@@ -314,13 +587,19 @@ class SimilarityMatrix:
     # -- introspection -------------------------------------------------------
 
     @property
+    def stats(self) -> IndexStats:
+        """Provider-call accounting of the backing index."""
+        return self._index.stats
+
+    @property
     def distinct_joint_pairs(self) -> int:
         """Distinct unordered pattern pairs whose joint selectivity has been
         computed so far — the number of provider calls the memo admitted."""
-        return len(self._joint_memo)
+        return self._index.distinct_joint_pairs
 
     def __repr__(self) -> str:
         return (
             f"SimilarityMatrix(patterns={len(self.patterns)}, "
-            f"metric={self.metric!r}, joint_pairs={len(self._joint_memo)})"
+            f"metric={self.metric!r}, "
+            f"joint_pairs={self.distinct_joint_pairs})"
         )

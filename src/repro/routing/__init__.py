@@ -12,12 +12,18 @@ Module map:
   precision, recall and filtering cost;
 * :mod:`repro.routing.table` — covering-aware broker routing tables:
   pattern → destination entries minimised through
-  :mod:`repro.core.containment`;
+  :mod:`repro.core.containment`, with reversible covering (absorbed
+  advertisements are remembered and resurrected by
+  ``RoutingTable.remove_pattern`` when their cover leaves);
 * :mod:`repro.routing.overlay` — the multi-broker overlay: chain / star /
   random-tree topologies, hop-by-hop advertisement with covering pruning,
-  reverse-path document routing, per-broker cost accounting, and the
+  reverse-path document routing, per-broker cost accounting, the
   community-aggregated advertisement regime built on the similarity
-  engine;
+  engine, and the subscription lifecycle —
+  ``subscribe(broker, pattern) -> SubscriptionId`` / ``unsubscribe(id)``
+  with hop-by-hop unadvertise propagation and incremental community
+  re-aggregation over per-broker live
+  :class:`~repro.core.similarity.SimilarityIndex` instances;
 * :mod:`repro.routing.inclusion` — containment-based inclusion forests,
   the baseline structure the paper's introduction argues is the wrong
   proximity notion for communities.
@@ -35,6 +41,7 @@ from repro.routing.overlay import (
     BrokerNode,
     BrokerOverlay,
     OverlayStats,
+    SubscriptionId,
 )
 from repro.routing.table import RoutingTable, TableEntry
 
@@ -51,5 +58,6 @@ __all__ = [
     "BrokerNode",
     "BrokerOverlay",
     "OverlayStats",
+    "SubscriptionId",
     "TOPOLOGIES",
 ]

@@ -16,12 +16,15 @@ clusterings over a pattern similarity function:
   optimiser for offline re-organisation.
 
 Both accept any ``similarity(p, q)`` callable, including a
-:class:`~repro.core.similarity.SimilarityMatrix`, whose memo shares the
+:class:`~repro.core.similarity.SimilarityMatrix` or a live
+:class:`~repro.core.similarity.SimilarityIndex`, whose memos share the
 dominant joint-selectivity work across clustering runs (and with the
-overlay layer).  :func:`agglomerative_clustering` additionally detects a
-matrix aligned with its pattern population and reads the precomputed
-values directly; :func:`leader_clustering` stays lazy on purpose — it
-only ever needs O(n · #communities) of the n² pairs.
+overlay layer) — churn-facing brokers re-cluster through the same index
+they mutate, paying only for pairs involving changed patterns.
+:func:`agglomerative_clustering` additionally detects an engine aligned
+with its pattern population and reads the precomputed values directly;
+:func:`leader_clustering` stays lazy on purpose — it only ever needs
+O(n · #communities) of the n² pairs.
 """
 
 from __future__ import annotations
@@ -30,7 +33,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence
 
 from repro.core.pattern import TreePattern
-from repro.core.similarity import SimilarityMatrix
+from repro.core.similarity import SimilarityIndex, SimilarityMatrix
 
 __all__ = ["Community", "leader_clustering", "agglomerative_clustering"]
 
@@ -43,13 +46,22 @@ def _pairwise_values(
     """The full symmetric similarity matrix over *patterns*.
 
     An aligned :class:`SimilarityMatrix` (same population, in order) hands
-    over its cached values; any other callable is evaluated once per
-    unordered pair.
+    over its cached values; an aligned :class:`SimilarityIndex` evaluates
+    through its memo (only never-seen pairs reach the provider); any other
+    callable is evaluated once per unordered pair.
     """
     if isinstance(similarity, SimilarityMatrix) and similarity.patterns == list(
         patterns
     ):
         return similarity.values
+    if isinstance(similarity, SimilarityIndex) and similarity.patterns == list(
+        patterns
+    ):
+        handles = similarity.handles()
+        rows = [similarity.row(handle) for handle in handles]
+        return [
+            [row[other] for other in handles] for row in rows
+        ]
     n = len(patterns)
     sims = [[0.0] * n for _ in range(n)]
     for i in range(n):

@@ -20,11 +20,22 @@ Two advertisement regimes realise the paper's trade-off:
 * ``advertise_subscriptions`` — every subscription is advertised through
   the overlay: exact delivery, maximal routing state (the baseline);
 * ``advertise_communities`` — each broker first clusters its local
-  subscriptions into semantic communities with a
-  :class:`~repro.core.similarity.SimilarityMatrix` and advertises one
+  subscriptions into semantic communities with a live
+  :class:`~repro.core.similarity.SimilarityIndex` and advertises one
   pattern per community: routing state shrinks to one entry per community,
   delivery quality is governed by community coherence — i.e. by the
   similarity metric.
+
+Both regimes are maintained **incrementally under churn** through the
+subscription lifecycle: :meth:`BrokerOverlay.subscribe` returns a
+:class:`SubscriptionId` and immediately advertises the arrival (in the
+community regime, by re-aggregating only the home broker's communities the
+arrival touched, reusing the index's memoised pairwise work);
+:meth:`BrokerOverlay.unsubscribe` retires it again with hop-by-hop
+unadvertise propagation, resurrecting and re-advertising the entries its
+advertisement had covered.  The bulk path (:meth:`BrokerOverlay.attach`
+followed by one ``advertise_*`` call) and the event path converge to the
+same routing state.
 """
 
 from __future__ import annotations
@@ -34,19 +45,40 @@ from dataclasses import dataclass, field
 from typing import Optional, Union
 
 from repro.core.pattern import TreePattern
-from repro.core.similarity import SelectivityProvider, SimilarityMatrix
+from repro.core.similarity import SelectivityProvider, SimilarityIndex
 from repro.routing.community import leader_clustering
 from repro.routing.table import RoutingTable
 from repro.xmltree.corpus import DocumentCorpus
 from repro.xmltree.tree import XMLTree
 
-__all__ = ["BrokerNode", "BrokerOverlay", "OverlayStats", "TOPOLOGIES"]
+__all__ = [
+    "BrokerNode",
+    "BrokerOverlay",
+    "OverlayStats",
+    "SubscriptionId",
+    "TOPOLOGIES",
+]
 
 #: Destination tags used in broker routing tables.
 _FORWARD = "forward"
 _DELIVER = "deliver"
 
 TOPOLOGIES = ("chain", "star", "random_tree")
+
+
+class SubscriptionId(int):
+    """Handle returned by :meth:`BrokerOverlay.subscribe`.
+
+    It *is* the global subscriber id (an int), so delivery sets, interest
+    bookkeeping and deliver-destination payloads keep working unchanged;
+    the subclass merely marks values that :meth:`BrokerOverlay.unsubscribe`
+    accepts.
+    """
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return f"SubscriptionId({int(self)})"
 
 
 @dataclass
@@ -63,6 +95,12 @@ class BrokerNode:
     communities: list[tuple[TreePattern, tuple[int, ...]]] = field(
         default_factory=list
     )
+    #: Live pairwise-similarity engine over the local subscriptions
+    #: (community regime only; populated by ``advertise_communities`` and
+    #: maintained by subscribe/unsubscribe).
+    index: Optional[SimilarityIndex] = None
+    #: subscriber id -> similarity-index handle (community regime only).
+    handles: dict[int, int] = field(default_factory=dict)
 
     def degree(self) -> int:
         return len(self.neighbors)
@@ -145,10 +183,22 @@ class BrokerOverlay:
         for node in self.brokers.values():
             node.neighbors.sort()
         self._check_tree(n_brokers, edges)
-        #: subscriber id -> (home broker id, pattern)
-        self.subscriptions: list[tuple[int, TreePattern]] = []
+        #: subscriber id -> (home broker id, pattern); insertion-ordered,
+        #: ids are never reused across unsubscribes.
+        self.subscriptions: dict[int, tuple[int, TreePattern]] = {}
+        self._next_subscriber = 0
+        #: Subscriber ids whose advertisement is installed in the live
+        #: per-subscription regime (the community regime tracks this via
+        #: each broker's ``handles`` map instead).
+        self._advertised: set[int] = set()
         self.advertisement_messages = 0
         self.mode: Optional[str] = None
+        #: Community-regime parameters captured by ``advertise_communities``
+        #: so churn events can keep re-aggregating:
+        #: ``(provider, threshold, metric, elect_by_selectivity)``.
+        self._community: Optional[
+            tuple[SelectivityProvider, float, str, bool]
+        ] = None
 
     @staticmethod
     def _check_tree(n_brokers: int, edges: list[tuple[int, int]]) -> None:
@@ -212,16 +262,23 @@ class BrokerOverlay:
         )
 
     # ------------------------------------------------------------------
-    # subscription management
+    # subscription membership (state only, no advertisement traffic)
     # ------------------------------------------------------------------
 
-    def attach(self, broker_id: int, pattern: TreePattern) -> int:
+    def attach(self, broker_id: int, pattern: TreePattern) -> SubscriptionId:
         """Home a new subscriber with *pattern* on *broker_id*; returns its
-        global subscriber id."""
+        global subscriber id.
+
+        Membership only: no advertisement is sent, even when a routing
+        regime is live — the bulk-load path, followed by one
+        ``advertise_*`` call.  Use :meth:`subscribe` for the event-driven
+        path that keeps live routing state fresh.
+        """
         if broker_id not in self.brokers:
             raise ValueError(f"no broker {broker_id}")
-        subscriber_id = len(self.subscriptions)
-        self.subscriptions.append((broker_id, pattern))
+        subscriber_id = SubscriptionId(self._next_subscriber)
+        self._next_subscriber += 1
+        self.subscriptions[subscriber_id] = (broker_id, pattern)
         self.brokers[broker_id].local_subscribers.append(subscriber_id)
         return subscriber_id
 
@@ -232,29 +289,128 @@ class BrokerOverlay:
             for index, pattern in enumerate(patterns)
         ]
 
+    def detach(self, subscription_id: int) -> TreePattern:
+        """Forget a subscriber without withdrawing its advertisements.
+
+        The membership-only inverse of :meth:`attach`: routing tables keep
+        whatever state the subscriber's advertisements installed (useful
+        for modelling stale tables).  Broker-internal bookkeeping that is
+        not routing state — the live similarity-index population in the
+        community regime — is still retired, so churn through ``detach``
+        does not grow the index without bound.  Use :meth:`unsubscribe`
+        for the event-driven path.  Returns the forgotten pattern.
+        """
+        try:
+            home_id, pattern = self.subscriptions.pop(subscription_id)
+        except KeyError:
+            raise ValueError(
+                f"unknown subscription id {subscription_id}"
+            ) from None
+        node = self.brokers[home_id]
+        node.local_subscribers.remove(subscription_id)
+        self._advertised.discard(subscription_id)
+        handle = node.handles.pop(subscription_id, None)
+        if handle is not None:
+            node.index.remove(handle)
+        return pattern
+
     def reset_routing(self) -> None:
         """Drop all routing state (tables, communities, ad counters)."""
         for node in self.brokers.values():
-            node.table = RoutingTable()
+            node.table.clear()
             node.communities = []
+            node.index = None
+            node.handles = {}
+        self._advertised = set()
         self.advertisement_messages = 0
         self.mode = None
+        self._community = None
+
+    # ------------------------------------------------------------------
+    # subscription lifecycle (event-driven)
+    # ------------------------------------------------------------------
+
+    def subscribe(
+        self, broker_id: int, pattern: TreePattern
+    ) -> SubscriptionId:
+        """Home a new subscriber and advertise it through the live regime.
+
+        * no regime yet (``mode is None``) — membership only, exactly like
+          :meth:`attach`;
+        * per-subscription regime — the pattern is installed as a local
+          delivery entry and flooded hop-by-hop with covering pruning;
+        * community regime — the pattern joins the home broker's live
+          :class:`~repro.core.similarity.SimilarityIndex` and only the
+          communities its arrival touches are re-advertised; all pairwise
+          similarity work already done for the untouched population is
+          reused from the index memo.
+        """
+        subscription_id = self.attach(broker_id, pattern)
+        if self.mode is None:
+            return subscription_id
+        node = self.brokers[broker_id]
+        if self._community is not None:
+            node.handles[subscription_id] = node.index.add(pattern)
+            self._reaggregate(broker_id)
+        else:
+            self._advertised.add(subscription_id)
+            node.table.add(pattern, (_DELIVER, (subscription_id,)))
+            self._propagate(broker_id, pattern)
+        return subscription_id
+
+    def unsubscribe(self, subscription_id: int) -> TreePattern:
+        """Retire a subscription and withdraw its advertisements.
+
+        The inverse of :meth:`subscribe`: in the per-subscription regime
+        the delivery entry is dropped and an unadvertise message walks the
+        reverse advertisement paths, resurrecting (and re-advertising)
+        entries the departing pattern had covered; in the community regime
+        the home broker's index forgets the pattern and only the touched
+        communities are re-aggregated.  A subscription that was never
+        advertised under the live regime (it :meth:`attach`\\ -ed after the
+        bulk ``advertise_*`` call) has nothing to withdraw and is simply
+        detached.  Returns the retired pattern.
+        """
+        if subscription_id not in self.subscriptions:
+            raise ValueError(f"unknown subscription id {subscription_id}")
+        home_id, pattern = self.subscriptions[subscription_id]
+        node = self.brokers[home_id]
+        was_advertised = subscription_id in self._advertised
+        was_aggregated = subscription_id in node.handles
+        self.detach(subscription_id)  # also retires any index entry
+        if self.mode is None:
+            return pattern
+        if self._community is not None:
+            if was_aggregated:
+                self._reaggregate(home_id)
+        elif was_advertised:
+            node.table.remove_destination((_DELIVER, (subscription_id,)))
+            self._unadvertise(home_id, pattern)
+        return pattern
 
     # ------------------------------------------------------------------
     # advertisement
     # ------------------------------------------------------------------
 
-    def _propagate(self, home_id: int, pattern: TreePattern) -> None:
-        """Flood one advertisement away from its home broker.
+    def _propagate(
+        self, origin_id: int, pattern: TreePattern, skip: Optional[int] = None
+    ) -> None:
+        """Flood one advertisement away from *origin_id*.
 
         Each receiving broker installs ``pattern → (forward, sender)`` —
         reverse-path routing state — and re-advertises to its remaining
         neighbours only when covering did *not* absorb the entry: if an
         existing entry for the same link contains the pattern, every broker
         further out already routes the pattern's documents this way.
+
+        ``skip`` suppresses the flood towards one neighbour of the origin —
+        used when a resurrected advertisement resumes a flood mid-overlay
+        and must not travel back towards its home.
         """
         frontier = [
-            (neighbor, home_id) for neighbor in self.brokers[home_id].neighbors
+            (neighbor, origin_id)
+            for neighbor in self.brokers[origin_id].neighbors
+            if neighbor != skip
         ]
         while frontier:
             broker_id, sender = frontier.pop(0)
@@ -267,14 +423,135 @@ class BrokerOverlay:
                     if neighbor != sender
                 )
 
+    def _unadvertise(
+        self, origin_id: int, pattern: TreePattern, skip: Optional[int] = None
+    ) -> None:
+        """Withdraw one advertisement instance along its flood paths.
+
+        Mirrors :meth:`_propagate`: the unadvertise walks away from
+        *origin_id* and, per broker, retires one instance of *pattern* from
+        the reverse-path entry of the arrival link.  The walk continues
+        outward only where the *active* entry actually left the table (a
+        covered duplicate never travelled further in the first place), and
+        every entry whose covering advertisement just left is resurrected
+        and re-advertised from that broker onward — resuming the flood that
+        covering had pruned.
+        """
+        frontier = [
+            (neighbor, origin_id)
+            for neighbor in self.brokers[origin_id].neighbors
+            if neighbor != skip
+        ]
+        readvertise: list[tuple[int, int, TreePattern]] = []
+        while frontier:
+            broker_id, sender = frontier.pop(0)
+            self.advertisement_messages += 1
+            node = self.brokers[broker_id]
+            removed, restored = node.table.remove_pattern(
+                pattern, (_FORWARD, sender)
+            )
+            if removed:
+                frontier.extend(
+                    (neighbor, broker_id)
+                    for neighbor in node.neighbors
+                    if neighbor != sender
+                )
+                readvertise.extend(
+                    (broker_id, sender, entry) for entry in restored
+                )
+        for broker_id, sender, entry in readvertise:
+            self._propagate(broker_id, entry, skip=sender)
+
     def advertise_subscriptions(self) -> None:
         """Per-subscription advertisement: exact routing, maximal state."""
         self.reset_routing()
         self.mode = "per_subscription"
-        for subscriber_id, (home_id, pattern) in enumerate(self.subscriptions):
+        self._advertised = set(self.subscriptions)
+        for subscriber_id, (home_id, pattern) in self.subscriptions.items():
             home = self.brokers[home_id]
             home.table.add(pattern, (_DELIVER, (subscriber_id,)))
             self._propagate(home_id, pattern)
+
+    def _cluster_node(
+        self, node: BrokerNode
+    ) -> list[tuple[TreePattern, tuple[int, ...]]]:
+        """Cluster one broker's advertised subscriptions into communities.
+
+        Runs :func:`~repro.routing.community.leader_clustering` over the
+        broker's live similarity index (every pairwise value the clustering
+        needs is memoised there, so re-clustering after churn only pays for
+        pairs involving changed patterns) and elects the advertised pattern
+        per community.  Only subscribers holding an index handle take part:
+        members that merely :meth:`attach`\\ -ed after the bulk
+        advertisement stay out of the aggregation until it is rebuilt,
+        mirroring the per-subscription regime's treatment of unadvertised
+        membership.
+        """
+        assert self._community is not None and node.index is not None
+        _, threshold, _, elect_by_selectivity = self._community
+        advertised_members = [
+            subscriber_id
+            for subscriber_id in node.local_subscribers
+            if subscriber_id in node.handles
+        ]
+        local_patterns = [
+            self.subscriptions[subscriber_id][1]
+            for subscriber_id in advertised_members
+        ]
+        communities = leader_clustering(local_patterns, node.index, threshold)
+        aggregated: list[tuple[TreePattern, tuple[int, ...]]] = []
+        for community in communities:
+            members = tuple(
+                advertised_members[index] for index in community.members
+            )
+            advertised = local_patterns[community.leader]
+            if elect_by_selectivity:
+                advertised = max(
+                    (local_patterns[index] for index in community.members),
+                    key=node.index.selectivity,
+                )
+            aggregated.append((advertised, members))
+        return aggregated
+
+    def _reaggregate(self, broker_id: int) -> None:
+        """Refresh one broker's community advertisements after churn.
+
+        Re-clusters the broker's local subscriptions (cheap: the index
+        memo already holds every surviving pair) and applies two separate
+        diffs against the live aggregation:
+
+        * local delivery entries follow the full ``(pattern, members)``
+          communities — a membership change swaps the home broker's
+          deliver entry in place;
+        * overlay-wide advertisement traffic follows the *advertised
+          pattern multiset* only — a subscriber joining or leaving an
+          existing community whose advertised pattern survives costs zero
+          unadvertise/re-flood messages, because the rest of the overlay
+          routes on the pattern, not on the membership.
+        """
+        node = self.brokers[broker_id]
+        fresh = self._cluster_node(node)
+        unmatched = list(fresh)
+        departed: list[tuple[TreePattern, tuple[int, ...]]] = []
+        for entry in node.communities:
+            if entry in unmatched:
+                unmatched.remove(entry)
+            else:
+                departed.append(entry)
+        withdrawn = [advertised for advertised, _ in departed]
+        for advertised, members in departed:
+            node.table.remove_destination((_DELIVER, members))
+        for advertised, members in unmatched:
+            node.table.add(advertised, (_DELIVER, members))
+            if advertised in withdrawn:
+                # Same advertised pattern, new membership: the overlay-wide
+                # state is already in place.
+                withdrawn.remove(advertised)
+            else:
+                self._propagate(broker_id, advertised)
+        for advertised in withdrawn:
+            self._unadvertise(broker_id, advertised)
+        node.communities = fresh
 
     def advertise_communities(
         self,
@@ -286,37 +563,33 @@ class BrokerOverlay:
         """Community-aggregated advertisement.
 
         Each broker clusters its local subscriptions with
-        :func:`~repro.routing.community.leader_clustering` over a
-        :class:`SimilarityMatrix` (one joint-selectivity computation per
-        pattern pair, shared across all queries), then advertises a single
+        :func:`~repro.routing.community.leader_clustering` over a live
+        :class:`~repro.core.similarity.SimilarityIndex` (one
+        joint-selectivity computation per pattern pair, shared across all
+        queries and across later churn events), then advertises a single
         pattern per community.  With ``elect_by_selectivity`` the advertised
         pattern is the community member with the highest selectivity — the
         member whose match set covers the most of the community's traffic,
         which trades a little precision for recall; otherwise the
         clustering leader is advertised.
+
+        The per-broker index and the regime parameters stay live
+        afterwards, so :meth:`subscribe` / :meth:`unsubscribe` maintain the
+        aggregation incrementally instead of rebuilding it.
         """
         self.reset_routing()
         self.mode = f"community(threshold={threshold})"
+        self._community = (provider, threshold, metric, elect_by_selectivity)
         for node in self.brokers.values():
-            if not node.local_subscribers:
-                continue
-            local_patterns = [
-                self.subscriptions[subscriber_id][1]
-                for subscriber_id in node.local_subscribers
-            ]
-            matrix = SimilarityMatrix(provider, local_patterns, metric=metric)
-            communities = leader_clustering(local_patterns, matrix, threshold)
-            for community in communities:
-                members = tuple(
-                    node.local_subscribers[index] for index in community.members
+            node.index = SimilarityIndex(provider, metric=metric)
+            node.handles = {
+                subscriber_id: node.index.add(
+                    self.subscriptions[subscriber_id][1]
                 )
-                advertised = local_patterns[community.leader]
-                if elect_by_selectivity:
-                    advertised = max(
-                        (local_patterns[index] for index in community.members),
-                        key=matrix.selectivity,
-                    )
-                node.communities.append((advertised, members))
+                for subscriber_id in node.local_subscribers
+            }
+            node.communities = self._cluster_node(node)
+            for advertised, members in node.communities:
                 node.table.add(advertised, (_DELIVER, members))
                 self._propagate(node.broker_id, advertised)
 
@@ -371,9 +644,10 @@ class BrokerOverlay:
                 "no routing state: call advertise_subscriptions() or "
                 "advertise_communities() first"
             )
-        interest = [
-            corpus.match_set(pattern) for _, pattern in self.subscriptions
-        ]
+        interest = {
+            subscriber_id: corpus.match_set(pattern)
+            for subscriber_id, (_, pattern) in self.subscriptions.items()
+        }
         deliveries = 0
         true_deliveries = 0
         false_positives = 0
@@ -396,8 +670,8 @@ class BrokerOverlay:
             doc_id = document.doc_id
             wanted = {
                 subscriber_id
-                for subscriber_id in range(len(self.subscriptions))
-                if doc_id in interest[subscriber_id]
+                for subscriber_id, match_set in interest.items()
+                if doc_id in match_set
             }
             deliveries += len(delivered)
             true_deliveries += len(delivered & wanted)
@@ -426,7 +700,8 @@ class BrokerOverlay:
         """The no-filtering baseline: every document visits every broker
         and is delivered to every subscriber."""
         interest = [
-            corpus.match_set(pattern) for _, pattern in self.subscriptions
+            corpus.match_set(pattern)
+            for _, pattern in self.subscriptions.values()
         ]
         total = len(corpus) * len(self.subscriptions)
         wanted = sum(len(match_set) for match_set in interest)

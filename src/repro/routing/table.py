@@ -13,6 +13,14 @@ using :mod:`repro.core.containment`:
 Because the homomorphism containment test is sound but not complete, a
 missed covering relation only costs table space, never correctness.
 
+Covering is *reversible*: every advertisement a covering entry absorbed
+(a dropped insert or an evicted entry) is remembered under that entry, so
+:meth:`RoutingTable.remove_pattern` can retire one advertisement instance
+at a time — removing a duplicate silently, and resurrecting the absorbed
+advertisements when the last covering instance leaves.  The restored
+entries are returned to the caller, which is exactly what a broker's
+unadvertise protocol needs to re-announce them downstream.
+
 Matching a document evaluates entries destination by destination and
 short-circuits within a destination on the first hit (a broker needs one
 reason to forward, not all of them); every pattern-vs-document evaluation
@@ -49,10 +57,23 @@ class RoutingTable:
 
     def __init__(self) -> None:
         self._by_destination: dict[Destination, list[TreePattern]] = {}
+        #: Per destination: active entry -> the advertisement instances it
+        #: absorbed, as ``(pattern, resume_flood)`` tuples (duplicates
+        #: kept).  ``resume_flood`` is decided once, when the instance is
+        #: first absorbed: True for a covered *insert* (its flood died in
+        #: this table, so downstream brokers never heard of it and a later
+        #: restoration must re-advertise it), False for an *evicted* active
+        #: entry (its flood had already passed through, so downstream state
+        #: exists and restoring it is purely local).  The flag travels with
+        #: the instance through any number of re-absorptions.
+        self._absorbed: dict[
+            Destination, dict[TreePattern, list[tuple[TreePattern, bool]]]
+        ] = {}
         self._matchers: dict[TreePattern, PatternMatcher] = {}
         self.match_operations = 0
         self.covered_inserts = 0
         self.evicted_entries = 0
+        self.restored_entries = 0
 
     # ------------------------------------------------------------------
     # maintenance
@@ -63,22 +84,170 @@ class RoutingTable:
 
         Covering is evaluated per destination only: two destinations never
         absorb each other's entries, because a document must reach every
-        interested next hop independently.
+        interested next hop independently.  Absorbed advertisements (the
+        dropped insert, or the evicted entries together with everything
+        *they* had absorbed) are remembered under the covering entry for
+        :meth:`remove_pattern` to resurrect.
+        """
+        return self._admit(pattern, destination, resume_flood=True)
+
+    def _admit(
+        self, pattern: TreePattern, destination: Destination, resume_flood: bool
+    ) -> bool:
+        """Insert one advertisement instance carrying its flood flag.
+
+        ``resume_flood`` is the flag recorded if covering absorbs the
+        instance: True for a fresh advertisement (public :meth:`add`),
+        or the instance's original flag when a restoration re-admits it.
         """
         patterns = self._by_destination.setdefault(destination, [])
         for existing in patterns:
             if contains(existing, pattern):
                 self.covered_inserts += 1
+                self._absorbed.setdefault(destination, {}).setdefault(
+                    existing, []
+                ).append((pattern, resume_flood))
                 return False
-        survivors = [p for p in patterns if not contains(pattern, p)]
+        survivors: list[TreePattern] = []
+        absorbed_here: list[tuple[TreePattern, bool]] = []
+        dest_absorbed = self._absorbed.get(destination, {})
+        for existing in patterns:
+            if contains(pattern, existing):
+                absorbed_here.append((existing, False))
+                absorbed_here.extend(dest_absorbed.pop(existing, ()))
+            else:
+                survivors.append(existing)
         self.evicted_entries += len(patterns) - len(survivors)
         survivors.append(pattern)
         self._by_destination[destination] = survivors
+        if absorbed_here:
+            self._absorbed.setdefault(destination, {}).setdefault(
+                pattern, []
+            ).extend(absorbed_here)
+            for evicted, _ in absorbed_here:
+                self._prune_matcher(evicted)
         return True
 
-    def remove_destination(self, destination: Destination) -> int:
-        """Drop every entry routed to *destination*; returns how many."""
-        return len(self._by_destination.pop(destination, ()))
+    @staticmethod
+    def _restore_order(
+        candidates: list[tuple[TreePattern, bool]],
+    ) -> list[tuple[TreePattern, bool]]:
+        """Maximal-first re-admission order for absorbed instances.
+
+        Inserting containers before containees guarantees a restoration
+        never *evicts* a just-restored entry (which would scramble the
+        flood flags); among equal patterns the evicted-active instance
+        (False) goes first so it, not a duplicate, claims the active slot.
+        """
+        remaining = sorted(candidates, key=lambda item: item[1])
+        ordered: list[tuple[TreePattern, bool]] = []
+        while remaining:
+            pick = 0
+            for position, (pattern, _) in enumerate(remaining):
+                if not any(
+                    contains(other, pattern) and not contains(pattern, other)
+                    for index, (other, _) in enumerate(remaining)
+                    if index != position
+                ):
+                    pick = position
+                    break
+            ordered.append(remaining.pop(pick))
+        return ordered
+
+    def remove_pattern(
+        self, pattern: TreePattern, destination: Destination
+    ) -> tuple[bool, list[TreePattern]]:
+        """Retire one advertisement instance of *pattern* for *destination*.
+
+        Returns ``(removed, restored)``.  ``removed`` answers "had this
+        advertisement instance propagated beyond this table?" — it is the
+        caller's signal to keep walking an unadvertise outward:
+
+        * ``(True, restored)`` — the *active* entry left the table (its
+          absorbed advertisements were re-admitted, and ``restored`` lists
+          those that became active *and* whose flood had died here, i.e.
+          exactly the ones the caller must re-advertise onward), or an
+          *evicted* instance was retired (its flood had passed through
+          before the eviction, so the walk continues; nothing to restore).
+        * ``(False, [])`` — a covered duplicate instance was discarded
+          without touching the active set (its flood died here, nothing
+          propagated), or no such advertisement is known.
+        """
+        patterns = self._by_destination.get(destination)
+        if not patterns:
+            return False, []
+        dest_absorbed = self._absorbed.get(destination, {})
+        active = next((p for p in patterns if p == pattern), None)
+        if active is None:
+            # The instance was absorbed here: retiring a covered insert is
+            # purely local (its flood died here), while retiring an evicted
+            # active must keep the unadvertise walking, because its flood
+            # passed through before the eviction.
+            for cover, absorbed in dest_absorbed.items():
+                for instance in absorbed:
+                    if instance[0] == pattern:
+                        absorbed.remove(instance)
+                        if not absorbed:
+                            del dest_absorbed[cover]
+                        return instance[1] is False, []
+            return False, []
+        own_absorbed = dest_absorbed.get(active, [])
+        for instance in own_absorbed:
+            if instance[0] == pattern:
+                # A duplicate advertisement of the active entry dies first;
+                # the active entry survives on the remaining instances.
+                own_absorbed.remove(instance)
+                if not own_absorbed:
+                    del dest_absorbed[active]
+                return instance[1] is False, []
+        patterns.remove(active)
+        resurrected = dest_absorbed.pop(active, [])
+        restored: list[TreePattern] = []
+        for candidate, resume_flood in self._restore_order(resurrected):
+            if self._admit(candidate, destination, resume_flood):
+                self.restored_entries += 1
+                if resume_flood:
+                    restored.append(candidate)
+        if not self._by_destination.get(destination):
+            self._by_destination.pop(destination, None)
+            self._absorbed.pop(destination, None)
+        self._prune_matcher(active)
+        return True, restored
+
+    def remove_destination(self, destination: Destination) -> list[TreePattern]:
+        """Drop every entry routed to *destination*.
+
+        Returns the removed *active* (maximal) patterns so callers can
+        re-advertise them; absorbed duplicates they covered are discarded
+        with them, since the active set already subsumes those.
+        """
+        self._absorbed.pop(destination, None)
+        removed = list(self._by_destination.pop(destination, ()))
+        for pattern in removed:
+            self._prune_matcher(pattern)
+        return removed
+
+    def _prune_matcher(self, pattern: TreePattern) -> None:
+        """Drop the compiled matcher of a pattern with no active entry left.
+
+        Matchers are a pure cache keyed by pattern; without this, a
+        long-running churn workload would accumulate one compiled matcher
+        per pattern ever routed.  A resurrected pattern simply recompiles.
+        """
+        if not any(
+            pattern in patterns for patterns in self._by_destination.values()
+        ):
+            self._matchers.pop(pattern, None)
+
+    def clear(self) -> None:
+        """Drop all entries, bookkeeping, and cost counters."""
+        self._by_destination.clear()
+        self._absorbed.clear()
+        self._matchers.clear()
+        self.match_operations = 0
+        self.covered_inserts = 0
+        self.evicted_entries = 0
+        self.restored_entries = 0
 
     # ------------------------------------------------------------------
     # matching
@@ -122,6 +291,18 @@ class RoutingTable:
 
     def __len__(self) -> int:
         return sum(len(patterns) for patterns in self._by_destination.values())
+
+    def __contains__(self, pattern: object) -> bool:
+        """True when *pattern* is an active entry for any destination.
+
+        Covered advertisements absorbed into a broader entry are not
+        reported: they do not take part in matching.
+        """
+        if not isinstance(pattern, TreePattern):
+            return False
+        return any(
+            pattern in patterns for patterns in self._by_destination.values()
+        )
 
     def __iter__(self) -> Iterator[TableEntry]:
         for destination, patterns in self._by_destination.items():

@@ -9,7 +9,7 @@ from repro.dtd.builtin import (
     nitf_dtd,
     xcbl_dtd,
 )
-from repro.dtd.model import DTD, DTDError, ElementType, Occurs, Particle
+from repro.dtd.model import DTDError, ElementType, Occurs, Particle
 from repro.dtd.parser import parse_content_model, parse_dtd
 
 

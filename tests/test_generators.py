@@ -5,7 +5,7 @@ import random
 
 import pytest
 
-from repro.core.labels import DESCENDANT, WILDCARD
+from repro.core.labels import WILDCARD
 from repro.dtd.builtin import nitf_dtd
 from repro.dtd.parser import parse_dtd
 from repro.experiments.config import DOC_GENERATOR_PRESETS

@@ -1,7 +1,6 @@
 """Exact tree-pattern matching: the paper's Figure 1 cases and the Section 2
 semantics edge cases."""
 
-import pytest
 
 from repro.core.pattern_parser import parse_xpath
 from repro.xmltree.matcher import CompiledPattern, PatternMatcher, matches

@@ -4,7 +4,7 @@ from hypothesis import given, settings
 
 from repro.core.minimize import is_minimal, minimize
 from repro.core.pattern_algebra import merge_patterns
-from repro.core.pattern_parser import parse_xpath, to_xpath
+from repro.core.pattern_parser import parse_xpath
 from repro.xmltree.matcher import matches
 from tests.strategies import tree_patterns, xml_trees
 

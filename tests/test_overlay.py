@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.pattern_parser import parse_xpath
-from repro.routing.overlay import TOPOLOGIES, BrokerOverlay
+from repro.routing.overlay import TOPOLOGIES, BrokerOverlay, SubscriptionId
 from repro.xmltree.corpus import DocumentCorpus
 
 
@@ -28,6 +28,47 @@ def build_overlay(topology, subscriptions, n_brokers=3):
     overlay = BrokerOverlay.build(topology, n_brokers, seed=7)
     overlay.attach_round_robin(subscriptions)
     return overlay
+
+
+def table_signature(overlay):
+    """Per-broker routing state, comparable across id histories.
+
+    Forward entries are kept verbatim; deliver payload subscriber ids are
+    renumbered by survivor rank, so an overlay that lived through churn
+    compares equal to one freshly built from the surviving subscriptions.
+    """
+    rank = {
+        subscriber_id: position
+        for position, subscriber_id in enumerate(sorted(overlay.subscriptions))
+    }
+    signature = {}
+    for broker_id, node in overlay.brokers.items():
+        entries = set()
+        for entry in node.table:
+            kind, payload = entry.destination
+            if kind == "deliver":
+                # Departed subscribers (stale tables) map to unique
+                # negative ranks so they never collide with survivors.
+                payload = tuple(
+                    sorted(rank.get(member, -1 - member) for member in payload)
+                )
+            entries.add((entry.pattern, kind, payload))
+        signature[broker_id] = frozenset(entries)
+    return signature
+
+
+def rebuild_from_survivors(overlay, topology, n_brokers=3, community=None):
+    """A fresh overlay advertised from *overlay*'s surviving subscriptions
+    alone (same homes, same order)."""
+    fresh = BrokerOverlay.build(topology, n_brokers, seed=7)
+    for home_id, pattern in overlay.subscriptions.values():
+        fresh.attach(home_id, pattern)
+    if community is None:
+        fresh.advertise_subscriptions()
+    else:
+        provider, threshold = community
+        fresh.advertise_communities(provider, threshold=threshold)
+    return fresh
 
 
 class TestTopologies:
@@ -189,6 +230,288 @@ class TestCommunityRouting:
         overlay = build_overlay("chain", subscriptions)
         overlay.advertise_communities(corpus, threshold=0.7)
         assert overlay.route_corpus(corpus).mode == "community(threshold=0.7)"
+
+
+class TestSubscriptionLifecycle:
+    def test_subscribe_returns_subscription_id(self, subscriptions):
+        overlay = BrokerOverlay.chain(2)
+        subscription = overlay.subscribe(0, subscriptions[0])
+        assert isinstance(subscription, SubscriptionId)
+        assert subscription == 0
+        assert "SubscriptionId" in repr(subscription)
+
+    def test_subscribe_before_advertisement_is_membership_only(
+        self, subscriptions
+    ):
+        overlay = BrokerOverlay.chain(3)
+        overlay.subscribe(0, subscriptions[0])
+        assert all(len(n.table) == 0 for n in overlay.brokers.values())
+
+    def test_unsubscribe_unknown_raises(self, subscriptions):
+        overlay = BrokerOverlay.chain(2)
+        with pytest.raises(ValueError):
+            overlay.unsubscribe(7)
+        subscription = overlay.subscribe(0, subscriptions[0])
+        overlay.unsubscribe(subscription)
+        with pytest.raises(ValueError):
+            overlay.unsubscribe(subscription)
+
+    def test_unsubscribe_accepts_plain_int(self, subscriptions):
+        overlay = BrokerOverlay.chain(2)
+        subscription = overlay.subscribe(1, subscriptions[0])
+        assert overlay.unsubscribe(int(subscription)) == subscriptions[0]
+        assert len(overlay.subscriptions) == 0
+
+    @pytest.mark.parametrize("topology", TOPOLOGIES)
+    def test_churned_per_subscription_routing_stays_exact(
+        self, corpus, subscriptions, topology
+    ):
+        overlay = build_overlay(topology, subscriptions[:4])
+        overlay.advertise_subscriptions()
+        late = [overlay.subscribe(2, p) for p in subscriptions[4:]]
+        stats = overlay.route_corpus(corpus)
+        assert stats.subscribers == len(subscriptions)
+        assert stats.precision == 1.0 and stats.recall == 1.0
+        overlay.unsubscribe(late[0])
+        stats = overlay.route_corpus(corpus)
+        assert stats.subscribers == len(subscriptions) - 1
+        assert stats.precision == 1.0 and stats.recall == 1.0
+
+    def test_subscribe_advertises_incrementally(self, subscriptions):
+        overlay = BrokerOverlay.chain(3)
+        overlay.advertise_subscriptions()
+        before = overlay.advertisement_messages
+        overlay.subscribe(0, subscriptions[0])
+        # One advertisement travelled the two links of the chain.
+        assert overlay.advertisement_messages == before + 2
+        assert all(len(n.table) >= 1 for n in overlay.brokers.values())
+
+    def test_unsubscribe_restores_covered_entry_downstream(self, corpus):
+        # /a (broker 2) covers /a/b (broker 2) at brokers 0 and 1; when /a
+        # leaves, the covered advertisement must be resurrected and
+        # re-announced all the way down the chain.
+        overlay = BrokerOverlay.chain(3)
+        wide = overlay.attach(2, parse_xpath("/a"))
+        overlay.attach(2, parse_xpath("/a/b"))
+        overlay.advertise_subscriptions()
+        assert overlay.brokers[0].table.patterns_for(("forward", 1)) == [
+            parse_xpath("/a")
+        ]
+        overlay.unsubscribe(wide)
+        assert overlay.brokers[0].table.patterns_for(("forward", 1)) == [
+            parse_xpath("/a/b")
+        ]
+        assert overlay.brokers[1].table.patterns_for(("forward", 2)) == [
+            parse_xpath("/a/b")
+        ]
+        stats = overlay.route_corpus(corpus)
+        assert stats.precision == 1.0 and stats.recall == 1.0
+
+    def test_duplicate_subscription_unsubscribe_keeps_shared_state(self):
+        # Ten identical subscriptions share one advertisement flood; nine
+        # departures are absorbed locally, the last clears the chain.
+        overlay = BrokerOverlay.chain(6)
+        ids = [overlay.attach(5, parse_xpath("/a/b")) for _ in range(10)]
+        overlay.advertise_subscriptions()
+        for subscription in ids[:9]:
+            overlay.unsubscribe(subscription)
+            assert [len(overlay.brokers[i].table) for i in range(5)] == [1] * 5
+        overlay.unsubscribe(ids[9])
+        assert all(len(n.table) == 0 for n in overlay.brokers.values())
+
+    @pytest.mark.parametrize("topology", TOPOLOGIES)
+    def test_unsubscribe_matches_rebuild_per_subscription(
+        self, subscriptions, topology
+    ):
+        # The ISSUE acceptance: after unsubscribing, every broker's routing
+        # table equals one built from the surviving subscriptions alone.
+        overlay = build_overlay(topology, subscriptions)
+        overlay.advertise_subscriptions()
+        for victim in (5, 1, 2):  # includes /a, which covers everything
+            overlay.unsubscribe(victim)
+            rebuilt = rebuild_from_survivors(overlay, topology)
+            assert table_signature(overlay) == table_signature(rebuilt)
+
+    @pytest.mark.parametrize("threshold", [0.3, 0.5, 1.0])
+    def test_unsubscribe_matches_rebuild_community(
+        self, corpus, subscriptions, threshold
+    ):
+        overlay = build_overlay("chain", subscriptions)
+        overlay.advertise_communities(corpus, threshold=threshold)
+        for victim in (0, 5, 3):
+            overlay.unsubscribe(victim)
+            rebuilt = rebuild_from_survivors(
+                overlay, "chain", community=(corpus, threshold)
+            )
+            assert table_signature(overlay) == table_signature(rebuilt)
+
+    @pytest.mark.parametrize("threshold", [0.3, 0.5, 1.0])
+    def test_subscribe_matches_rebuild_community(
+        self, corpus, subscriptions, threshold
+    ):
+        overlay = build_overlay("chain", subscriptions[:3])
+        overlay.advertise_communities(corpus, threshold=threshold)
+        for position, pattern in enumerate(subscriptions[3:]):
+            overlay.subscribe(position % 3, pattern)
+            rebuilt = rebuild_from_survivors(
+                overlay, "chain", community=(corpus, threshold)
+            )
+            assert table_signature(overlay) == table_signature(rebuilt)
+
+    def test_community_churn_reaggregates_home_broker_only(
+        self, corpus, subscriptions
+    ):
+        overlay = build_overlay("chain", subscriptions)
+        overlay.advertise_communities(corpus, threshold=0.5)
+        others_before = {
+            broker_id: list(node.communities)
+            for broker_id, node in overlay.brokers.items()
+            if broker_id != 1
+        }
+        overlay.subscribe(1, parse_xpath("/a/b/e"))
+        for broker_id, communities in others_before.items():
+            assert overlay.brokers[broker_id].communities == communities
+
+    def test_community_churn_reuses_index_memo(self, corpus, subscriptions):
+        overlay = build_overlay("chain", subscriptions)
+        overlay.advertise_communities(corpus, threshold=0.5)
+        node = overlay.brokers[1]
+        decided_before = node.index.stats.joint_evaluated
+        population = len(node.local_subscribers)
+        subscription = overlay.subscribe(1, parse_xpath("/a/b/e/k"))
+        # The arrival decides at most its own pairs against the population.
+        decided = node.index.stats.joint_evaluated - decided_before
+        assert decided <= population
+        # Departure decides nothing new at all.
+        decided_before = node.index.stats.joint_evaluated
+        overlay.unsubscribe(subscription)
+        assert node.index.stats.joint_evaluated == decided_before
+
+    def test_unsubscribe_of_unadvertised_attachment_is_membership_only(self):
+        # A subscriber attached after the bulk advertisement has no
+        # advertisement state; unsubscribing it must not strip the state
+        # of a surviving subscriber with the same pattern.
+        overlay = BrokerOverlay.chain(3)
+        overlay.attach(0, parse_xpath("/a/b"))
+        overlay.advertise_subscriptions()
+        late = overlay.attach(0, parse_xpath("/a/b"))
+        overlay.unsubscribe(late)
+        assert len(overlay.subscriptions) == 1
+        assert overlay.brokers[1].table.patterns_for(("forward", 0)) == [
+            parse_xpath("/a/b")
+        ]
+        assert overlay.brokers[2].table.patterns_for(("forward", 1)) == [
+            parse_xpath("/a/b")
+        ]
+
+    def test_unsubscribe_of_unadvertised_attachment_community(
+        self, corpus, subscriptions
+    ):
+        overlay = build_overlay("chain", subscriptions)
+        overlay.advertise_communities(corpus, threshold=0.5)
+        before = {
+            broker_id: frozenset(
+                (entry.pattern, entry.destination) for entry in node.table
+            )
+            for broker_id, node in overlay.brokers.items()
+        }
+        late = overlay.attach(1, parse_xpath("/a/b"))
+        overlay.unsubscribe(late)  # must not raise, must not touch tables
+        assert late not in overlay.subscriptions
+        after = {
+            broker_id: frozenset(
+                (entry.pattern, entry.destination) for entry in node.table
+            )
+            for broker_id, node in overlay.brokers.items()
+        }
+        assert after == before
+
+    def test_member_join_costs_no_advertisement_traffic(self, corpus):
+        # A subscriber joining an existing community whose advertised
+        # pattern survives only swaps the home broker's deliver entry; the
+        # rest of the overlay routes on the pattern, so no unadvertise /
+        # re-flood traffic is spent.
+        overlay = BrokerOverlay.chain(8)
+        overlay.attach(0, parse_xpath("/a/b"))
+        overlay.advertise_communities(corpus, threshold=0.0)
+        before = overlay.advertisement_messages
+        joined = overlay.subscribe(0, parse_xpath("/a/b/e"))
+        assert overlay.advertisement_messages == before
+        ((advertised, members),) = overlay.brokers[0].communities
+        assert advertised == parse_xpath("/a/b") and joined in members
+        overlay.unsubscribe(joined)
+        assert overlay.advertisement_messages == before
+
+    def test_unadvertised_attachment_stays_out_of_aggregation(
+        self, corpus, subscriptions
+    ):
+        # An attach-ed (never advertised) member must not be pulled into
+        # community advertisements by unrelated churn at its broker, or
+        # its later unsubscribe could not withdraw it.
+        overlay = build_overlay("chain", subscriptions)
+        overlay.advertise_communities(corpus, threshold=0.5)
+        silent = overlay.attach(1, parse_xpath("/a/b"))
+        churner = overlay.subscribe(1, parse_xpath("/a/b/e"))  # reaggregates
+        members = {
+            member
+            for _, group in overlay.brokers[1].communities
+            for member in group
+        }
+        assert churner in members and silent not in members
+        overlay.unsubscribe(silent)
+        overlay.unsubscribe(churner)
+        rebuilt = rebuild_from_survivors(
+            overlay, "chain", community=(corpus, 0.5)
+        )
+        assert table_signature(overlay) == table_signature(rebuilt)
+
+    def test_detach_retires_community_index_entry(self, corpus, subscriptions):
+        overlay = build_overlay("chain", subscriptions)
+        overlay.advertise_communities(corpus, threshold=0.5)
+        node = overlay.brokers[1]
+        population_before = len(node.index)
+        tables_before = {
+            broker_id: frozenset(
+                (entry.pattern, entry.destination) for entry in n.table
+            )
+            for broker_id, n in overlay.brokers.items()
+        }
+        victim = node.local_subscribers[0]
+        overlay.detach(victim)
+        # Broker-internal state shrinks; routing tables stay (stale).
+        assert len(node.index) == population_before - 1
+        assert victim not in node.handles
+        assert {
+            broker_id: frozenset(
+                (entry.pattern, entry.destination) for entry in n.table
+            )
+            for broker_id, n in overlay.brokers.items()
+        } == tables_before
+
+    def test_detach_leaves_tables_stale(self, corpus, subscriptions):
+        overlay = build_overlay("chain", subscriptions)
+        overlay.advertise_subscriptions()
+        entries_before = table_signature(overlay)
+        overlay.detach(0)
+        # Membership shrank but no unadvertise happened: state is stale.
+        assert len(overlay.subscriptions) == len(subscriptions) - 1
+        stale = {
+            broker_id: {
+                (pattern, kind, payload)
+                for pattern, kind, payload in entries
+                if kind == "forward"
+            }
+            for broker_id, entries in entries_before.items()
+        }
+        now = {
+            broker_id: {
+                (pattern, kind, payload)
+                for pattern, kind, payload in entries
+                if kind == "forward"
+            }
+            for broker_id, entries in table_signature(overlay).items()
+        }
+        assert now == stale
 
 
 class TestStats:

@@ -3,8 +3,7 @@
 import pytest
 from hypothesis import given
 
-from repro.core.labels import DESCENDANT
-from repro.core.pattern import PatternError, TreePattern
+from repro.core.pattern import PatternError
 from repro.core.pattern_algebra import (
     merge_patterns,
     path_pattern,
@@ -14,7 +13,6 @@ from repro.core.pattern_algebra import (
 )
 from repro.core.pattern_parser import parse_xpath, to_xpath
 from repro.xmltree.matcher import matches
-from repro.xmltree.tree import XMLTree
 from tests.strategies import tree_patterns, xml_trees
 
 

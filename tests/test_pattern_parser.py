@@ -4,7 +4,6 @@ import pytest
 from hypothesis import given
 
 from repro.core.labels import DESCENDANT, WILDCARD
-from repro.core.pattern import PatternNode, TreePattern
 from repro.core.pattern_parser import XPathSyntaxError, parse_xpath, to_xpath
 from tests.strategies import tree_patterns
 

@@ -96,15 +96,46 @@ class TestMatching:
 
 
 class TestMaintenance:
-    def test_remove_destination(self):
+    def test_remove_destination_returns_removed_patterns(self):
         table = RoutingTable()
         table.add(parse_xpath("/a/b"), "link-1")
         table.add(parse_xpath("/a/d"), "link-1")
         table.add(parse_xpath("/a"), "link-2")
-        assert table.remove_destination("link-1") == 2
+        assert table.remove_destination("link-1") == [
+            parse_xpath("/a/b"),
+            parse_xpath("/a/d"),
+        ]
         assert len(table) == 1
         assert table.destinations() == ["link-2"]
-        assert table.remove_destination("missing") == 0
+        assert table.remove_destination("missing") == []
+
+    def test_remove_destination_returns_maximal_patterns_only(self):
+        table = RoutingTable()
+        table.add(parse_xpath("/a/b"), "link-1")
+        table.add(parse_xpath("/a"), "link-1")  # evicts /a/b
+        assert table.remove_destination("link-1") == [parse_xpath("/a")]
+
+    def test_contains_reports_active_entries_only(self):
+        table = RoutingTable()
+        table.add(parse_xpath("/a"), "link-1")
+        table.add(parse_xpath("/a/b"), "link-1")  # covered by /a
+        assert parse_xpath("/a") in table
+        assert parse_xpath("/a/b") not in table
+        assert parse_xpath("/z") not in table
+        assert "not a pattern" not in table
+
+    def test_clear_resets_entries_and_counters(self, document):
+        table = RoutingTable()
+        table.add(parse_xpath("/a"), "link-1")
+        table.add(parse_xpath("/a/b"), "link-1")
+        table.destinations_for(document)
+        table.clear()
+        assert len(table) == 0
+        assert table.destinations() == []
+        assert table.match_operations == 0
+        assert table.covered_inserts == 0
+        assert table.evicted_entries == 0
+        assert table.restored_entries == 0
 
     def test_iteration_yields_entries(self):
         table = RoutingTable()
@@ -118,3 +149,132 @@ class TestMaintenance:
         table = RoutingTable()
         table.add(parse_xpath("/a"), "link-1")
         assert "entries=1" in repr(table)
+
+
+class TestRemovePattern:
+    def test_remove_active_entry(self):
+        table = RoutingTable()
+        table.add(parse_xpath("/a/b"), "link-1")
+        removed, restored = table.remove_pattern(parse_xpath("/a/b"), "link-1")
+        assert removed and restored == []
+        assert len(table) == 0
+        assert table.destinations() == []
+
+    def test_remove_unknown_is_noop(self):
+        table = RoutingTable()
+        table.add(parse_xpath("/a/b"), "link-1")
+        assert table.remove_pattern(parse_xpath("/z"), "link-1") == (False, [])
+        assert table.remove_pattern(parse_xpath("/a/b"), "link-9") == (False, [])
+        assert len(table) == 1
+
+    def test_removing_cover_restores_absorbed_insert(self):
+        table = RoutingTable()
+        table.add(parse_xpath("/a"), "link-1")
+        table.add(parse_xpath("/a/b"), "link-1")  # covered, absorbed
+        removed, restored = table.remove_pattern(parse_xpath("/a"), "link-1")
+        assert removed and restored == [parse_xpath("/a/b")]
+        assert table.patterns_for("link-1") == [parse_xpath("/a/b")]
+        assert table.restored_entries == 1
+
+    def test_removing_cover_restores_evicted_entries(self):
+        table = RoutingTable()
+        table.add(parse_xpath("/a/b/e"), "link-1")
+        table.add(parse_xpath("/a/b/f"), "link-1")
+        table.add(parse_xpath("/a/b"), "link-1")  # evicts both
+        removed, restored = table.remove_pattern(parse_xpath("/a/b"), "link-1")
+        assert removed
+        # Evicted entries come back as active entries, but are *not*
+        # reported for re-advertising: their floods had already propagated
+        # before the eviction.
+        assert restored == []
+        assert sorted(table.patterns_for("link-1"), key=repr) == sorted(
+            [parse_xpath("/a/b/e"), parse_xpath("/a/b/f")], key=repr
+        )
+        assert table.restored_entries == 2
+
+    def test_duplicate_instances_are_reference_counted(self):
+        table = RoutingTable()
+        table.add(parse_xpath("//e"), "link-1")
+        table.add(parse_xpath("//e"), "link-1")  # duplicate, absorbed
+        removed, restored = table.remove_pattern(parse_xpath("//e"), "link-1")
+        assert (removed, restored) == (False, [])
+        assert parse_xpath("//e") in table
+        removed, restored = table.remove_pattern(parse_xpath("//e"), "link-1")
+        assert (removed, restored) == (True, [])
+        assert len(table) == 0
+
+    def test_removing_absorbed_instance_keeps_cover(self):
+        table = RoutingTable()
+        table.add(parse_xpath("/a"), "link-1")
+        table.add(parse_xpath("/a/b"), "link-1")  # absorbed under /a
+        removed, restored = table.remove_pattern(parse_xpath("/a/b"), "link-1")
+        assert (removed, restored) == (False, [])
+        # The absorbed instance is gone: removing the cover restores nothing.
+        removed, restored = table.remove_pattern(parse_xpath("/a"), "link-1")
+        assert (removed, restored) == (True, [])
+        assert len(table) == 0
+
+    def test_eviction_transfers_absorbed_bookkeeping(self):
+        table = RoutingTable()
+        table.add(parse_xpath("/a/b/e"), "link-1")
+        table.add(parse_xpath("/a/b/e/k"), "link-1")  # absorbed under /a/b/e
+        table.add(parse_xpath("/a/b"), "link-1")  # evicts /a/b/e (and its cargo)
+        assert table.patterns_for("link-1") == [parse_xpath("/a/b")]
+        removed, restored = table.remove_pattern(parse_xpath("/a/b"), "link-1")
+        assert removed
+        # /a/b/e becomes active again (no re-advertising needed: it was
+        # evicted, so its flood already propagated) and re-absorbs the
+        # covered insert /a/b/e/k.
+        assert restored == []
+        assert table.patterns_for("link-1") == [parse_xpath("/a/b/e")]
+        removed, restored = table.remove_pattern(parse_xpath("/a/b/e"), "link-1")
+        # /a/b/e/k's flood died in this table, so now it must re-advertise.
+        assert removed and restored == [parse_xpath("/a/b/e/k")]
+
+    def test_removing_evicted_instance_continues_unadvertise(self):
+        table = RoutingTable()
+        table.add(parse_xpath("/a/b"), "link-1")  # propagated beyond
+        table.add(parse_xpath("/a"), "link-1")    # evicts /a/b
+        # The evicted instance had flooded through before the eviction, so
+        # retiring it reports removed=True (the walk must continue) while
+        # the covering entry stays.
+        removed, restored = table.remove_pattern(parse_xpath("/a/b"), "link-1")
+        assert (removed, restored) == (True, [])
+        assert table.patterns_for("link-1") == [parse_xpath("/a")]
+        # The cover now absorbs nothing: removing it restores nothing.
+        removed, restored = table.remove_pattern(parse_xpath("/a"), "link-1")
+        assert (removed, restored) == (True, [])
+        assert len(table) == 0
+
+    def test_compiled_matchers_pruned_with_retired_entries(self, document):
+        table = RoutingTable()
+        table.add(parse_xpath("/a/b"), "link-1")
+        table.add(parse_xpath("/a/b"), "link-2")
+        table.destinations_for(document)  # compiles the matcher
+        assert len(table._matchers) == 1
+        table.remove_pattern(parse_xpath("/a/b"), "link-1")
+        # Still active for link-2: the compiled matcher stays cached.
+        assert len(table._matchers) == 1
+        table.remove_destination("link-2")
+        assert table._matchers == {}
+
+    def test_compiled_matchers_pruned_on_eviction(self, document):
+        table = RoutingTable()
+        table.add(parse_xpath("/a/b/e"), "link-1")
+        table.destinations_for(document)
+        assert len(table._matchers) == 1
+        table.add(parse_xpath("/a/b"), "link-1")  # evicts /a/b/e
+        assert parse_xpath("/a/b/e") not in table._matchers
+
+    def test_restored_entry_may_be_reabsorbed_by_another_cover(self):
+        table = RoutingTable()
+        table.add(parse_xpath("/a/b/e"), "link-1")
+        table.add(parse_xpath("/a/b"), "link-1")   # evicts /a/b/e
+        table.add(parse_xpath("//e"), "link-1")    # incomparable with /a/b
+        removed, restored = table.remove_pattern(parse_xpath("/a/b"), "link-1")
+        assert removed
+        # /a/b/e resurfaces but //e covers it, so it is not re-activated.
+        assert restored == []
+        assert sorted(table.patterns_for("link-1"), key=repr) == sorted(
+            [parse_xpath("//e")], key=repr
+        )

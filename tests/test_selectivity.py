@@ -6,7 +6,6 @@ import pytest
 from repro.core.pattern_parser import parse_xpath
 from repro.core.selectivity import SelectivityEstimator
 from repro.synopsis.synopsis import DocumentSynopsis
-from repro.xmltree.tree import XMLTree
 
 
 @pytest.fixture()

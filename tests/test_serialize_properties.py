@@ -13,7 +13,7 @@ from repro.synopsis.pruning import (
 from repro.synopsis.serialize import synopsis_from_dict, synopsis_to_dict
 from repro.synopsis.size import measure
 from repro.synopsis.synopsis import DocumentSynopsis
-from tests.strategies import tree_patterns, xml_trees
+from tests.strategies import tree_patterns
 from tests.test_selectivity_properties import corpora
 
 

@@ -14,7 +14,7 @@ from repro.core.similarity import (
     m3_joint_over_union,
 )
 from repro.xmltree.corpus import DocumentCorpus
-from tests.strategies import tree_patterns, xml_trees
+from tests.strategies import tree_patterns
 from tests.test_selectivity_properties import build_synopsis, corpora
 
 

@@ -1,6 +1,5 @@
 """Synopsis size accounting (|HS| = nodes + edges + labels + entries)."""
 
-import pytest
 
 from repro.synopsis.pruning import fold_leaves, merge_same_label
 from repro.synopsis.size import SynopsisSize, measure

@@ -4,7 +4,6 @@ all three matching-set representations."""
 import pytest
 
 from repro.core.labels import ROOT_LABEL
-from repro.synopsis.counters import CounterSummary
 from repro.synopsis.synopsis import MODES, DocumentSynopsis
 from repro.xmltree.tree import XMLTree
 
