@@ -32,16 +32,20 @@ Also runnable standalone for a quick smoke check (used by CI)::
 
 from __future__ import annotations
 
-import argparse
 import random
 
-from repro.experiments.config import ExperimentConfig
+from common import (
+    TOPOLOGY,
+    TOPOLOGY_SEED,
+    build_overlay,
+    overlay_argument_parser,
+    prepare_quick,
+    prepare_smoke,
+)
 from repro.experiments.harness import prepare
 from repro.routing.overlay import BrokerOverlay
 
 N_BROKERS = 4
-TOPOLOGY = "random_tree"
-TOPOLOGY_SEED = 11
 CHURN_RATES = (0.05, 0.2, 0.4)
 THRESHOLDS = (0.7, 0.5, 0.3)
 N_SUBSCRIBERS = 40
@@ -121,11 +125,8 @@ def run_cell(
     initial = pool[:n_subscribers]
     reserve = pool[n_subscribers:] or pool
 
-    incremental = BrokerOverlay.build(TOPOLOGY, n_brokers, seed=TOPOLOGY_SEED)
-    periodic = BrokerOverlay.build(TOPOLOGY, n_brokers, seed=TOPOLOGY_SEED)
-    for position, pattern in enumerate(initial):
-        incremental.attach(position % n_brokers, pattern)
-        periodic.attach(position % n_brokers, pattern)
+    incremental = build_overlay(n_brokers, initial)
+    periodic = build_overlay(n_brokers, initial)
     incremental.advertise_communities(corpus, threshold=threshold)
     periodic.advertise_communities(corpus, threshold=threshold)
 
@@ -260,22 +261,11 @@ def test_churn(benchmark, nitf_quick):
 
 
 def main() -> None:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument(
-        "--smoke",
-        action="store_true",
-        help="tiny workload: a fast end-to-end sanity run for CI",
-    )
-    parser.add_argument("--dtd", default="nitf", choices=("nitf", "xcbl"))
-    args = parser.parse_args()
+    args = overlay_argument_parser(__doc__.splitlines()[0]).parse_args()
 
     if args.smoke:
-        config = ExperimentConfig.quick(
-            args.dtd, n_documents=60, n_positive=16, n_negative=0, n_pairs=0
-        )
-        prepared = prepare(config)
         rows = run_sweep(
-            prepared,
+            prepare_smoke(args.dtd),
             churn_rates=(0.25,),
             thresholds=(0.5,),
             n_subscribers=12,
@@ -284,8 +274,7 @@ def main() -> None:
             rebuild_period=2,
         )
     else:
-        prepared = prepare(ExperimentConfig.quick(args.dtd))
-        rows = run_sweep(prepared)
+        rows = run_sweep(prepare_quick(args.dtd))
     print(render(rows))
     check_acceptance(rows)
     print("acceptance checks passed")

@@ -1,0 +1,238 @@
+"""Latency/throughput benchmark: discrete-event delivery under load.
+
+Sweeps publish rate × advertisement regime × community threshold over the
+default NITF quick workload on a fixed 4-broker random tree.  Every cell
+replays the same document stream through the event engine
+(:class:`repro.routing.engine.DeliveryEngine`): per-broker FIFO service
+queues, service time affine in match operations, unit link latency.
+Reported per cell: publication-to-delivery latency percentiles
+(p50/p95/p99), mean queueing delay, peak queue depth, and throughput —
+the timing axis the match-count benchmarks cannot see.
+
+The headline claims asserted here:
+
+* the engine delivers exactly the subscriber sets of the synchronous
+  routing path in every cell (sync/async equivalence);
+* at the highest publish rate, community aggregation at the acceptance
+  threshold shows measurably lower mean queueing delay and at-least-equal
+  throughput versus per-subscription advertisement — smaller routing
+  tables pay off in *time* under load, the paper's trade-off scored on a
+  new axis;
+* the engine is deterministic: re-running a cell under the same seed
+  reproduces its stats bit for bit.
+
+Also runnable standalone for a quick smoke check (used by CI)::
+
+    PYTHONPATH=src python benchmarks/bench_latency.py --smoke
+"""
+
+from __future__ import annotations
+
+from common import build_overlay, overlay_argument_parser, prepare_quick, prepare_smoke
+from repro.experiments.harness import prepare
+from repro.routing.broker import LatencyStats
+from repro.routing.engine import DeliveryEngine, LinkModel, ServiceModel
+from repro.routing.overlay import BrokerOverlay
+
+N_BROKERS = 4
+N_SUBSCRIBERS = 60
+RATES = (0.25, 1.0, 4.0)
+THRESHOLDS = (0.7, 0.5, 0.3)
+ACCEPTANCE_THRESHOLD = 0.5
+SERVICE = ServiceModel(base=0.2, per_match=0.05)
+LINKS = LinkModel(default=1.0)
+
+
+def sync_reference(
+    overlay: BrokerOverlay, corpus
+) -> dict[int, frozenset[int]]:
+    """Per published document, the synchronous path's delivery sets."""
+    return {
+        index: frozenset(
+            overlay.route(document, index % len(overlay.brokers))[0]
+        )
+        for index, document in enumerate(corpus.documents)
+    }
+
+
+def run_cell(
+    overlay: BrokerOverlay,
+    corpus,
+    rate: float,
+    reference: dict[int, frozenset[int]],
+) -> LatencyStats:
+    """One engine run at *rate*, checked against the synchronous path."""
+    engine = DeliveryEngine(overlay, service=SERVICE, links=LINKS)
+    engine.publish_corpus(corpus, rate=rate)
+    stats = engine.run()
+    assert engine.delivered_sets() == reference, (overlay.mode, rate)
+    return stats
+
+
+def run_sweep(
+    prepared,
+    rates: tuple[float, ...] = RATES,
+    thresholds: tuple[float, ...] = THRESHOLDS,
+    n_subscribers: int = N_SUBSCRIBERS,
+    n_brokers: int = N_BROKERS,
+) -> list[tuple[float, object, LatencyStats]]:
+    """Drive the stream through every (rate, regime) cell.
+
+    Returns ``(rate, threshold-or-None, stats)`` rows; ``None`` marks the
+    per-subscription baseline.  Community similarity uses the exact corpus
+    provider, isolating the queueing trade-off from synopsis estimation
+    error (bench_routing.py covers the estimated-similarity side).
+    """
+    subscriptions = prepared.positive[:n_subscribers]
+    corpus = prepared.corpus
+    rows: list[tuple[float, object, LatencyStats]] = []
+    for threshold in (None, *thresholds):
+        overlay = build_overlay(n_brokers, subscriptions)
+        if threshold is None:
+            overlay.advertise_subscriptions()
+        else:
+            overlay.advertise_communities(corpus, threshold=threshold)
+        reference = sync_reference(overlay, corpus)
+        for rate in rates:
+            rows.append(
+                (rate, threshold, run_cell(overlay, corpus, rate, reference))
+            )
+    regime_rank = {threshold: rank for rank, threshold in enumerate(thresholds)}
+    rows.sort(
+        key=lambda row: (row[0], -1 if row[1] is None else regime_rank[row[1]])
+    )
+    return rows
+
+
+def render(rows: list[tuple[float, object, LatencyStats]]) -> str:
+    header = (
+        f"{'rate':>5s} {'regime':24s} {'p50':>7s} {'p95':>7s} {'p99':>7s} "
+        f"{'qdelay':>7s} {'depth':>5s} {'thrpt':>6s} {'deliv':>6s}"
+    )
+    lines = [header, "-" * len(header)]
+    for rate, threshold, stats in rows:
+        regime = (
+            "per_subscription"
+            if threshold is None
+            else f"community(th={threshold})"
+        )
+        lines.append(
+            f"{rate:5.2f} {regime:24s} {stats.latency_p50:7.2f} "
+            f"{stats.latency_p95:7.2f} {stats.latency_p99:7.2f} "
+            f"{stats.queue_delay_mean:7.2f} {stats.peak_queue_depth:5d} "
+            f"{stats.throughput:6.2f} {stats.deliveries:6d}"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def check_acceptance(rows: list[tuple[float, object, LatencyStats]]) -> None:
+    """Assert the headline claims over a finished sweep.
+
+    Sync/async delivery equivalence is asserted per cell inside
+    :func:`run_cell`; here we check the aggregates and the queueing-delay
+    headline.
+    """
+    for rate, threshold, stats in rows:
+        assert stats.documents > 0 and stats.deliveries > 0, (rate, threshold)
+        assert stats.makespan > 0.0, (rate, threshold)
+        assert (
+            stats.latency_p50
+            <= stats.latency_p95
+            <= stats.latency_p99
+            <= stats.latency_max
+        ), (rate, threshold)
+    by_cell = {(rate, threshold): stats for rate, threshold, stats in rows}
+    top_rate = max(rate for rate, _, _ in rows)
+    baseline = by_cell[(top_rate, None)]
+    aggregated = by_cell.get((top_rate, ACCEPTANCE_THRESHOLD))
+    if aggregated is not None:
+        # Aggregation's payoff in time: under the heaviest load, smaller
+        # routing tables mean shorter services, hence measurably shorter
+        # queues and no worse throughput.
+        assert aggregated.queue_delay_mean < 0.95 * baseline.queue_delay_mean, (
+            aggregated.queue_delay_mean,
+            baseline.queue_delay_mean,
+        )
+        assert aggregated.throughput >= baseline.throughput, (
+            aggregated.throughput,
+            baseline.throughput,
+        )
+
+
+def check_determinism(prepared, n_subscribers: int, n_brokers: int) -> None:
+    """Two identical engine runs must agree bit for bit — including under
+    seeded Poisson arrivals."""
+    subscriptions = prepared.positive[:n_subscribers]
+    corpus = prepared.corpus
+    overlay = build_overlay(n_brokers, subscriptions)
+    overlay.advertise_communities(
+        corpus, threshold=ACCEPTANCE_THRESHOLD
+    )
+    outcomes = []
+    for _ in range(2):
+        engine = DeliveryEngine(overlay, service=SERVICE, links=LINKS)
+        engine.publish_corpus(corpus, rate=2.0, arrivals="poisson", seed=7)
+        outcomes.append((engine.run(), engine.delivered_sets()))
+    assert outcomes[0] == outcomes[1], "event engine is not deterministic"
+
+
+def summary_line(rows: list[tuple[float, object, LatencyStats]]) -> str:
+    """One-line machine-readable digest (published as a CI step output)."""
+    by_cell = {(rate, threshold): stats for rate, threshold, stats in rows}
+    top_rate = max(rate for rate, _, _ in rows)
+    baseline = by_cell[(top_rate, None)]
+    aggregated = by_cell.get((top_rate, ACCEPTANCE_THRESHOLD), baseline)
+    return (
+        f"summary=rate:{top_rate:g},"
+        f"baseline_qdelay:{baseline.queue_delay_mean:.2f},"
+        f"community_qdelay:{aggregated.queue_delay_mean:.2f},"
+        f"baseline_thrpt:{baseline.throughput:.2f},"
+        f"community_thrpt:{aggregated.throughput:.2f},"
+        f"baseline_p95:{baseline.latency_p95:.2f},"
+        f"community_p95:{aggregated.latency_p95:.2f}"
+    )
+
+
+def test_latency(benchmark, nitf_quick):
+    from _bench_utils import RESULTS_DIR
+
+    prepared = prepare(nitf_quick)
+    rows = benchmark.pedantic(
+        lambda: run_sweep(prepared), rounds=1, iterations=1
+    )
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    report = render(rows)
+    (RESULTS_DIR / "latency.txt").write_text(report)
+    print()
+    print(report)
+
+    check_acceptance(rows)
+    check_determinism(prepared, N_SUBSCRIBERS, N_BROKERS)
+
+
+def main() -> None:
+    args = overlay_argument_parser(__doc__.splitlines()[0]).parse_args()
+
+    if args.smoke:
+        prepared = prepare_smoke(args.dtd)
+        rows = run_sweep(
+            prepared,
+            rates=(0.5, 4.0),
+            thresholds=(0.5,),
+            n_subscribers=16,
+            n_brokers=3,
+        )
+        check_determinism(prepared, n_subscribers=16, n_brokers=3)
+    else:
+        prepared = prepare_quick(args.dtd)
+        rows = run_sweep(prepared)
+        check_determinism(prepared, N_SUBSCRIBERS, N_BROKERS)
+    print(render(rows))
+    check_acceptance(rows)
+    print("acceptance checks passed")
+    print(summary_line(rows))
+
+
+if __name__ == "__main__":
+    main()

@@ -19,17 +19,19 @@ Also runnable standalone for a quick smoke check (used by CI)::
 
 from __future__ import annotations
 
-import argparse
-
-from repro.experiments.config import ExperimentConfig
+from common import (
+    TOPOLOGY,
+    build_overlay,
+    overlay_argument_parser,
+    prepare_quick,
+    prepare_smoke,
+)
 from repro.experiments.harness import prepare
-from repro.routing.overlay import BrokerOverlay, OverlayStats
+from repro.routing.overlay import OverlayStats
 
 BROKER_COUNTS = (2, 4, 8)
 THRESHOLDS = (0.7, 0.5, 0.3)
 N_SUBSCRIBERS = 60
-TOPOLOGY = "random_tree"
-TOPOLOGY_SEED = 11
 ACCEPTANCE_THRESHOLD = 0.5
 
 
@@ -52,8 +54,7 @@ def run_sweep(
     corpus = prepared.corpus
     rows: list[tuple[int, object, OverlayStats]] = []
     for n_brokers in broker_counts:
-        overlay = BrokerOverlay.build(topology, n_brokers, seed=TOPOLOGY_SEED)
-        overlay.attach_round_robin(subscriptions)
+        overlay = build_overlay(n_brokers, subscriptions, topology=topology)
         overlay.advertise_subscriptions()
         rows.append((n_brokers, None, overlay.route_corpus(corpus)))
         for threshold in thresholds:
@@ -121,29 +122,17 @@ def test_overlay_routing(benchmark, nitf_quick):
 
 
 def main() -> None:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument(
-        "--smoke",
-        action="store_true",
-        help="tiny workload: a fast end-to-end sanity run for CI",
-    )
-    parser.add_argument("--dtd", default="nitf", choices=("nitf", "xcbl"))
-    args = parser.parse_args()
+    args = overlay_argument_parser(__doc__.splitlines()[0]).parse_args()
 
     if args.smoke:
-        config = ExperimentConfig.quick(
-            args.dtd, n_documents=60, n_positive=16, n_negative=0, n_pairs=0
-        )
-        prepared = prepare(config)
         rows = run_sweep(
-            prepared,
+            prepare_smoke(args.dtd),
             n_subscribers=16,
             broker_counts=(2, 3),
             thresholds=(0.5,),
         )
     else:
-        prepared = prepare(ExperimentConfig.quick(args.dtd))
-        rows = run_sweep(prepared)
+        rows = run_sweep(prepare_quick(args.dtd))
     print(render(rows))
     check_acceptance(rows)
     print("acceptance checks passed")

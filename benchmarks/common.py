@@ -1,0 +1,63 @@
+"""Corpus/workload setup shared by the overlay benchmark family.
+
+``bench_overlay.py`` (advertisement regimes), ``bench_churn.py``
+(subscription lifecycle) and ``bench_latency.py`` (event-driven delivery)
+sweep the same prepared quick-scale workload over the same seeded broker
+topology; this module holds that setup once so the three tables stay
+comparable cell for cell — and so a CI smoke run means the same thing in
+every benchmark.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.harness import PreparedExperiment, prepare
+from repro.routing.overlay import BrokerOverlay
+
+#: The overlay shape every benchmark in the family routes over.
+TOPOLOGY = "random_tree"
+TOPOLOGY_SEED = 11
+
+
+def overlay_argument_parser(description: str) -> argparse.ArgumentParser:
+    """The standalone-CLI surface shared by the overlay benchmarks."""
+    parser = argparse.ArgumentParser(description=description)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny workload: a fast end-to-end sanity run for CI",
+    )
+    parser.add_argument("--dtd", default="nitf", choices=("nitf", "xcbl"))
+    return parser
+
+
+def prepare_quick(dtd: str = "nitf") -> PreparedExperiment:
+    """The quick-scale workload the benchmark tables are built from.
+
+    The harness caches preparations in-process, so benchmarks sharing a
+    session reuse one corpus and workload.
+    """
+    return prepare(ExperimentConfig.quick(dtd))
+
+
+def prepare_smoke(dtd: str = "nitf") -> PreparedExperiment:
+    """The tiny CI smoke workload: documents and positive patterns only."""
+    return prepare(
+        ExperimentConfig.quick(
+            dtd, n_documents=60, n_positive=16, n_negative=0, n_pairs=0
+        )
+    )
+
+
+def build_overlay(
+    n_brokers: int,
+    patterns,
+    topology: str = TOPOLOGY,
+    seed: int = TOPOLOGY_SEED,
+) -> BrokerOverlay:
+    """A topology-seeded overlay with *patterns* attached round-robin."""
+    overlay = BrokerOverlay.build(topology, n_brokers, seed=seed)
+    overlay.attach_round_robin(patterns)
+    return overlay

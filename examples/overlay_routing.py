@@ -80,7 +80,12 @@ def main() -> None:
 
     show(per_subscription, "per_subscription")
     for threshold in (0.7, 0.5, 0.3):
-        overlay.advertise_communities(estimator, threshold=threshold)
+        # Synopsis joint estimates need not respect the min(P) bound the
+        # selectivity-ratio prefilter relies on; keep the estimator's raw
+        # clustering.
+        overlay.advertise_communities(
+            estimator, threshold=threshold, ratio_prefilter=False
+        )
         show(overlay.route_corpus(corpus), f"community(th={threshold})")
 
     print(

@@ -71,7 +71,12 @@ def main() -> None:
 
     overlay = BrokerOverlay.build("random_tree", N_BROKERS, seed=44)
     overlay.attach_round_robin(initial)
-    overlay.advertise_communities(estimator, threshold=THRESHOLD)
+    # Synopsis joint estimates need not respect the min(P) bound the
+    # selectivity-ratio prefilter relies on; keep the estimator's raw
+    # clustering.
+    overlay.advertise_communities(
+        estimator, threshold=THRESHOLD, ratio_prefilter=False
+    )
     stats = overlay.route_corpus(corpus)
     print(
         f"day 0: {len(overlay.subscriptions)} subscribers, "
@@ -102,7 +107,9 @@ def main() -> None:
     rebuilt = BrokerOverlay.build("random_tree", N_BROKERS, seed=44)
     for home_id, pattern in overlay.subscriptions.values():
         rebuilt.attach(home_id, pattern)
-    rebuilt.advertise_communities(estimator, threshold=THRESHOLD)
+    rebuilt.advertise_communities(
+        estimator, threshold=THRESHOLD, ratio_prefilter=False
+    )
     assert routing_state(overlay) == routing_state(rebuilt)
     print("zero decay: churned overlay matches a from-scratch rebuild")
 

@@ -31,7 +31,15 @@ from repro.core import (
     root_mean_square_error,
     to_xpath,
 )
-from repro.routing import BrokerOverlay, OverlayStats, RoutingTable
+from repro.routing import (
+    BrokerOverlay,
+    DeliveryEngine,
+    LatencyStats,
+    LinkModel,
+    OverlayStats,
+    RoutingTable,
+    ServiceModel,
+)
 from repro.synopsis import DocumentSynopsis, compress_to_ratio, measure
 from repro.xmltree import PatternMatcher, XMLTree, matches, parse_xml, skeleton
 
@@ -49,6 +57,10 @@ __all__ = [
     "BrokerOverlay",
     "OverlayStats",
     "RoutingTable",
+    "DeliveryEngine",
+    "ServiceModel",
+    "LinkModel",
+    "LatencyStats",
     "average_relative_error",
     "root_mean_square_error",
     "DocumentSynopsis",

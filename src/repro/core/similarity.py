@@ -176,23 +176,30 @@ class IndexStats:
 
     ``joint_evaluated`` counts the distinct unordered pattern pairs whose
     joint selectivity actually reached the provider; ``joint_pruned`` the
-    distinct pairs the tag-disjointness prefilter answered with 0 instead.
+    distinct pairs the tag-disjointness prefilter answered with 0 instead;
+    ``joint_ratio_pruned`` the distinct pairs the selectivity-ratio bound
+    skipped (their M3 provably cannot reach the configured threshold).
     Pruned versus evaluated is exactly the sparse-evaluation saving.
+    ``memo_evicted`` counts memo entries dropped because their pattern
+    left the live population (see :meth:`SimilarityIndex.compact`).
     """
 
     joint_evaluated: int = 0
     joint_pruned: int = 0
+    joint_ratio_pruned: int = 0
     selectivity_evaluated: int = 0
     adds: int = 0
     removes: int = 0
+    memo_evicted: int = 0
 
     @property
     def prune_ratio(self) -> float:
-        """Fraction of decided joint pairs the prefilter answered."""
-        decided = self.joint_evaluated + self.joint_pruned
+        """Fraction of decided joint pairs either prefilter answered."""
+        pruned = self.joint_pruned + self.joint_ratio_pruned
+        decided = self.joint_evaluated + pruned
         if decided == 0:
             return 0.0
-        return self.joint_pruned / decided
+        return pruned / decided
 
 
 class SimilarityIndex:
@@ -224,6 +231,25 @@ class SimilarityIndex:
       construction; for synopsis estimators it can only *sharpen* a pair
       the estimator would have scored ≥ 0 (pass ``prune_disjoint=False``
       to reproduce raw estimator output bit-for-bit).
+    * **selectivity-ratio prefilter** (``m3_prune_below``) — with the M3
+      metric, ``P(p ∧ q) ≤ min(P(p), P(q))`` and
+      ``P(p ∨ q) ≥ max(P(p), P(q))``, so
+      ``M3(p, q) ≤ min(P(p), P(q)) / max(P(p), P(q))``.  When a caller
+      only thresholds similarities (leader clustering at a fixed
+      threshold), a pair whose selectivity ratio already falls below the
+      threshold is answered 0.0 without the joint-selectivity call — the
+      two single-pattern selectivities it needs are memoised and shared
+      anyway.  Sound for providers whose joint estimates respect the min
+      bound (exact providers by construction); pairs whose joint value is
+      already memoised return the exact value instead.  Accounted in
+      ``stats.joint_ratio_pruned``.
+    * **memo eviction** — the pattern-keyed memos deliberately survive
+      churn (a re-add is free), so under sustained churn dead patterns
+      accumulate.  :meth:`compact` drops every memo row whose pattern no
+      longer appears in any live handle (``stats.memo_evicted`` counts the
+      dropped entries); constructing with ``evict_dead_memos=True`` does
+      this automatically whenever a pattern's last live handle is removed,
+      trading re-add cost for bounded memory.
 
     The index implements the :class:`SelectivityProvider` protocol
     (memoising, pruning pass-through) so the M1/M2/M3 callables evaluate
@@ -242,20 +268,32 @@ class SimilarityIndex:
         patterns: Iterable[TreePattern] = (),
         metric: str = "M3",
         prune_disjoint: bool = True,
+        m3_prune_below: Optional[float] = None,
+        evict_dead_memos: bool = False,
     ):
         if metric not in METRICS:
             raise ValueError(
                 f"unknown metric {metric!r}; choose from {sorted(METRICS)}"
             )
+        if m3_prune_below is not None and not 0.0 <= m3_prune_below <= 1.0:
+            raise ValueError("m3_prune_below must be in [0, 1]")
         self.provider = provider
         self.metric = metric
         self.prune_disjoint = prune_disjoint
+        self.m3_prune_below = m3_prune_below if metric == "M3" else None
+        self.evict_dead_memos = evict_dead_memos
         self.stats = IndexStats()
         self._metric_fn = METRICS[metric]
         self._population: dict[int, TreePattern] = {}
         self._next_handle = 0
+        #: Live handles per distinct pattern — the population eviction is
+        #: tied to (a dead pattern is one whose count reached zero).
+        self._live_counts: dict[TreePattern, int] = {}
         self._selectivity_memo: dict[TreePattern, float] = {}
         self._joint_memo: dict[frozenset[TreePattern], float] = {}
+        #: Distinct pairs the selectivity-ratio bound answered, so the
+        #: stats counter stays a distinct-pair count like the others.
+        self._ratio_pruned: set[frozenset[TreePattern]] = set()
         #: Root-anchor cache: frozenset of root tag labels for prunable
         #: (``//``-free, tag-anchored) patterns, None for unprunable ones.
         self._anchor_memo: dict[TreePattern, Optional[frozenset[str]]] = {}
@@ -273,6 +311,7 @@ class SimilarityIndex:
         handle = self._next_handle
         self._next_handle += 1
         self._population[handle] = pattern
+        self._live_counts[pattern] = self._live_counts.get(pattern, 0) + 1
         self.stats.adds += 1
         return handle
 
@@ -280,14 +319,75 @@ class SimilarityIndex:
         """Retire *handle*; returns the pattern it referenced.
 
         O(1): rows referencing the pattern simply stop being produced; the
-        pattern-keyed memos survive, so a later re-add is free.
+        pattern-keyed memos survive, so a later re-add is free — unless the
+        index was built with ``evict_dead_memos=True``, in which case the
+        departing pattern's memo rows are dropped as soon as its last live
+        handle goes (one pass over the joint memo).
         """
         try:
             pattern = self._population.pop(handle)
         except KeyError:
             raise KeyError(f"unknown or already removed handle {handle}") from None
         self.stats.removes += 1
+        remaining = self._live_counts.get(pattern, 0) - 1
+        if remaining > 0:
+            self._live_counts[pattern] = remaining
+        else:
+            self._live_counts.pop(pattern, None)
+            if self.evict_dead_memos:
+                self._evict({pattern})
         return pattern
+
+    def compact(self) -> int:
+        """Drop memo rows whose pattern no longer has any live handle.
+
+        The population-tied eviction for long-running churn workloads: the
+        selectivity, root-anchor and joint-selectivity memos are scanned
+        once and every entry mentioning a dead pattern is dropped (a later
+        re-add simply recomputes).  Returns the number of entries evicted,
+        which is also accumulated in ``stats.memo_evicted``.
+        """
+        dead = {
+            pattern
+            for pattern in self._selectivity_memo
+            if pattern not in self._live_counts
+        }
+        dead.update(
+            pattern
+            for pattern in self._anchor_memo
+            if pattern not in self._live_counts
+        )
+        for key in self._joint_memo:
+            for pattern in key:
+                if pattern not in self._live_counts:
+                    dead.add(pattern)
+        return self._evict(dead)
+
+    def _evict(self, dead: set[TreePattern]) -> int:
+        """Drop every memo entry mentioning a pattern in *dead*."""
+        if not dead:
+            return 0
+        evicted = 0
+        for pattern in dead:
+            if self._selectivity_memo.pop(pattern, None) is not None:
+                evicted += 1
+            self._anchor_memo.pop(pattern, None)
+        stale = [
+            key for key in self._joint_memo if not dead.isdisjoint(key)
+        ]
+        for key in stale:
+            del self._joint_memo[key]
+        evicted += len(stale)
+        self._ratio_pruned = {
+            key for key in self._ratio_pruned if dead.isdisjoint(key)
+        }
+        self.stats.memo_evicted += evicted
+        return evicted
+
+    @property
+    def memo_size(self) -> int:
+        """Memoised entries held: selectivities plus joint pairs."""
+        return len(self._selectivity_memo) + len(self._joint_memo)
 
     def pattern(self, handle: int) -> TreePattern:
         """The pattern a live handle references."""
@@ -372,12 +472,37 @@ class SimilarityIndex:
 
     # -- metric evaluation ---------------------------------------------------
 
+    def _evaluate(self, p: TreePattern, q: TreePattern) -> float:
+        """The configured metric on *p*, *q*, through the prefilters.
+
+        With ``m3_prune_below`` set, a never-seen pair whose selectivity
+        ratio ``min(P(p), P(q)) / max(P(p), P(q))`` already bounds M3
+        below the threshold is answered 0.0 without touching the joint
+        memo or the provider; an already-memoised pair keeps returning its
+        exact value.
+        """
+        if self.m3_prune_below is not None and p != q:
+            key = frozenset((p, q))
+            if key not in self._joint_memo:
+                sel_p = self.selectivity(p)
+                sel_q = self.selectivity(q)
+                high = max(sel_p, sel_q)
+                low = min(sel_p, sel_q)
+                if (high <= 0.0 and self.m3_prune_below > 0.0) or (
+                    high > 0.0 and low / high < self.m3_prune_below
+                ):
+                    if key not in self._ratio_pruned:
+                        self._ratio_pruned.add(key)
+                        self.stats.joint_ratio_pruned += 1
+                    return 0.0
+        return self._metric_fn(self, p, q)
+
     def similarity(
         self, p: TreePattern, q: TreePattern, metric: str | None = None
     ) -> float:
         """Proximity of two (arbitrary) patterns through the memo."""
         if metric is None or metric == self.metric:
-            return self._metric_fn(self, p, q)
+            return self._evaluate(p, q)
         try:
             fn = METRICS[metric]
         except KeyError:
@@ -388,7 +513,7 @@ class SimilarityIndex:
 
     def __call__(self, p: TreePattern, q: TreePattern) -> float:
         """Make the index a drop-in ``SimilarityFn`` for the routing layer."""
-        return self._metric_fn(self, p, q)
+        return self._evaluate(p, q)
 
     # -- live-population queries ---------------------------------------------
 
@@ -401,7 +526,7 @@ class SimilarityIndex:
         """
         pattern = self.pattern(handle)
         return {
-            other: self._metric_fn(self, pattern, candidate)
+            other: self._evaluate(pattern, candidate)
             for other, candidate in self._population.items()
         }
 

@@ -24,22 +24,37 @@ Module map:
   with hop-by-hop unadvertise propagation and incremental community
   re-aggregation over per-broker live
   :class:`~repro.core.similarity.SimilarityIndex` instances;
+* :mod:`repro.routing.engine` — the discrete-event delivery engine:
+  seeded, wall-clock-free simulation of the overlay under load, with
+  per-broker FIFO service queues (:class:`ServiceModel` maps match
+  operations to service time), per-link forwarding latencies
+  (:class:`LinkModel`) and :class:`LatencyStats` reporting latency
+  percentiles, queue-depth peaks and throughput — it replays the same
+  ``BrokerOverlay.process_at`` steps as the synchronous path, so
+  delivery sets are identical by construction;
 * :mod:`repro.routing.inclusion` — containment-based inclusion forests,
   the baseline structure the paper's introduction argues is the wrong
   proximity notion for communities.
 """
 
-from repro.routing.broker import RoutingSimulator, RoutingStats
+from repro.routing.broker import (
+    LatencyStats,
+    RoutingSimulator,
+    RoutingStats,
+    percentile,
+)
 from repro.routing.community import (
     Community,
     agglomerative_clustering,
     leader_clustering,
 )
+from repro.routing.engine import DeliveryEngine, LinkModel, ServiceModel
 from repro.routing.inclusion import InclusionForest, InclusionNode
 from repro.routing.overlay import (
     TOPOLOGIES,
     BrokerNode,
     BrokerOverlay,
+    BrokerStep,
     OverlayStats,
     SubscriptionId,
 )
@@ -57,7 +72,13 @@ __all__ = [
     "TableEntry",
     "BrokerNode",
     "BrokerOverlay",
+    "BrokerStep",
     "OverlayStats",
     "SubscriptionId",
     "TOPOLOGIES",
+    "DeliveryEngine",
+    "ServiceModel",
+    "LinkModel",
+    "LatencyStats",
+    "percentile",
 ]

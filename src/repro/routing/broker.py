@@ -22,14 +22,29 @@ to an interested one.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import math
+from dataclasses import dataclass, field
 from typing import Sequence
 
 from repro.core.pattern import TreePattern
 from repro.routing.community import Community
 from repro.xmltree.corpus import DocumentCorpus
 
-__all__ = ["RoutingStats", "RoutingSimulator"]
+__all__ = ["RoutingStats", "RoutingSimulator", "LatencyStats", "percentile"]
+
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of *samples* (``q`` in [0, 100]).
+
+    Empty samples yield 0.0 so stats over an idle run stay well-defined.
+    """
+    if not 0.0 <= q <= 100.0:
+        raise ValueError("percentile rank must be in [0, 100]")
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+    return ordered[rank - 1]
 
 
 @dataclass(frozen=True)
@@ -66,6 +81,72 @@ class RoutingStats:
         if self.documents == 0:
             return 0.0
         return self.match_operations / self.documents
+
+
+@dataclass(frozen=True)
+class LatencyStats:
+    """Timing outcome of one discrete-event delivery run.
+
+    Produced by :class:`~repro.routing.engine.DeliveryEngine`; all times
+    are in simulated time units (the engine never reads a wall clock).
+
+    *Latency* is publication-to-delivery: the simulated time between a
+    document's publish instant and the service completion of the broker
+    that delivered it to a subscriber — one sample per delivery.  *Queue
+    delay* is the time a document spent waiting in broker FIFO queues
+    before its service started — one sample per (broker, document) visit.
+    Queueing, not service, is what saturation inflates, so the queue-delay
+    aggregates are the headline load measure.
+    """
+
+    documents: int
+    deliveries: int
+    #: First publish instant to last event processed.
+    makespan: float
+    latency_p50: float
+    latency_p95: float
+    latency_p99: float
+    latency_mean: float
+    latency_max: float
+    queue_delay_mean: float
+    queue_delay_p95: float
+    queue_delay_max: float
+    #: Per broker: the highest number of documents simultaneously queued
+    #: or in service.
+    queue_depth_peaks: dict[int, int] = field(default_factory=dict)
+    #: Per broker: total simulated time spent servicing documents.
+    busy_time: dict[int, float] = field(default_factory=dict)
+    match_operations: int = 0
+    forwards: int = 0
+
+    @property
+    def throughput(self) -> float:
+        """Documents fully absorbed per simulated time unit."""
+        if self.makespan <= 0.0:
+            return 0.0
+        return self.documents / self.makespan
+
+    @property
+    def delivery_throughput(self) -> float:
+        """Deliveries per simulated time unit."""
+        if self.makespan <= 0.0:
+            return 0.0
+        return self.deliveries / self.makespan
+
+    @property
+    def peak_queue_depth(self) -> int:
+        """The deepest queue any broker reached during the run."""
+        return max(self.queue_depth_peaks.values(), default=0)
+
+    @property
+    def utilization(self) -> dict[int, float]:
+        """Per broker: fraction of the makespan spent servicing."""
+        if self.makespan <= 0.0:
+            return {broker_id: 0.0 for broker_id in self.busy_time}
+        return {
+            broker_id: busy / self.makespan
+            for broker_id, busy in self.busy_time.items()
+        }
 
 
 class RoutingSimulator:

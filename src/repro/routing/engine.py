@@ -1,0 +1,379 @@
+"""Discrete-event delivery engine over the broker overlay.
+
+The synchronous :meth:`~repro.routing.overlay.BrokerOverlay.route` walk
+answers *where* documents go; under heavy traffic the operational question
+is *when* they arrive.  This module replays the exact same broker-local
+filtering steps (:meth:`~repro.routing.overlay.BrokerOverlay.process_at`)
+through a deterministic discrete-event simulation:
+
+* a single global event queue, ordered by ``(time, sequence number)`` so
+  ties resolve in scheduling order — replays are bit-identical under a
+  fixed seed, with no wall clock anywhere;
+* one FIFO service queue per broker: a broker services one document at a
+  time, and the service duration is a configurable function of the match
+  operations the filtering step performs (:class:`ServiceModel`) — the
+  direct coupling between routing-table size and queueing delay that the
+  paper's community aggregation is meant to relieve;
+* per-link forwarding latencies (:class:`LinkModel`) between neighbouring
+  brokers.
+
+Because the engine consumes ``process_at`` unchanged, it delivers exactly
+the subscriber sets the synchronous path delivers (the equivalence is
+property-tested); what it adds is the timing dimension —
+publication-to-delivery latency percentiles, per-broker queue-depth peaks
+and utilisation, and end-to-end throughput, reported as a
+:class:`~repro.routing.broker.LatencyStats`.
+
+Extension points for later work: subclass :class:`ServiceModel` for
+non-affine service times (e.g. batching at saturated brokers), subclass
+:class:`LinkModel` for heterogeneous or load-dependent links, and replace
+the per-broker FIFO discipline by overriding
+:meth:`DeliveryEngine._next_job` (e.g. priority scheduling).
+
+>>> # engine = DeliveryEngine(overlay)
+>>> # engine.publish_corpus(corpus, rate=2.0)
+>>> # stats = engine.run()          # LatencyStats
+>>> # engine.delivered_sets()       # per published document, for checking
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from collections import deque
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.routing.broker import LatencyStats, percentile
+from repro.routing.overlay import BrokerOverlay, BrokerStep
+from repro.xmltree.corpus import DocumentCorpus
+from repro.xmltree.tree import XMLTree
+
+__all__ = ["ServiceModel", "LinkModel", "DeliveryEngine"]
+
+
+@dataclass(frozen=True)
+class ServiceModel:
+    """Broker service time as an affine function of filtering work.
+
+    ``base`` is the fixed per-document handling cost (parsing, queue
+    management); ``per_match`` the cost of one pattern-vs-document
+    evaluation.  Community aggregation shrinks routing tables, hence match
+    operations, hence service time — which is exactly the knob this model
+    exposes to the latency benchmark.
+    """
+
+    base: float = 0.2
+    per_match: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.base < 0.0 or self.per_match < 0.0:
+            raise ValueError("service-time coefficients must be >= 0")
+        if self.base <= 0.0 and self.per_match <= 0.0:
+            raise ValueError("service time must be positive")
+
+    def service_time(self, match_operations: int) -> float:
+        """Simulated time to service one document at one broker."""
+        return self.base + self.per_match * match_operations
+
+
+class LinkModel:
+    """Per-link forwarding latency between neighbouring brokers.
+
+    A constant ``default`` latency, optionally overridden per undirected
+    edge: ``LinkModel(1.0, {(0, 1): 5.0})`` makes the 0—1 link five times
+    slower in both directions.
+    """
+
+    def __init__(
+        self,
+        default: float = 1.0,
+        overrides: Optional[dict[tuple[int, int], float]] = None,
+    ):
+        if default < 0.0:
+            raise ValueError("link latency must be >= 0")
+        self.default = default
+        self._overrides: dict[tuple[int, int], float] = {}
+        for (a, b), value in (overrides or {}).items():
+            if value < 0.0:
+                raise ValueError("link latency must be >= 0")
+            self._overrides[(a, b) if a <= b else (b, a)] = value
+
+    def latency(self, a: int, b: int) -> float:
+        """Forwarding latency of the undirected link *a*—*b*."""
+        return self._overrides.get((a, b) if a <= b else (b, a), self.default)
+
+
+#: Event kinds; arrivals sort before same-instant completions only through
+#: their sequence number, keeping the schedule strictly FIFO.
+_ARRIVAL = "arrival"
+_COMPLETE = "complete"
+
+
+@dataclass
+class _Job:
+    """One document instance travelling the overlay."""
+
+    document: XMLTree
+    doc_index: int
+    published_at: float
+    #: Link the document arrived over (None at the publish broker).
+    origin: Optional[int]
+    #: Set when the job reaches a broker; start-of-service minus this is
+    #: the job's queue delay there.
+    arrived_at: float = 0.0
+
+
+class DeliveryEngine:
+    """Deterministic discrete-event simulator of overlay delivery.
+
+    Drives documents through *overlay*'s live routing state: publishes
+    schedule arrival events, each broker services its FIFO queue one
+    document at a time under *service*, and completed services deliver
+    locally and forward over *links*.  All state advances through the
+    event queue only — identical inputs replay identically.
+    """
+
+    def __init__(
+        self,
+        overlay: BrokerOverlay,
+        service: Optional[ServiceModel] = None,
+        links: Optional[LinkModel] = None,
+    ):
+        if overlay.mode is None:
+            raise ValueError(
+                "no routing state: call advertise_subscriptions() or "
+                "advertise_communities() before building an engine"
+            )
+        self.overlay = overlay
+        self.service = service or ServiceModel()
+        self.links = links or LinkModel()
+        #: (time, seq, kind, broker_id, job, step-at-completion)
+        self._events: list[
+            tuple[float, int, str, int, _Job, Optional[BrokerStep]]
+        ] = []
+        self._sequence = 0
+        self._queues: dict[int, deque[_Job]] = {
+            broker_id: deque() for broker_id in overlay.brokers
+        }
+        self._busy: dict[int, bool] = {
+            broker_id: False for broker_id in overlay.brokers
+        }
+        self._depth_peaks: dict[int, int] = {
+            broker_id: 0 for broker_id in overlay.brokers
+        }
+        self._busy_time: dict[int, float] = {
+            broker_id: 0.0 for broker_id in overlay.brokers
+        }
+        self._delivered: dict[int, set[int]] = {}
+        self._latencies: list[float] = []
+        self._queue_delays: list[float] = []
+        self._first_publish: Optional[float] = None
+        self._last_event = 0.0
+        self._documents = 0
+        self._match_operations = 0
+        self._forwards = 0
+
+    # ------------------------------------------------------------------
+    # workload injection
+    # ------------------------------------------------------------------
+
+    def publish(
+        self, document: XMLTree, at_broker: int = 0, time: float = 0.0
+    ) -> int:
+        """Schedule *document* for publication at *at_broker*.
+
+        Returns the publish index identifying the document in
+        :meth:`delivered_sets`.
+        """
+        if at_broker not in self.overlay.brokers:
+            raise ValueError(f"no broker {at_broker}")
+        if time < 0.0:
+            raise ValueError("publish time must be >= 0")
+        index = self._documents
+        self._documents += 1
+        self._delivered[index] = set()
+        if self._first_publish is None or time < self._first_publish:
+            self._first_publish = time
+        job = _Job(
+            document=document,
+            doc_index=index,
+            published_at=time,
+            origin=None,
+        )
+        self._schedule(time, _ARRIVAL, at_broker, job)
+        return index
+
+    def publish_corpus(
+        self,
+        corpus: DocumentCorpus,
+        rate: float,
+        publish_at: Union[int, str] = "round_robin",
+        start: float = 0.0,
+        arrivals: str = "uniform",
+        seed: int = 0,
+    ) -> list[int]:
+        """Publish every corpus document at an average *rate* (documents
+        per simulated time unit).
+
+        ``publish_at`` is a fixed broker id or ``"round_robin"``, matching
+        :meth:`BrokerOverlay.route_corpus`.  ``arrivals`` selects the
+        inter-arrival process: ``"uniform"`` spaces publishes exactly
+        ``1/rate`` apart, ``"poisson"`` draws exponential gaps from a
+        ``random.Random(seed)`` — seeded, so still deterministic.
+        Returns the publish indices.
+        """
+        if rate <= 0.0:
+            raise ValueError("publish rate must be positive")
+        if arrivals not in ("uniform", "poisson"):
+            raise ValueError(
+                f"unknown arrival process {arrivals!r}; "
+                "choose 'uniform' or 'poisson'"
+            )
+        rng = random.Random(seed)
+        time = start
+        indices = []
+        for position, document in enumerate(corpus.documents):
+            if publish_at == "round_robin":
+                source = position % len(self.overlay.brokers)
+            else:
+                source = int(publish_at)
+            indices.append(self.publish(document, source, time))
+            if arrivals == "poisson":
+                time += rng.expovariate(rate)
+            else:
+                time += 1.0 / rate
+        return indices
+
+    # ------------------------------------------------------------------
+    # event loop
+    # ------------------------------------------------------------------
+
+    def _schedule(
+        self,
+        time: float,
+        kind: str,
+        broker_id: int,
+        job: _Job,
+        step: Optional[BrokerStep] = None,
+    ) -> None:
+        self._sequence += 1
+        heapq.heappush(
+            self._events, (time, self._sequence, kind, broker_id, job, step)
+        )
+
+    def _next_job(self, broker_id: int) -> Optional[_Job]:
+        """Pick the next queued document at *broker_id* (FIFO).
+
+        The scheduling-discipline extension point: override to model
+        priority or deadline scheduling without touching the event loop.
+        """
+        queue = self._queues[broker_id]
+        return queue.popleft() if queue else None
+
+    def _start_service(self, broker_id: int, job: _Job, now: float) -> None:
+        self._busy[broker_id] = True
+        self._queue_delays.append(now - job.arrived_at)
+        step = self.overlay.process_at(broker_id, job.document, job.origin)
+        self._match_operations += step.match_operations
+        duration = self.service.service_time(step.match_operations)
+        self._busy_time[broker_id] += duration
+        self._schedule(now + duration, _COMPLETE, broker_id, job, step)
+
+    def _on_arrival(self, broker_id: int, job: _Job, now: float) -> None:
+        job.arrived_at = now
+        depth = len(self._queues[broker_id]) + (
+            1 if self._busy[broker_id] else 0
+        ) + 1
+        if depth > self._depth_peaks[broker_id]:
+            self._depth_peaks[broker_id] = depth
+        if self._busy[broker_id]:
+            self._queues[broker_id].append(job)
+        else:
+            self._start_service(broker_id, job, now)
+
+    def _on_complete(
+        self, broker_id: int, job: _Job, step: BrokerStep, now: float
+    ) -> None:
+        for subscriber_id in sorted(step.deliveries):
+            self._delivered[job.doc_index].add(subscriber_id)
+            self._latencies.append(now - job.published_at)
+        for neighbor in step.forwards:
+            self._forwards += 1
+            forwarded = _Job(
+                document=job.document,
+                doc_index=job.doc_index,
+                published_at=job.published_at,
+                origin=broker_id,
+            )
+            self._schedule(
+                now + self.links.latency(broker_id, neighbor),
+                _ARRIVAL,
+                neighbor,
+                forwarded,
+            )
+        self._busy[broker_id] = False
+        pending = self._next_job(broker_id)
+        if pending is not None:
+            self._start_service(broker_id, pending, now)
+
+    def run(self) -> LatencyStats:
+        """Process every pending event and report the timing outcome.
+
+        Incremental: more publishes may follow and ``run`` may be called
+        again; stats always cover everything processed so far.
+        """
+        while self._events:
+            time, _, kind, broker_id, job, step = heapq.heappop(self._events)
+            self._last_event = max(self._last_event, time)
+            if kind == _ARRIVAL:
+                self._on_arrival(broker_id, job, time)
+            else:
+                assert step is not None
+                self._on_complete(broker_id, job, step, time)
+        return self.stats()
+
+    # ------------------------------------------------------------------
+    # results
+    # ------------------------------------------------------------------
+
+    def delivered_sets(self) -> dict[int, frozenset[int]]:
+        """Per publish index, the subscriber ids delivered to so far."""
+        return {
+            index: frozenset(delivered)
+            for index, delivered in self._delivered.items()
+        }
+
+    def stats(self) -> LatencyStats:
+        """The :class:`LatencyStats` of everything processed so far."""
+        start = self._first_publish or 0.0
+        makespan = max(0.0, self._last_event - start)
+        latencies = self._latencies
+        delays = self._queue_delays
+        return LatencyStats(
+            documents=self._documents,
+            deliveries=len(latencies),
+            makespan=makespan,
+            latency_p50=percentile(latencies, 50.0),
+            latency_p95=percentile(latencies, 95.0),
+            latency_p99=percentile(latencies, 99.0),
+            latency_mean=(
+                sum(latencies) / len(latencies) if latencies else 0.0
+            ),
+            latency_max=max(latencies, default=0.0),
+            queue_delay_mean=(
+                sum(delays) / len(delays) if delays else 0.0
+            ),
+            queue_delay_p95=percentile(delays, 95.0),
+            queue_delay_max=max(delays, default=0.0),
+            queue_depth_peaks=dict(self._depth_peaks),
+            busy_time=dict(self._busy_time),
+            match_operations=self._match_operations,
+            forwards=self._forwards,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"DeliveryEngine(brokers={len(self.overlay.brokers)}, "
+            f"documents={self._documents}, pending={len(self._events)})"
+        )

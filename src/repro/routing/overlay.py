@@ -54,6 +54,7 @@ from repro.xmltree.tree import XMLTree
 __all__ = [
     "BrokerNode",
     "BrokerOverlay",
+    "BrokerStep",
     "OverlayStats",
     "SubscriptionId",
     "TOPOLOGIES",
@@ -111,6 +112,27 @@ class BrokerNode:
             f"subscribers={len(self.local_subscribers)}, "
             f"table={len(self.table)})"
         )
+
+
+@dataclass(frozen=True)
+class BrokerStep:
+    """Outcome of one broker-local filtering step on one document.
+
+    The pure unit of work shared by every delivery discipline: the
+    synchronous :meth:`BrokerOverlay.route` walk and the discrete-event
+    :class:`~repro.routing.engine.DeliveryEngine` both apply it, so they
+    deliver to identical subscriber sets by construction and differ only
+    in *when* each step runs.
+    """
+
+    #: Subscriber ids the document is delivered to at this broker.
+    deliveries: frozenset[int]
+    #: Neighbour broker ids the document is forwarded to, in table order
+    #: (deterministic across runs).
+    forwards: tuple[int, ...]
+    #: Pattern-vs-document evaluations the step spent — the input of a
+    #: service-time model.
+    match_operations: int
 
 
 @dataclass(frozen=True)
@@ -559,6 +581,7 @@ class BrokerOverlay:
         threshold: float,
         metric: str = "M3",
         elect_by_selectivity: bool = True,
+        ratio_prefilter: bool = True,
     ) -> None:
         """Community-aggregated advertisement.
 
@@ -576,12 +599,26 @@ class BrokerOverlay:
         The per-broker index and the regime parameters stay live
         afterwards, so :meth:`subscribe` / :meth:`unsubscribe` maintain the
         aggregation incrementally instead of rebuilding it.
+
+        With ``ratio_prefilter`` (the default) the clustering threshold is
+        handed to each broker's index as its selectivity-ratio bound
+        (``m3_prune_below``): the clustering only thresholds similarities,
+        so pairs whose M3 provably cannot reach *threshold* skip the
+        joint-selectivity evaluation entirely.  The bound relies on
+        ``P(p ∧ q) ≤ min(P(p), P(q))``, which exact providers satisfy by
+        construction; synopsis estimators need not, so pass
+        ``ratio_prefilter=False`` to reproduce an estimator's raw
+        clustering bit for bit.
         """
         self.reset_routing()
         self.mode = f"community(threshold={threshold})"
         self._community = (provider, threshold, metric, elect_by_selectivity)
         for node in self.brokers.values():
-            node.index = SimilarityIndex(provider, metric=metric)
+            node.index = SimilarityIndex(
+                provider,
+                metric=metric,
+                m3_prune_below=threshold if ratio_prefilter else None,
+            )
             node.handles = {
                 subscriber_id: node.index.add(
                     self.subscriptions[subscriber_id][1]
@@ -597,13 +634,52 @@ class BrokerOverlay:
     # routing
     # ------------------------------------------------------------------
 
+    def process_at(
+        self,
+        broker_id: int,
+        document: XMLTree,
+        arrived_from: Optional[int] = None,
+    ) -> BrokerStep:
+        """One broker-local filtering step: match *document* against
+        *broker_id*'s routing table and report the outcome.
+
+        ``arrived_from`` is the neighbour the document came in over (None
+        for a locally published document); its link is excluded so the
+        document never travels back the way it arrived.  The step is pure
+        with respect to delivery semantics — it reads routing state and
+        counts match operations, but schedules nothing — which is what
+        lets the synchronous walk and the event engine share it.
+        """
+        if broker_id not in self.brokers:
+            raise ValueError(f"no broker {broker_id}")
+        node = self.brokers[broker_id]
+        exclude = (
+            () if arrived_from is None else ((_FORWARD, arrived_from),)
+        )
+        destinations, operations = node.table.destinations_for(
+            document, exclude=exclude
+        )
+        delivered: set[int] = set()
+        forwards: list[int] = []
+        for kind, payload in destinations:
+            if kind == _DELIVER:
+                delivered.update(payload)
+            else:
+                forwards.append(payload)
+        return BrokerStep(
+            deliveries=frozenset(delivered),
+            forwards=tuple(forwards),
+            match_operations=operations,
+        )
+
     def route(
         self, document: XMLTree, publish_at: int = 0
     ) -> tuple[set[int], dict[int, int], int]:
-        """Route one document published at *publish_at*.
+        """Route one document published at *publish_at*, synchronously.
 
-        Returns ``(delivered subscriber ids, match operations per visited
-        broker, inter-broker forwards)``.
+        Applies :meth:`process_at` broker by broker in breadth-first
+        order.  Returns ``(delivered subscriber ids, match operations per
+        visited broker, inter-broker forwards)``.
         """
         if publish_at not in self.brokers:
             raise ValueError(f"no broker {publish_at}")
@@ -613,18 +689,15 @@ class BrokerOverlay:
         frontier: list[tuple[int, Optional[int]]] = [(publish_at, None)]
         while frontier:
             broker_id, origin = frontier.pop(0)
-            node = self.brokers[broker_id]
-            exclude = () if origin is None else ((_FORWARD, origin),)
-            destinations, ops = node.table.destinations_for(
-                document, exclude=exclude
+            step = self.process_at(broker_id, document, origin)
+            operations[broker_id] = (
+                operations.get(broker_id, 0) + step.match_operations
             )
-            operations[broker_id] = operations.get(broker_id, 0) + ops
-            for kind, payload in destinations:
-                if kind == _DELIVER:
-                    delivered.update(payload)
-                else:
-                    forwards += 1
-                    frontier.append((payload, broker_id))
+            delivered.update(step.deliveries)
+            forwards += len(step.forwards)
+            frontier.extend(
+                (neighbor, broker_id) for neighbor in step.forwards
+            )
         return delivered, operations, forwards
 
     def route_corpus(

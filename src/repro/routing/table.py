@@ -264,15 +264,21 @@ class RoutingTable:
         self,
         document: XMLTree,
         exclude: Iterable[Destination] = (),
-    ) -> tuple[set[Destination], int]:
+    ) -> tuple[list[Destination], int]:
         """Destinations *document* must be sent to, plus the match
         operations spent deciding.
+
+        Destinations are returned in table order (first-advertised first),
+        which is deterministic across runs — unlike a set of destinations,
+        whose iteration order follows the per-process string hash seed.
+        The event engine relies on this to replay identical schedules
+        under a fixed seed.
 
         ``exclude`` destinations are skipped entirely (a broker never
         forwards a document back over the link it arrived on).
         """
         skip = set(exclude)
-        found: set[Destination] = set()
+        found: list[Destination] = []
         operations = 0
         for destination, patterns in self._by_destination.items():
             if destination in skip:
@@ -280,7 +286,7 @@ class RoutingTable:
             for pattern in patterns:
                 operations += 1
                 if self._matcher(pattern).matches(document):
-                    found.add(destination)
+                    found.append(destination)
                     break
         self.match_operations += operations
         return found, operations

@@ -1,0 +1,185 @@
+"""The discrete-event delivery engine: models, scheduling, and stats."""
+
+import pytest
+
+from repro.core.pattern_parser import parse_xpath
+from repro.routing.broker import percentile
+from repro.routing.engine import DeliveryEngine, LinkModel, ServiceModel
+from repro.routing.overlay import BrokerOverlay
+from repro.xmltree.parser import parse_xml
+
+
+def doc(xml: str, doc_id: int = 0):
+    return parse_xml(xml, doc_id=doc_id)
+
+
+@pytest.fixture()
+def chain3():
+    """0 — 1 — 2 with one subscriber per broker, all wanting /a/b."""
+    overlay = BrokerOverlay.chain(3)
+    for broker_id in range(3):
+        overlay.attach(broker_id, parse_xpath("/a/b"))
+    overlay.advertise_subscriptions()
+    return overlay
+
+
+class TestServiceModel:
+    def test_affine_in_match_operations(self):
+        model = ServiceModel(base=0.5, per_match=0.25)
+        assert model.service_time(0) == 0.5
+        assert model.service_time(4) == 1.5
+
+    def test_rejects_negative_and_zero_models(self):
+        with pytest.raises(ValueError):
+            ServiceModel(base=-1.0)
+        with pytest.raises(ValueError):
+            ServiceModel(base=0.0, per_match=-0.1)
+        with pytest.raises(ValueError):
+            ServiceModel(base=0.0, per_match=0.0)
+
+
+class TestLinkModel:
+    def test_default_and_overrides_are_undirected(self):
+        links = LinkModel(default=2.0, overrides={(3, 1): 5.0})
+        assert links.latency(0, 1) == 2.0
+        assert links.latency(1, 3) == 5.0
+        assert links.latency(3, 1) == 5.0
+
+    def test_rejects_negative_latency(self):
+        with pytest.raises(ValueError):
+            LinkModel(default=-1.0)
+        with pytest.raises(ValueError):
+            LinkModel(overrides={(0, 1): -0.5})
+
+
+class TestPercentile:
+    def test_nearest_rank(self):
+        samples = [4.0, 1.0, 3.0, 2.0]
+        assert percentile(samples, 50.0) == 2.0
+        assert percentile(samples, 100.0) == 4.0
+        assert percentile(samples, 1.0) == 1.0
+
+    def test_empty_and_bounds(self):
+        assert percentile([], 95.0) == 0.0
+        with pytest.raises(ValueError):
+            percentile([1.0], 101.0)
+
+
+class TestEngineBasics:
+    def test_requires_routing_state(self):
+        overlay = BrokerOverlay.chain(2)
+        with pytest.raises(ValueError):
+            DeliveryEngine(overlay)
+
+    def test_rejects_unknown_broker_and_negative_time(self, chain3):
+        engine = DeliveryEngine(chain3)
+        with pytest.raises(ValueError):
+            engine.publish(doc("<a><b/></a>"), at_broker=9)
+        with pytest.raises(ValueError):
+            engine.publish(doc("<a><b/></a>"), time=-1.0)
+
+    def test_single_document_timing(self, chain3):
+        # Service 1.0 everywhere (no per-match cost), links 0.5: the home
+        # subscriber hears at 1.0, broker 1's at 1.0 + 0.5 + 1.0, broker
+        # 2's one more hop later.
+        engine = DeliveryEngine(
+            chain3,
+            service=ServiceModel(base=1.0, per_match=0.0),
+            links=LinkModel(default=0.5),
+        )
+        engine.publish(doc("<a><b/></a>"), at_broker=0, time=0.0)
+        stats = engine.run()
+        assert engine.delivered_sets() == {0: frozenset({0, 1, 2})}
+        assert sorted(engine._latencies) == [1.0, 2.5, 4.0]
+        assert stats.latency_max == 4.0
+        assert stats.makespan == 4.0
+        assert stats.deliveries == 3
+        assert stats.forwards == 2
+        assert stats.queue_delay_max == 0.0
+
+    def test_fifo_queueing_delay(self, chain3):
+        # Two back-to-back publishes at one broker: the second waits for
+        # the first's full service.
+        engine = DeliveryEngine(
+            chain3,
+            service=ServiceModel(base=1.0, per_match=0.0),
+            links=LinkModel(default=0.0),
+        )
+        engine.publish(doc("<a><b/></a>", 0), at_broker=0, time=0.0)
+        engine.publish(doc("<a><b/></a>", 1), at_broker=0, time=0.0)
+        stats = engine.run()
+        # Broker 0 held both documents at once; the second queued 1.0.
+        assert stats.queue_depth_peaks[0] == 2
+        assert stats.queue_delay_max == 1.0
+        assert stats.busy_time[0] == 2.0
+
+    def test_stats_on_idle_engine(self, chain3):
+        stats = DeliveryEngine(chain3).run()
+        assert stats.documents == 0
+        assert stats.deliveries == 0
+        assert stats.makespan == 0.0
+        assert stats.throughput == 0.0
+        assert stats.peak_queue_depth == 0
+
+    def test_utilization_and_throughput(self, chain3):
+        engine = DeliveryEngine(
+            chain3,
+            service=ServiceModel(base=1.0, per_match=0.0),
+            links=LinkModel(default=0.0),
+        )
+        engine.publish(doc("<a><b/></a>"), at_broker=1, time=0.0)
+        stats = engine.run()
+        # One service each at brokers 1, 0 and 2; makespan 2.0 (hub first,
+        # both leaves in parallel).
+        assert stats.makespan == 2.0
+        assert stats.throughput == 0.5
+        assert stats.utilization[1] == 0.5
+
+    def test_incremental_runs_accumulate(self, chain3):
+        engine = DeliveryEngine(
+            chain3, service=ServiceModel(base=1.0, per_match=0.0)
+        )
+        engine.publish(doc("<a><b/></a>", 0), at_broker=0, time=0.0)
+        engine.run()
+        engine.publish(doc("<a><b/></a>", 1), at_broker=0, time=100.0)
+        stats = engine.run()
+        assert stats.documents == 2
+        assert set(engine.delivered_sets()) == {0, 1}
+
+
+class TestDeterminism:
+    def test_identical_runs_bit_for_bit(self, chain3):
+        outcomes = []
+        for _ in range(2):
+            engine = DeliveryEngine(chain3)
+            for index in range(8):
+                engine.publish(
+                    doc("<a><b/></a>", index),
+                    at_broker=index % 3,
+                    time=0.25 * index,
+                )
+            outcomes.append((engine.run(), engine.delivered_sets()))
+        assert outcomes[0] == outcomes[1]
+
+    def test_poisson_arrivals_are_seeded(self, chain3):
+        from repro.xmltree.corpus import DocumentCorpus
+
+        corpus = DocumentCorpus(
+            [doc("<a><b/></a>", index) for index in range(6)]
+        )
+        runs = []
+        for _ in range(2):
+            engine = DeliveryEngine(chain3)
+            engine.publish_corpus(corpus, rate=2.0, arrivals="poisson", seed=3)
+            runs.append(engine.run())
+        assert runs[0] == runs[1]
+
+    def test_publish_corpus_validates_inputs(self, chain3):
+        from repro.xmltree.corpus import DocumentCorpus
+
+        corpus = DocumentCorpus([doc("<a><b/></a>")])
+        engine = DeliveryEngine(chain3)
+        with pytest.raises(ValueError):
+            engine.publish_corpus(corpus, rate=0.0)
+        with pytest.raises(ValueError):
+            engine.publish_corpus(corpus, rate=1.0, arrivals="uniformish")

@@ -1,0 +1,109 @@
+"""Property-based sync/async equivalence for the delivery engine.
+
+The engine consumes the same broker-local step
+(:meth:`BrokerOverlay.process_at`) as the synchronous walk, so for any
+workload, topology and advertisement regime it must deliver *exactly* the
+same subscriber sets — timing may differ, delivery semantics may not.
+The sweep also pins determinism: every run is replayed and must reproduce
+its stats and schedule bit for bit.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.routing.engine import DeliveryEngine, LinkModel, ServiceModel
+from repro.routing.overlay import TOPOLOGIES, BrokerOverlay
+from repro.xmltree.corpus import DocumentCorpus
+from tests.strategies import tree_patterns
+from tests.test_selectivity_properties import corpora
+
+
+def build_routed_overlay(topology, n_brokers, patterns, regime, corpus):
+    overlay = BrokerOverlay.build(topology, n_brokers, seed=5)
+    overlay.attach_round_robin(patterns)
+    if regime == "per_subscription":
+        overlay.advertise_subscriptions()
+    else:
+        overlay.advertise_communities(corpus, threshold=regime)
+    return overlay
+
+
+def engine_run(overlay, corpus, rate, service, links):
+    engine = DeliveryEngine(overlay, service=service, links=links)
+    engine.publish_corpus(corpus, rate=rate)
+    stats = engine.run()
+    return stats, engine.delivered_sets()
+
+
+class TestSyncAsyncEquivalence:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        corpora(),
+        st.lists(tree_patterns(), min_size=1, max_size=5),
+        st.sampled_from(sorted(TOPOLOGIES)),
+        st.integers(min_value=1, max_value=4),
+        st.sampled_from(["per_subscription", 0.3, 0.7]),
+        st.sampled_from([0.25, 1.0, 10.0]),
+    )
+    def test_engine_delivers_route_corpus_sets(
+        self, docs, patterns, topology, n_brokers, regime, rate
+    ):
+        corpus = DocumentCorpus(docs)
+        overlay = build_routed_overlay(
+            topology, n_brokers, patterns, regime, corpus
+        )
+        expected = {
+            index: frozenset(
+                overlay.route(document, index % n_brokers)[0]
+            )
+            for index, document in enumerate(corpus.documents)
+        }
+        _, delivered = engine_run(
+            overlay, corpus, rate, ServiceModel(), LinkModel()
+        )
+        assert delivered == expected
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        corpora(),
+        st.lists(tree_patterns(), min_size=1, max_size=4),
+        st.sampled_from(sorted(TOPOLOGIES)),
+        st.sampled_from(["per_subscription", 0.5]),
+        st.floats(min_value=0.1, max_value=20.0, allow_nan=False),
+    )
+    def test_runs_replay_bit_for_bit(
+        self, docs, patterns, topology, regime, rate
+    ):
+        corpus = DocumentCorpus(docs)
+        overlay = build_routed_overlay(topology, 3, patterns, regime, corpus)
+        service = ServiceModel(base=0.1, per_match=0.3)
+        links = LinkModel(default=0.7, overrides={(0, 1): 2.0})
+        first = engine_run(overlay, corpus, rate, service, links)
+        second = engine_run(overlay, corpus, rate, service, links)
+        assert first == second
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        corpora(),
+        st.lists(tree_patterns(), min_size=1, max_size=4),
+        st.integers(min_value=1, max_value=4),
+    )
+    def test_match_operations_agree_with_sync_path(
+        self, docs, patterns, n_brokers
+    ):
+        # Same steps, same filtering cost: the engine's total match
+        # operations equal the synchronous walk's, document by document.
+        corpus = DocumentCorpus(docs)
+        overlay = build_routed_overlay(
+            "chain", n_brokers, patterns, "per_subscription", corpus
+        )
+        expected_operations = 0
+        for index, document in enumerate(corpus.documents):
+            _, operations, _ = overlay.route(document, index % n_brokers)
+            expected_operations += sum(operations.values())
+        stats, _ = engine_run(
+            overlay, corpus, 1.0, ServiceModel(), LinkModel()
+        )
+        assert stats.match_operations == expected_operations

@@ -189,6 +189,60 @@ class TestPerSubscriptionRouting:
         assert stats.precision == 1.0
 
 
+class TestProcessAt:
+    """The broker-local step shared by route() and the event engine."""
+
+    def test_step_reports_deliveries_forwards_and_cost(
+        self, figure2_documents, subscriptions
+    ):
+        overlay = build_overlay("chain", subscriptions)
+        overlay.advertise_subscriptions()
+        document = figure2_documents[0]
+        step = overlay.process_at(1, document)
+        assert step.match_operations > 0
+        assert all(isinstance(s, int) for s in step.deliveries)
+        assert set(step.forwards) <= set(overlay.brokers[1].neighbors)
+
+    def test_arrival_link_is_never_forwarded_back(
+        self, figure2_documents, subscriptions
+    ):
+        overlay = build_overlay("chain", subscriptions)
+        overlay.advertise_subscriptions()
+        document = figure2_documents[0]
+        step = overlay.process_at(1, document, arrived_from=0)
+        assert 0 not in step.forwards
+
+    def test_stepwise_walk_reproduces_route(
+        self, figure2_documents, subscriptions
+    ):
+        overlay = build_overlay("random_tree", subscriptions)
+        overlay.advertise_subscriptions()
+        for document in figure2_documents:
+            delivered, operations, forwards = overlay.route(document, 0)
+            seen = set()
+            total_operations = 0
+            total_forwards = 0
+            frontier = [(0, None)]
+            while frontier:
+                broker_id, origin = frontier.pop()
+                step = overlay.process_at(broker_id, document, origin)
+                seen |= step.deliveries
+                total_operations += step.match_operations
+                total_forwards += len(step.forwards)
+                frontier.extend(
+                    (neighbor, broker_id) for neighbor in step.forwards
+                )
+            assert seen == delivered
+            assert total_operations == sum(operations.values())
+            assert total_forwards == forwards
+
+    def test_unknown_broker_rejected(self, figure2_documents, subscriptions):
+        overlay = build_overlay("chain", subscriptions)
+        overlay.advertise_subscriptions()
+        with pytest.raises(ValueError):
+            overlay.process_at(9, figure2_documents[0])
+
+
 class TestCommunityRouting:
     @pytest.mark.parametrize("topology", TOPOLOGIES)
     def test_aggregation_shrinks_state_keeps_recall(
@@ -230,6 +284,55 @@ class TestCommunityRouting:
         overlay = build_overlay("chain", subscriptions)
         overlay.advertise_communities(corpus, threshold=0.7)
         assert overlay.route_corpus(corpus).mode == "community(threshold=0.7)"
+
+    def test_cluster_threshold_feeds_ratio_prefilter(
+        self, corpus, subscriptions
+    ):
+        overlay = build_overlay("chain", subscriptions)
+        overlay.advertise_communities(corpus, threshold=0.5)
+        for node in overlay.brokers.values():
+            assert node.index.m3_prune_below == 0.5
+
+    def test_ratio_prefilter_opt_out(self, corpus, subscriptions):
+        # Estimator-backed callers can keep their provider's raw
+        # clustering: no bound is installed and no pair is ratio-pruned.
+        overlay = build_overlay("chain", subscriptions)
+        overlay.advertise_communities(
+            corpus, threshold=0.5, ratio_prefilter=False
+        )
+        overlay.route_corpus(corpus)
+        for node in overlay.brokers.values():
+            assert node.index.m3_prune_below is None
+            assert node.index.stats.joint_ratio_pruned == 0
+
+    def test_ratio_prefilter_never_changes_aggregation(
+        self, corpus, subscriptions
+    ):
+        # On an exact provider the bound is sound: each broker's clustering
+        # equals one computed with the bound disabled.
+        from repro.core.similarity import SimilarityIndex
+        from repro.routing.community import leader_clustering
+
+        def shapes(communities):
+            return [
+                (community.leader, community.members)
+                for community in communities
+            ]
+
+        for threshold in (0.3, 0.5, 0.7):
+            overlay = build_overlay("chain", subscriptions)
+            overlay.advertise_communities(corpus, threshold=threshold)
+            for node in overlay.brokers.values():
+                local = [
+                    overlay.subscriptions[subscriber][1]
+                    for subscriber in node.local_subscribers
+                ]
+                expected = leader_clustering(
+                    local, SimilarityIndex(corpus), threshold
+                )
+                assert shapes(
+                    leader_clustering(local, node.index, threshold)
+                ) == shapes(expected)
 
 
 class TestSubscriptionLifecycle:

@@ -64,7 +64,7 @@ class TestMatching:
         table.add(parse_xpath("/a/b"), "link-1")
         table.add(parse_xpath("/a/q"), "link-2")
         destinations, operations = table.destinations_for(document)
-        assert destinations == {"link-1"}
+        assert destinations == ["link-1"]
         assert operations == 2
         assert table.match_operations == 2
 
@@ -74,7 +74,7 @@ class TestMatching:
         table.add(parse_xpath("/a/b"), "link-1")
         table.add(parse_xpath("/a/d"), "link-1")
         destinations, operations = table.destinations_for(document)
-        assert destinations == {"link-1"}
+        assert destinations == ["link-1"]
         assert operations == 1
 
     def test_exclude_skips_without_counting(self, document):
@@ -84,15 +84,25 @@ class TestMatching:
         destinations, operations = table.destinations_for(
             document, exclude=["link-1"]
         )
-        assert destinations == {"link-2"}
+        assert destinations == ["link-2"]
         assert operations == 1
 
     def test_no_match_empty(self, document):
         table = RoutingTable()
         table.add(parse_xpath("/z"), "link-1")
         destinations, operations = table.destinations_for(document)
-        assert destinations == set()
+        assert destinations == []
         assert operations == 1
+
+    def test_destinations_in_table_order(self, document):
+        # Deterministic dispatch: destinations come back in the order the
+        # table first saw them, not in set-iteration (hash) order.
+        table = RoutingTable()
+        table.add(parse_xpath("/a/b"), "link-2")
+        table.add(parse_xpath("/a/d"), "link-1")
+        table.add(parse_xpath("/a"), "link-3")
+        destinations, _ = table.destinations_for(document)
+        assert destinations == ["link-2", "link-1", "link-3"]
 
 
 class TestMaintenance:

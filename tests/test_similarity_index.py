@@ -226,6 +226,156 @@ class TestDisjointnessPruning:
         assert index.stats.prune_ratio == pytest.approx(0.5)
 
 
+class TestRatioPrefilter:
+    """The selectivity-ratio bound: min(P)/max(P) caps M3."""
+
+    @pytest.fixture()
+    def skewed_corpus(self):
+        # Root tag shared (tag-disjointness can never fire); /a/b matches
+        # 1 of 4 documents, /a/c all 4 — ratio 0.25.
+        from repro.xmltree.parser import parse_xml
+
+        docs = [parse_xml("<a><b/><c/></a>", doc_id=0)] + [
+            parse_xml("<a><c/></a>", doc_id=doc_id) for doc_id in (1, 2, 3)
+        ]
+        return DocumentCorpus(docs)
+
+    def test_bounded_pair_skips_joint_call(self, skewed_corpus):
+        counting = CountingProvider(skewed_corpus)
+        index = SimilarityIndex(counting, m3_prune_below=0.5)
+        p, q = parse_xpath("/a/b"), parse_xpath("/a/c")
+        assert index(p, q) == 0.0
+        assert counting.joint_calls == {}
+        assert index.stats.joint_ratio_pruned == 1
+        assert index.stats.joint_evaluated == 0
+        # Distinct-pair accounting: re-asking does not recount.
+        index(q, p)
+        assert index.stats.joint_ratio_pruned == 1
+        assert index.stats.prune_ratio == 1.0
+
+    def test_ratio_above_threshold_evaluates_exactly(self, skewed_corpus):
+        counting = CountingProvider(skewed_corpus)
+        index = SimilarityIndex(counting, m3_prune_below=0.2)
+        p, q = parse_xpath("/a/b"), parse_xpath("/a/c")
+        raw = SimilarityIndex(skewed_corpus)
+        assert index(p, q) == raw(p, q)
+        assert index.stats.joint_ratio_pruned == 0
+        assert len(counting.joint_calls) == 1
+
+    def test_bound_is_sound_for_thresholded_clustering(self, skewed_corpus):
+        # The pruned answer and the exact answer fall on the same side of
+        # the threshold the bound was configured with.
+        threshold = 0.5
+        bounded = SimilarityIndex(skewed_corpus, m3_prune_below=threshold)
+        exact = SimilarityIndex(skewed_corpus)
+        pairs = [
+            (parse_xpath("/a/b"), parse_xpath("/a/c")),
+            (parse_xpath("/a/c"), parse_xpath("/a")),
+            (parse_xpath("/a"), parse_xpath("/a/b")),
+        ]
+        for p, q in pairs:
+            assert (bounded(p, q) >= threshold) == (exact(p, q) >= threshold)
+        assert bounded.stats.joint_ratio_pruned > 0
+
+    def test_memoised_pair_returns_exact_value(self, skewed_corpus):
+        index = SimilarityIndex(skewed_corpus, m3_prune_below=0.5)
+        p, q = parse_xpath("/a/b"), parse_xpath("/a/c")
+        expected = SimilarityIndex(skewed_corpus)(p, q)
+        # Joint already decided (direct provider-protocol call): the bound
+        # steps aside and the memoised exact value is returned.
+        index.joint_selectivity(p, q)
+        assert index(p, q) == expected
+        assert index.stats.joint_ratio_pruned == 0
+
+    def test_bound_only_applies_to_m3(self, skewed_corpus):
+        counting = CountingProvider(skewed_corpus)
+        index = SimilarityIndex(counting, metric="M1", m3_prune_below=0.5)
+        assert index.m3_prune_below is None
+        index(parse_xpath("/a/b"), parse_xpath("/a/c"))
+        assert index.stats.joint_ratio_pruned == 0
+        assert len(counting.joint_calls) == 1
+
+    def test_invalid_bound_rejected(self, skewed_corpus):
+        with pytest.raises(ValueError):
+            SimilarityIndex(skewed_corpus, m3_prune_below=1.5)
+
+
+class TestMemoEviction:
+    @pytest.fixture()
+    def patterns(self):
+        return [parse_xpath("//b"), parse_xpath("//e"), parse_xpath("//o")]
+
+    def test_compact_drops_dead_rows_only(self, corpus, patterns):
+        counting = CountingProvider(corpus)
+        index = SimilarityIndex(counting, patterns)
+        materialize(index)
+        assert index.memo_size == 3 + 3  # selectivities + joint pairs
+        victim = index.handles()[-1]
+        index.remove(victim)
+        assert index.memo_size == 6  # eviction is explicit by default
+        evicted = index.compact()
+        assert evicted == 1 + 2  # //o's selectivity + its two joint rows
+        assert index.stats.memo_evicted == 3
+        assert index.memo_size == 2 + 1
+        # Survivors stayed memoised: re-materialising costs nothing new.
+        decided = dict(counting.joint_calls)
+        materialize(index)
+        assert counting.joint_calls == decided
+
+    def test_compact_on_clean_index_is_a_no_op(self, corpus, patterns):
+        index = SimilarityIndex(corpus, patterns)
+        materialize(index)
+        assert index.compact() == 0
+        assert index.stats.memo_evicted == 0
+
+    def test_auto_eviction_on_remove(self, corpus, patterns):
+        index = SimilarityIndex(corpus, patterns, evict_dead_memos=True)
+        materialize(index)
+        before = index.memo_size
+        index.remove(index.handles()[-1])
+        assert index.memo_size == before - 3
+        assert index.stats.memo_evicted == 3
+        # Values over the survivors are unchanged.
+        fresh = SimilarityMatrix(corpus, index.patterns)
+        handles = index.handles()
+        for i, handle in enumerate(handles):
+            row = index.row(handle)
+            for j, other in enumerate(handles):
+                assert row[other] == fresh.values[i][j]
+
+    def test_duplicate_live_pattern_blocks_eviction(self, corpus):
+        index = SimilarityIndex(
+            corpus,
+            [parse_xpath("//b"), parse_xpath("//b"), parse_xpath("//e")],
+            evict_dead_memos=True,
+        )
+        materialize(index)
+        before = index.memo_size
+        index.remove(index.handles()[0])  # the other //b handle survives
+        assert index.memo_size == before
+        index.remove(index.handles()[0])  # last //b leaves
+        assert index.memo_size < before
+
+    def test_evicted_pattern_readd_recomputes_correctly(self, corpus, patterns):
+        counting = CountingProvider(corpus)
+        index = SimilarityIndex(counting, patterns, evict_dead_memos=True)
+        materialize(index)
+        victim = index.handles()[-1]
+        removed = index.remove(victim)
+        index.add(removed)
+        materialize(index)
+        # The evicted pairs were re-decided (eviction trades re-add cost
+        # for bounded memory)...
+        assert counting.max_joint_calls_per_pair == 2
+        # ...and agree with a fresh frozen build.
+        fresh = SimilarityMatrix(corpus, index.patterns)
+        handles = index.handles()
+        for i, handle in enumerate(handles):
+            row = index.row(handle)
+            for j, other in enumerate(handles):
+                assert row[other] == fresh.values[i][j]
+
+
 class TestIncrementalCostAccounting:
     """The ISSUE acceptance bound: adding one pattern to an n-pattern
     population costs exactly n new joint-selectivity provider calls minus
