@@ -25,6 +25,15 @@ The headline claims asserted here:
   tables; between rebuilds its delivery quality may decay, which is the
   cost the lifecycle API removes.
 
+A second, burst-shaped sweep compares the per-event lifecycle against the
+**batch churn API** (``subscribe_many`` / ``unsubscribe_many``): the same
+membership trajectory, with each epoch's arrivals landing as one burst at
+one broker, absorbed either event by event or as a single batched
+re-aggregation + advertisement diff.  The batched path must end every
+epoch on the identical routing tables while spending fewer advertisement
+messages across the sweep — the transient community shapes the per-event
+loop floods and withdraws between arrivals never hit the wire.
+
 Also runnable standalone for a quick smoke check (used by CI)::
 
     PYTHONPATH=src python benchmarks/bench_churn.py --smoke
@@ -183,6 +192,71 @@ def run_cell(
     return result
 
 
+class BatchCellResult:
+    """Outcome of one burst trajectory: per-event vs batched lifecycle."""
+
+    def __init__(self, threshold: float):
+        self.threshold = threshold
+        self.per_event_ads = 0
+        self.batched_ads = 0
+
+
+def run_batch_cell(
+    prepared,
+    threshold: float,
+    n_subscribers: int,
+    n_epochs: int,
+    n_brokers: int,
+    burst: int,
+) -> BatchCellResult:
+    """Drive one burst-shaped trajectory through both churn APIs.
+
+    Each epoch retires *burst* random subscriptions and lands *burst*
+    arrivals on a single (rotating) broker.  The per-event overlay
+    absorbs them one ``subscribe``/``unsubscribe`` at a time; the
+    batched overlay coalesces each side of the epoch through
+    ``unsubscribe_many``/``subscribe_many``.  Both must converge to the
+    same routing tables every epoch.
+    """
+    corpus = prepared.corpus
+    pool = prepared.positive
+    initial = pool[:n_subscribers]
+    reserve = pool[n_subscribers:] or pool
+
+    per_event = build_overlay(n_brokers, initial)
+    batched = build_overlay(n_brokers, initial)
+    per_event.advertise_communities(corpus, threshold=threshold)
+    batched.advertise_communities(corpus, threshold=threshold)
+
+    result = BatchCellResult(threshold)
+    rng = random.Random(CHURN_SEED)
+    arrivals = 0
+    for epoch in range(1, n_epochs + 1):
+        victims = rng.sample(
+            sorted(per_event.subscriptions),
+            k=min(burst, len(per_event.subscriptions)),
+        )
+        for victim in victims:
+            per_event.unsubscribe(victim)
+        batched.unsubscribe_many(victims)
+        home = epoch % n_brokers
+        patterns = []
+        for _ in range(burst):
+            patterns.append(reserve[arrivals % len(reserve)])
+            arrivals += 1
+        for pattern in patterns:
+            per_event.subscribe(home, pattern)
+        batched.subscribe_many(home, patterns)
+        assert table_signature(batched) == table_signature(per_event), (
+            "batched lifecycle diverged from the per-event loop",
+            threshold,
+            epoch,
+        )
+    result.per_event_ads = per_event.advertisement_messages
+    result.batched_ads = batched.advertisement_messages
+    return result
+
+
 def run_sweep(
     prepared,
     churn_rates=CHURN_RATES,
@@ -205,6 +279,37 @@ def run_sweep(
         for churn_rate in churn_rates
         for threshold in thresholds
     ]
+
+
+def run_batch_sweep(
+    prepared,
+    thresholds=THRESHOLDS,
+    n_subscribers: int = N_SUBSCRIBERS,
+    n_epochs: int = N_EPOCHS,
+    n_brokers: int = N_BROKERS,
+    burst: int = 8,
+) -> list[BatchCellResult]:
+    return [
+        run_batch_cell(
+            prepared, threshold, n_subscribers, n_epochs, n_brokers, burst
+        )
+        for threshold in thresholds
+    ]
+
+
+def render_batch(rows: list[BatchCellResult]) -> str:
+    header = (
+        f"{'thresh':>6s} {'per-event ads':>13s} {'batched ads':>11s} "
+        f"{'saved':>7s}"
+    )
+    lines = [header, "-" * len(header)]
+    for cell in rows:
+        saved = 1.0 - cell.batched_ads / cell.per_event_ads
+        lines.append(
+            f"{cell.threshold:6.2f} {cell.per_event_ads:13d} "
+            f"{cell.batched_ads:11d} {saved:7.1%}"
+        )
+    return "\n".join(lines) + "\n"
 
 
 def render(rows: list[CellResult]) -> str:
@@ -243,6 +348,23 @@ def check_acceptance(rows: list[CellResult]) -> None:
         assert cell.incremental_ads > 0 and cell.periodic_ads > 0
 
 
+def check_batch_acceptance(rows: list[BatchCellResult]) -> None:
+    """Assert the batching headline over a finished burst sweep.
+
+    Table equality per epoch is asserted inside :func:`run_batch_cell`;
+    here: batching never costs extra advertisement traffic in any cell,
+    and across the sweep it saves strictly — the transient aggregations
+    the per-event loop announces between burst members stay local.
+    """
+    assert rows
+    for cell in rows:
+        assert cell.per_event_ads > 0, cell.threshold
+        assert cell.batched_ads <= cell.per_event_ads, cell.threshold
+    assert sum(cell.batched_ads for cell in rows) < sum(
+        cell.per_event_ads for cell in rows
+    ), "batched churn saved no advertisement traffic"
+
+
 def test_churn(benchmark, nitf_quick):
     from _bench_utils import RESULTS_DIR
 
@@ -250,22 +372,25 @@ def test_churn(benchmark, nitf_quick):
     rows = benchmark.pedantic(
         lambda: run_sweep(prepared), rounds=1, iterations=1
     )
+    batch_rows = run_batch_sweep(prepared)
 
     RESULTS_DIR.mkdir(exist_ok=True)
-    report = render(rows)
+    report = render(rows) + "\n" + render_batch(batch_rows)
     (RESULTS_DIR / "churn.txt").write_text(report)
     print()
     print(report)
 
     check_acceptance(rows)
+    check_batch_acceptance(batch_rows)
 
 
 def main() -> None:
     args = overlay_argument_parser(__doc__.splitlines()[0]).parse_args()
 
     if args.smoke:
+        prepared = prepare_smoke(args.dtd)
         rows = run_sweep(
-            prepare_smoke(args.dtd),
+            prepared,
             churn_rates=(0.25,),
             thresholds=(0.5,),
             n_subscribers=12,
@@ -273,10 +398,22 @@ def main() -> None:
             n_brokers=3,
             rebuild_period=2,
         )
+        batch_rows = run_batch_sweep(
+            prepared,
+            thresholds=(0.5,),
+            n_subscribers=12,
+            n_epochs=2,
+            n_brokers=3,
+            burst=8,
+        )
     else:
-        rows = run_sweep(prepare_quick(args.dtd))
+        prepared = prepare_quick(args.dtd)
+        rows = run_sweep(prepared)
+        batch_rows = run_batch_sweep(prepared)
     print(render(rows))
+    print(render_batch(batch_rows))
     check_acceptance(rows)
+    check_batch_acceptance(batch_rows)
     print("acceptance checks passed")
 
 

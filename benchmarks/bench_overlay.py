@@ -21,13 +21,14 @@ from __future__ import annotations
 
 from common import (
     TOPOLOGY,
-    build_overlay,
     overlay_argument_parser,
+    overlay_builder,
     prepare_quick,
     prepare_smoke,
 )
 from repro.experiments.harness import prepare
 from repro.routing.overlay import OverlayStats
+from repro.routing.policy import CommunityPolicy, PerSubscriptionPolicy
 
 BROKER_COUNTS = (2, 4, 8)
 THRESHOLDS = (0.7, 0.5, 0.3)
@@ -42,7 +43,7 @@ def run_sweep(
     thresholds: tuple[float, ...] = THRESHOLDS,
     topology: str = TOPOLOGY,
 ) -> list[tuple[int, object, OverlayStats]]:
-    """Route the prepared corpus under every (brokers, regime) cell.
+    """Route the prepared corpus under every (brokers, policy) cell.
 
     Returns ``(n_brokers, threshold-or-None, stats)`` rows; ``None`` marks
     the per-subscription baseline.  Community similarity uses the exact
@@ -54,11 +55,14 @@ def run_sweep(
     corpus = prepared.corpus
     rows: list[tuple[int, object, OverlayStats]] = []
     for n_brokers in broker_counts:
-        overlay = build_overlay(n_brokers, subscriptions, topology=topology)
-        overlay.advertise_subscriptions()
+        overlay = (
+            overlay_builder(n_brokers, subscriptions, topology=topology)
+            .advertisement(PerSubscriptionPolicy())
+            .build_overlay()
+        )
         rows.append((n_brokers, None, overlay.route_corpus(corpus)))
         for threshold in thresholds:
-            overlay.advertise_communities(corpus, threshold=threshold)
+            overlay.advertise(CommunityPolicy(threshold), provider=corpus)
             rows.append((n_brokers, threshold, overlay.route_corpus(corpus)))
     return rows
 

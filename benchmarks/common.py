@@ -1,11 +1,16 @@
 """Corpus/workload setup shared by the overlay benchmark family.
 
-``bench_overlay.py`` (advertisement regimes), ``bench_churn.py``
-(subscription lifecycle) and ``bench_latency.py`` (event-driven delivery)
-sweep the same prepared quick-scale workload over the same seeded broker
-topology; this module holds that setup once so the three tables stay
-comparable cell for cell — and so a CI smoke run means the same thing in
-every benchmark.
+``bench_overlay.py`` (advertisement policies), ``bench_churn.py``
+(subscription lifecycle) and ``bench_latency.py`` (event-driven delivery,
+scheduling policies) sweep the same prepared quick-scale workload over the
+same seeded broker topology; this module holds that setup once so the
+tables stay comparable cell for cell — and so a CI smoke run means the
+same thing in every benchmark.
+
+Overlays are assembled through the
+:class:`~repro.routing.builder.OverlayBuilder` façade: one builder per
+sweep captures topology, placement and timing models, and each cell
+resolves its advertisement / scheduling policy object through it.
 """
 
 from __future__ import annotations
@@ -14,6 +19,7 @@ import argparse
 
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.harness import PreparedExperiment, prepare
+from repro.routing.builder import OverlayBuilder
 from repro.routing.overlay import BrokerOverlay
 
 #: The overlay shape every benchmark in the family routes over.
@@ -51,13 +57,35 @@ def prepare_smoke(dtd: str = "nitf") -> PreparedExperiment:
     )
 
 
+def overlay_builder(
+    n_brokers: int,
+    patterns,
+    topology: str = TOPOLOGY,
+    seed: int = TOPOLOGY_SEED,
+) -> OverlayBuilder:
+    """The family's shared recipe: seeded topology, round-robin homes.
+
+    Cells layer their advertisement / scheduling policies and timing
+    models on top before building.
+    """
+    return (
+        OverlayBuilder()
+        .topology(topology, n_brokers, seed=seed)
+        .subscriptions(patterns)
+    )
+
+
 def build_overlay(
     n_brokers: int,
     patterns,
     topology: str = TOPOLOGY,
     seed: int = TOPOLOGY_SEED,
 ) -> BrokerOverlay:
-    """A topology-seeded overlay with *patterns* attached round-robin."""
+    """A topology-seeded overlay with *patterns* attached round-robin.
+
+    Membership only — for call sites that drive the advertisement sweep
+    themselves by calling ``overlay.advertise(policy, ...)`` per cell.
+    """
     overlay = BrokerOverlay.build(topology, n_brokers, seed=seed)
     overlay.attach_round_robin(patterns)
     return overlay

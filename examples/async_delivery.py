@@ -21,7 +21,14 @@ Run:  PYTHONPATH=src python examples/async_delivery.py
 
 from __future__ import annotations
 
-from repro import BrokerOverlay, DeliveryEngine, LinkModel, ServiceModel
+from repro import (
+    BrokerOverlay,
+    CommunityPolicy,
+    LinkModel,
+    OverlayBuilder,
+    PerSubscriptionPolicy,
+    ServiceModel,
+)
 from repro.dtd.builtin import nitf_dtd
 from repro.experiments.config import DOC_GENERATOR_PRESETS
 from repro.generators.docgen import generate_documents
@@ -35,13 +42,14 @@ THRESHOLD = 0.5
 RATES = (0.25, 4.0)
 
 
-def replay(overlay: BrokerOverlay, corpus: DocumentCorpus, rate: float):
+def replay(
+    builder: OverlayBuilder,
+    overlay: BrokerOverlay,
+    corpus: DocumentCorpus,
+    rate: float,
+):
     """One engine run; returns (stats, delivered sets)."""
-    engine = DeliveryEngine(
-        overlay,
-        service=ServiceModel(base=0.2, per_match=0.05),
-        links=LinkModel(default=1.0),
-    )
+    engine = builder.build_engine(overlay)
     engine.publish_corpus(corpus, rate=rate)
     return engine.run(), engine.delivered_sets()
 
@@ -69,16 +77,23 @@ def main() -> None:
         n_positive=N_SUBSCRIBERS, n_negative=0
     )
 
-    overlay = BrokerOverlay.random_tree(N_BROKERS, seed=43)
-    overlay.attach_round_robin(workload.positive)
+    builder = (
+        OverlayBuilder()
+        .topology("random_tree", N_BROKERS, seed=43)
+        .subscriptions(workload.positive)
+        .provider(corpus)
+        .service(ServiceModel(base=0.2, per_match=0.05))
+        .links(LinkModel(default=1.0))
+    )
     print(f"overlay: {N_BROKERS} brokers in a random tree\n")
 
+    policies = {
+        "per_subscription": PerSubscriptionPolicy(),
+        "community": CommunityPolicy(THRESHOLD),
+    }
     outcomes: dict[str, dict[float, object]] = {}
-    for regime in ("per_subscription", "community"):
-        if regime == "per_subscription":
-            overlay.advertise_subscriptions()
-        else:
-            overlay.advertise_communities(corpus, threshold=THRESHOLD)
+    for regime, policy in policies.items():
+        overlay = builder.advertisement(policy).build_overlay()
         table_entries = sum(
             len(node.table) for node in overlay.brokers.values()
         )
@@ -91,7 +106,7 @@ def main() -> None:
         }
         outcomes[regime] = {}
         for rate in RATES:
-            stats, delivered = replay(overlay, corpus, rate)
+            stats, delivered = replay(builder, overlay, corpus, rate)
             outcomes[regime][rate] = stats
             # Whatever the load, the engine must agree with the
             # synchronous path on the full per-document delivery sets.

@@ -5,21 +5,32 @@ The full scalable-routing story of the paper, end to end:
 1. generate an NITF news corpus and a population of subscriber patterns;
 2. arrange five brokers in a random tree and spread the subscribers over
    them;
-3. advertise per-subscription first — exact routing, maximal state — and
-   watch containment covering prune the advertisement flood;
-4. then aggregate: each broker clusters its local subscribers into
-   semantic communities with a cached :class:`SimilarityMatrix` (built
-   from a *synopsis*, the only stream knowledge a real broker has) and
-   advertises one pattern per community;
+3. advertise under :class:`PerSubscriptionPolicy` first — exact routing,
+   maximal state — and watch containment covering prune the
+   advertisement flood;
+4. then swap the advertisement policy: :class:`CommunityPolicy` clusters
+   each broker's local subscribers into semantic communities over a live
+   similarity index (fed by a *synopsis*, the only stream knowledge a
+   real broker has) and advertises one pattern per community;
 5. route the document stream end-to-end and compare filtering cost,
    routing state and delivery quality.
+
+The overlay is assembled through the :class:`OverlayBuilder` façade and
+the regimes are first-class policy objects — switching regime is
+``overlay.advertise(policy, provider)``, not a different code path.
 
 Run:  PYTHONPATH=src python examples/overlay_routing.py
 """
 
 from __future__ import annotations
 
-from repro import BrokerOverlay, DocumentSynopsis, SelectivityEstimator
+from repro import (
+    CommunityPolicy,
+    DocumentSynopsis,
+    OverlayBuilder,
+    PerSubscriptionPolicy,
+    SelectivityEstimator,
+)
 from repro.dtd.builtin import nitf_dtd
 from repro.experiments.config import DOC_GENERATOR_PRESETS
 from repro.generators.docgen import generate_documents
@@ -44,8 +55,13 @@ def main() -> None:
         n_positive=N_SUBSCRIBERS, n_negative=0
     )
 
-    overlay = BrokerOverlay.random_tree(N_BROKERS, seed=33)
-    overlay.attach_round_robin(workload.positive)
+    overlay = (
+        OverlayBuilder()
+        .topology("random_tree", N_BROKERS, seed=33)
+        .subscriptions(workload.positive)
+        .advertisement(PerSubscriptionPolicy())
+        .build_overlay()
+    )
     print(f"\noverlay: {N_BROKERS} brokers in a random tree")
     for node in overlay.brokers.values():
         print(
@@ -59,7 +75,6 @@ def main() -> None:
         synopsis.insert_document(document)
     estimator = SelectivityEstimator(synopsis)
 
-    overlay.advertise_subscriptions()
     per_subscription = overlay.route_corpus(corpus)
 
     header = (
@@ -83,9 +98,8 @@ def main() -> None:
         # Synopsis joint estimates need not respect the min(P) bound the
         # selectivity-ratio prefilter relies on; keep the estimator's raw
         # clustering.
-        overlay.advertise_communities(
-            estimator, threshold=threshold, ratio_prefilter=False
-        )
+        policy = CommunityPolicy(threshold, ratio_prefilter=False)
+        overlay.advertise(policy, provider=estimator)
         show(overlay.route_corpus(corpus), f"community(th={threshold})")
 
     print(

@@ -23,7 +23,13 @@ from __future__ import annotations
 
 import random
 
-from repro import BrokerOverlay, DocumentSynopsis, SelectivityEstimator
+from repro import (
+    BrokerOverlay,
+    CommunityPolicy,
+    DocumentSynopsis,
+    OverlayBuilder,
+    SelectivityEstimator,
+)
 from repro.dtd.builtin import nitf_dtd
 from repro.experiments.config import DOC_GENERATOR_PRESETS
 from repro.generators.docgen import generate_documents
@@ -69,13 +75,17 @@ def main() -> None:
     patterns = workload.positive
     initial, reserve = patterns[:N_INITIAL], patterns[N_INITIAL:]
 
-    overlay = BrokerOverlay.build("random_tree", N_BROKERS, seed=44)
-    overlay.attach_round_robin(initial)
     # Synopsis joint estimates need not respect the min(P) bound the
     # selectivity-ratio prefilter relies on; keep the estimator's raw
     # clustering.
-    overlay.advertise_communities(
-        estimator, threshold=THRESHOLD, ratio_prefilter=False
+    policy = CommunityPolicy(THRESHOLD, ratio_prefilter=False)
+    overlay = (
+        OverlayBuilder()
+        .topology("random_tree", N_BROKERS, seed=44)
+        .subscriptions(initial)
+        .provider(estimator)
+        .advertisement(policy)
+        .build_overlay()
     )
     stats = overlay.route_corpus(corpus)
     print(
@@ -107,9 +117,7 @@ def main() -> None:
     rebuilt = BrokerOverlay.build("random_tree", N_BROKERS, seed=44)
     for home_id, pattern in overlay.subscriptions.values():
         rebuilt.attach(home_id, pattern)
-    rebuilt.advertise_communities(
-        estimator, threshold=THRESHOLD, ratio_prefilter=False
-    )
+    rebuilt.advertise(policy, provider=estimator)
     assert routing_state(overlay) == routing_state(rebuilt)
     print("zero decay: churned overlay matches a from-scratch rebuild")
 

@@ -33,10 +33,17 @@ from repro.core import (
 )
 from repro.routing import (
     BrokerOverlay,
+    CommunityPolicy,
+    DeadlineScheduling,
     DeliveryEngine,
+    FifoScheduling,
+    HybridPolicy,
     LatencyStats,
     LinkModel,
+    OverlayBuilder,
     OverlayStats,
+    PerSubscriptionPolicy,
+    PriorityScheduling,
     RoutingTable,
     ServiceModel,
 )
@@ -56,10 +63,17 @@ __all__ = [
     "SimilarityMatrix",
     "BrokerOverlay",
     "OverlayStats",
+    "OverlayBuilder",
     "RoutingTable",
+    "PerSubscriptionPolicy",
+    "CommunityPolicy",
+    "HybridPolicy",
     "DeliveryEngine",
     "ServiceModel",
     "LinkModel",
+    "FifoScheduling",
+    "PriorityScheduling",
+    "DeadlineScheduling",
     "LatencyStats",
     "average_relative_error",
     "root_mean_square_error",

@@ -27,7 +27,7 @@ as a thin positional view over the same machinery.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Iterable, Optional, Protocol
 
 from repro.core.labels import is_tag
@@ -178,10 +178,15 @@ class IndexStats:
     joint selectivity actually reached the provider; ``joint_pruned`` the
     distinct pairs the tag-disjointness prefilter answered with 0 instead;
     ``joint_ratio_pruned`` the distinct pairs the selectivity-ratio bound
-    skipped (their M3 provably cannot reach the configured threshold).
+    skipped (their metric provably cannot reach the configured threshold),
+    broken down per metric in ``ratio_pruned_by_metric`` — M1 counts
+    *directed* pairs, because its bound depends on the conditioning side.
     Pruned versus evaluated is exactly the sparse-evaluation saving.
     ``memo_evicted`` counts memo entries dropped because their pattern
-    left the live population (see :meth:`SimilarityIndex.compact`).
+    left the live population (see :meth:`SimilarityIndex.compact`);
+    ``memo_lru_evicted`` counts joint entries dropped by the optional
+    ``memo_capacity`` LRU cap instead (an LRU-evicted pair may recompute
+    later, so ``joint_evaluated`` then counts it again).
     """
 
     joint_evaluated: int = 0
@@ -191,6 +196,8 @@ class IndexStats:
     adds: int = 0
     removes: int = 0
     memo_evicted: int = 0
+    memo_lru_evicted: int = 0
+    ratio_pruned_by_metric: dict[str, int] = field(default_factory=dict)
 
     @property
     def prune_ratio(self) -> float:
@@ -231,18 +238,26 @@ class SimilarityIndex:
       construction; for synopsis estimators it can only *sharpen* a pair
       the estimator would have scored ≥ 0 (pass ``prune_disjoint=False``
       to reproduce raw estimator output bit-for-bit).
-    * **selectivity-ratio prefilter** (``m3_prune_below``) — with the M3
-      metric, ``P(p ∧ q) ≤ min(P(p), P(q))`` and
-      ``P(p ∨ q) ≥ max(P(p), P(q))``, so
-      ``M3(p, q) ≤ min(P(p), P(q)) / max(P(p), P(q))``.  When a caller
-      only thresholds similarities (leader clustering at a fixed
-      threshold), a pair whose selectivity ratio already falls below the
+    * **selectivity-ratio prefilter** (``prune_below``) — every metric is
+      capped by a function of the marginal selectivities alone, because
+      ``P(p ∧ q) ≤ min(P(p), P(q))``:
+
+      - ``M3(p, q) ≤ min(P(p), P(q)) / max(P(p), P(q))`` (the joint is
+        also bounded below the union);
+      - ``M2(p, q) ≤ (1 + min/max) / 2``;
+      - ``M1(p, q) ≤ min(P(p), P(q)) / P(q)`` (direction-dependent).
+
+      When a caller only thresholds similarities (leader clustering at a
+      fixed threshold), a pair whose bound already falls below the
       threshold is answered 0.0 without the joint-selectivity call — the
       two single-pattern selectivities it needs are memoised and shared
       anyway.  Sound for providers whose joint estimates respect the min
       bound (exact providers by construction); pairs whose joint value is
       already memoised return the exact value instead.  Accounted in
-      ``stats.joint_ratio_pruned``.
+      ``stats.joint_ratio_pruned`` and per metric in
+      ``stats.ratio_pruned_by_metric``.  The legacy ``m3_prune_below=``
+      spelling keeps its historical meaning: it only arms the bound under
+      the M3 metric.
     * **memo eviction** — the pattern-keyed memos deliberately survive
       churn (a re-add is free), so under sustained churn dead patterns
       accumulate.  :meth:`compact` drops every memo row whose pattern no
@@ -250,6 +265,15 @@ class SimilarityIndex:
       dropped entries); constructing with ``evict_dead_memos=True`` does
       this automatically whenever a pattern's last live handle is removed,
       trading re-add cost for bounded memory.
+    * **LRU memo cap** (``memo_capacity``) — :meth:`compact` bounds the
+      memos only as tightly as the live population; an index whose *live*
+      population itself keeps growing still grows O(n²) joint entries.
+      ``memo_capacity=k`` caps the joint memo at the *k* most recently
+      used pairs (least-recently-used entries are dropped as new pairs
+      arrive, counted in ``stats.memo_lru_evicted``); an evicted pair
+      simply recomputes if demanded again.  The O(n) selectivity and
+      anchor memos are never capped — they are the cheap primitives the
+      prefilters rely on.
 
     The index implements the :class:`SelectivityProvider` protocol
     (memoising, pruning pass-through) so the M1/M2/M3 callables evaluate
@@ -270,17 +294,30 @@ class SimilarityIndex:
         prune_disjoint: bool = True,
         m3_prune_below: Optional[float] = None,
         evict_dead_memos: bool = False,
+        prune_below: Optional[float] = None,
+        memo_capacity: Optional[int] = None,
     ):
         if metric not in METRICS:
             raise ValueError(
                 f"unknown metric {metric!r}; choose from {sorted(METRICS)}"
             )
-        if m3_prune_below is not None and not 0.0 <= m3_prune_below <= 1.0:
-            raise ValueError("m3_prune_below must be in [0, 1]")
+        for name, bound in (
+            ("m3_prune_below", m3_prune_below),
+            ("prune_below", prune_below),
+        ):
+            if bound is not None and not 0.0 <= bound <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1]")
+        if memo_capacity is not None and memo_capacity < 1:
+            raise ValueError("memo_capacity must be >= 1")
         self.provider = provider
         self.metric = metric
         self.prune_disjoint = prune_disjoint
-        self.m3_prune_below = m3_prune_below if metric == "M3" else None
+        # The legacy M3-only spelling arms the generic bound only when the
+        # index actually evaluates M3 (its historical behaviour).
+        if prune_below is None and metric == "M3":
+            prune_below = m3_prune_below
+        self.prune_below = prune_below
+        self.memo_capacity = memo_capacity
         self.evict_dead_memos = evict_dead_memos
         self.stats = IndexStats()
         self._metric_fn = METRICS[metric]
@@ -290,10 +327,14 @@ class SimilarityIndex:
         #: tied to (a dead pattern is one whose count reached zero).
         self._live_counts: dict[TreePattern, int] = {}
         self._selectivity_memo: dict[TreePattern, float] = {}
+        #: Insertion/recency-ordered (dicts preserve order; hits under a
+        #: memo_capacity cap are moved to the back, so the front is LRU).
         self._joint_memo: dict[frozenset[TreePattern], float] = {}
-        #: Distinct pairs the selectivity-ratio bound answered, so the
-        #: stats counter stays a distinct-pair count like the others.
-        self._ratio_pruned: set[frozenset[TreePattern]] = set()
+        #: Pairs the selectivity-ratio bound answered, so the stats
+        #: counters stay distinct-pair counts like the others.  Keys are
+        #: frozensets for the symmetric metrics and ordered tuples for
+        #: M1, whose bound depends on the conditioning direction.
+        self._ratio_pruned: set = set()
         #: Root-anchor cache: frozenset of root tag labels for prunable
         #: (``//``-free, tag-anchored) patterns, None for unprunable ones.
         self._anchor_memo: dict[TreePattern, Optional[frozenset[str]]] = {}
@@ -389,6 +430,24 @@ class SimilarityIndex:
         """Memoised entries held: selectivities plus joint pairs."""
         return len(self._selectivity_memo) + len(self._joint_memo)
 
+    @property
+    def m3_prune_below(self) -> Optional[float]:
+        """The armed selectivity-ratio bound under M3 (legacy spelling).
+
+        None whenever the index evaluates a different metric, matching
+        the historical behaviour of the ``m3_prune_below=`` parameter;
+        read :attr:`prune_below` for the metric-generic bound.
+        """
+        return self.prune_below if self.metric == "M3" else None
+
+    def _trim_joint_memo(self) -> None:
+        """Enforce the LRU cap after a joint-memo insertion."""
+        if self.memo_capacity is None:
+            return
+        while len(self._joint_memo) > self.memo_capacity:
+            del self._joint_memo[next(iter(self._joint_memo))]
+            self.stats.memo_lru_evicted += 1
+
     def pattern(self, handle: int) -> TreePattern:
         """The pattern a live handle references."""
         try:
@@ -453,6 +512,10 @@ class SimilarityIndex:
         key = frozenset((p, q))
         cached = self._joint_memo.get(key)
         if cached is not None:
+            if self.memo_capacity is not None:
+                # Touch for recency: re-append so the LRU front stays cold.
+                del self._joint_memo[key]
+                self._joint_memo[key] = cached
             return cached
         if self.prune_disjoint and p != q:
             anchors_p = self._root_anchors(p)
@@ -464,36 +527,61 @@ class SimilarityIndex:
             ):
                 self.stats.joint_pruned += 1
                 self._joint_memo[key] = 0.0
+                self._trim_joint_memo()
                 return 0.0
         self.stats.joint_evaluated += 1
         value = self.provider.joint_selectivity(p, q)
         self._joint_memo[key] = value
+        self._trim_joint_memo()
         return value
 
     # -- metric evaluation ---------------------------------------------------
 
+    def _marginal_bound(self, p: TreePattern, q: TreePattern) -> float:
+        """An upper bound on ``metric(p, q)`` from the marginals alone.
+
+        All three metrics are capped through ``P(p ∧ q) ≤ min(P(p),
+        P(q))``: M3 by ``min/max`` (the union is at least the max), M2 by
+        ``(1 + min/max) / 2``, and M1 — which conditions on *q* — by
+        ``min / P(q)``.
+        """
+        sel_p = self.selectivity(p)
+        sel_q = self.selectivity(q)
+        low = min(sel_p, sel_q)
+        high = max(sel_p, sel_q)
+        if high <= 0.0:
+            return 0.0
+        if self.metric == "M1":
+            # A zero-selectivity conditioning side makes M1 exactly 0.
+            return 0.0 if sel_q <= 0.0 else min(1.0, low / sel_q)
+        ratio = low / high
+        if self.metric == "M2":
+            return (1.0 + ratio) / 2.0
+        return ratio
+
     def _evaluate(self, p: TreePattern, q: TreePattern) -> float:
         """The configured metric on *p*, *q*, through the prefilters.
 
-        With ``m3_prune_below`` set, a never-seen pair whose selectivity
-        ratio ``min(P(p), P(q)) / max(P(p), P(q))`` already bounds M3
-        below the threshold is answered 0.0 without touching the joint
-        memo or the provider; an already-memoised pair keeps returning its
-        exact value.
+        With ``prune_below`` set, a never-seen pair whose marginal bound
+        (:meth:`_marginal_bound`) already pins the metric below the
+        threshold is answered 0.0 without touching the joint memo or the
+        provider; an already-memoised pair keeps returning its exact
+        value.
         """
-        if self.m3_prune_below is not None and p != q:
+        if self.prune_below is not None and p != q:
             key = frozenset((p, q))
             if key not in self._joint_memo:
-                sel_p = self.selectivity(p)
-                sel_q = self.selectivity(q)
-                high = max(sel_p, sel_q)
-                low = min(sel_p, sel_q)
-                if (high <= 0.0 and self.m3_prune_below > 0.0) or (
-                    high > 0.0 and low / high < self.m3_prune_below
-                ):
-                    if key not in self._ratio_pruned:
-                        self._ratio_pruned.add(key)
+                if self._marginal_bound(p, q) < self.prune_below:
+                    # M1's bound is direction-dependent, so its distinct
+                    # accounting is too.
+                    pruned_key = (p, q) if self.metric == "M1" else key
+                    if pruned_key not in self._ratio_pruned:
+                        self._ratio_pruned.add(pruned_key)
                         self.stats.joint_ratio_pruned += 1
+                        by_metric = self.stats.ratio_pruned_by_metric
+                        by_metric[self.metric] = (
+                            by_metric.get(self.metric, 0) + 1
+                        )
                     return 0.0
         return self._metric_fn(self, p, q)
 

@@ -24,25 +24,38 @@ Module map:
   with hop-by-hop unadvertise propagation and incremental community
   re-aggregation over per-broker live
   :class:`~repro.core.similarity.SimilarityIndex` instances;
+* :mod:`repro.routing.policy` — the first-class routing policies:
+  :class:`AdvertisementPolicy` strategies (per-subscription, community,
+  hybrid) consumed by ``BrokerOverlay.advertise``, and
+  :class:`SchedulingPolicy` disciplines (FIFO, priority, deadline)
+  consumed by the delivery engine — with string-spelling shims for the
+  legacy flag API;
+* :mod:`repro.routing.builder` — :class:`OverlayBuilder`, the fluent
+  façade composing topology, membership, estimator provider,
+  advertisement policy, service/link models and scheduling into a ready
+  ``(BrokerOverlay, DeliveryEngine)`` pair;
 * :mod:`repro.routing.engine` — the discrete-event delivery engine:
   seeded, wall-clock-free simulation of the overlay under load, with
-  per-broker FIFO service queues (:class:`ServiceModel` maps match
-  operations to service time), per-link forwarding latencies
-  (:class:`LinkModel`) and :class:`LatencyStats` reporting latency
-  percentiles, queue-depth peaks and throughput — it replays the same
-  ``BrokerOverlay.process_at`` steps as the synchronous path, so
-  delivery sets are identical by construction;
+  per-broker service queues drained by a swappable
+  :class:`SchedulingPolicy` (:class:`ServiceModel` maps match operations
+  to service time), per-link forwarding latencies (:class:`LinkModel`)
+  and :class:`LatencyStats` reporting latency percentiles — overall and
+  per subscriber class — queue-depth peaks and throughput — it replays
+  the same ``BrokerOverlay.process_at`` steps as the synchronous path,
+  so delivery sets are identical by construction;
 * :mod:`repro.routing.inclusion` — containment-based inclusion forests,
   the baseline structure the paper's introduction argues is the wrong
   proximity notion for communities.
 """
 
 from repro.routing.broker import (
+    ClassLatency,
     LatencyStats,
     RoutingSimulator,
     RoutingStats,
     percentile,
 )
+from repro.routing.builder import OverlayBuilder
 from repro.routing.community import (
     Community,
     agglomerative_clustering,
@@ -50,6 +63,18 @@ from repro.routing.community import (
 )
 from repro.routing.engine import DeliveryEngine, LinkModel, ServiceModel
 from repro.routing.inclusion import InclusionForest, InclusionNode
+from repro.routing.policy import (
+    AdvertisementPolicy,
+    CommunityPolicy,
+    DeadlineScheduling,
+    FifoScheduling,
+    HybridPolicy,
+    PerSubscriptionPolicy,
+    PriorityScheduling,
+    SchedulingPolicy,
+    resolve_advertisement,
+    resolve_scheduling,
+)
 from repro.routing.overlay import (
     TOPOLOGIES,
     BrokerNode,
@@ -80,5 +105,17 @@ __all__ = [
     "ServiceModel",
     "LinkModel",
     "LatencyStats",
+    "ClassLatency",
     "percentile",
+    "AdvertisementPolicy",
+    "PerSubscriptionPolicy",
+    "CommunityPolicy",
+    "HybridPolicy",
+    "resolve_advertisement",
+    "SchedulingPolicy",
+    "FifoScheduling",
+    "PriorityScheduling",
+    "DeadlineScheduling",
+    "resolve_scheduling",
+    "OverlayBuilder",
 ]

@@ -30,7 +30,13 @@ from repro.core.pattern import TreePattern
 from repro.routing.community import Community
 from repro.xmltree.corpus import DocumentCorpus
 
-__all__ = ["RoutingStats", "RoutingSimulator", "LatencyStats", "percentile"]
+__all__ = [
+    "RoutingStats",
+    "RoutingSimulator",
+    "ClassLatency",
+    "LatencyStats",
+    "percentile",
+]
 
 
 def percentile(samples: Sequence[float], q: float) -> float:
@@ -84,6 +90,36 @@ class RoutingStats:
 
 
 @dataclass(frozen=True)
+class ClassLatency:
+    """Publication-to-delivery latency digest of one subscriber class.
+
+    One entry per ``priority_class`` seen by the engine; the fairness
+    axis a scheduling policy trades against tail latency — strict
+    priority cuts the high class's percentiles by inflating the low
+    class's.
+    """
+
+    deliveries: int
+    p50: float
+    p95: float
+    p99: float
+    mean: float
+    max: float
+
+    @classmethod
+    def of(cls, samples: Sequence[float]) -> "ClassLatency":
+        """The digest of one class's latency samples."""
+        return cls(
+            deliveries=len(samples),
+            p50=percentile(samples, 50.0),
+            p95=percentile(samples, 95.0),
+            p99=percentile(samples, 99.0),
+            mean=sum(samples) / len(samples) if samples else 0.0,
+            max=max(samples, default=0.0),
+        )
+
+
+@dataclass(frozen=True)
 class LatencyStats:
     """Timing outcome of one discrete-event delivery run.
 
@@ -118,6 +154,10 @@ class LatencyStats:
     busy_time: dict[int, float] = field(default_factory=dict)
     match_operations: int = 0
     forwards: int = 0
+    #: Per subscriber class: the latency digest of its deliveries —
+    #: populated by the engine whenever publishes carry priority classes
+    #: (a run without classes reports everything under class 0).
+    latency_by_class: dict[int, ClassLatency] = field(default_factory=dict)
 
     @property
     def throughput(self) -> float:

@@ -24,15 +24,27 @@ publication-to-delivery latency percentiles, per-broker queue-depth peaks
 and utilisation, and end-to-end throughput, reported as a
 :class:`~repro.routing.broker.LatencyStats`.
 
-Extension points for later work: subclass :class:`ServiceModel` for
-non-affine service times (e.g. batching at saturated brokers), subclass
-:class:`LinkModel` for heterogeneous or load-dependent links, and replace
-the per-broker FIFO discipline by overriding
-:meth:`DeliveryEngine._next_job` (e.g. priority scheduling).
+The queueing discipline is a first-class
+:class:`~repro.routing.policy.SchedulingPolicy`: the engine asks the
+policy which queued document a freed broker services next, so FIFO
+(:class:`~repro.routing.policy.FifoScheduling`, the default), strict
+priority by subscriber class
+(:class:`~repro.routing.policy.PriorityScheduling`) and earliest deadline
+first (:class:`~repro.routing.policy.DeadlineScheduling`) are swappable
+without subclassing.  Publishes may carry a ``priority_class`` and a
+``deadline``; :class:`~repro.routing.broker.LatencyStats` then reports
+per-class latency percentiles, the fairness-vs-tail-latency axis a
+scheduling policy trades on.
 
->>> # engine = DeliveryEngine(overlay)
->>> # engine.publish_corpus(corpus, rate=2.0)
->>> # stats = engine.run()          # LatencyStats
+Remaining extension points: subclass :class:`ServiceModel` for non-affine
+service times (e.g. batching at saturated brokers), subclass
+:class:`LinkModel` for heterogeneous or load-dependent links, and
+implement :class:`~repro.routing.policy.SchedulingPolicy` for bespoke
+disciplines.
+
+>>> # engine = DeliveryEngine(overlay, scheduling=PriorityScheduling())
+>>> # engine.publish_corpus(corpus, rate=2.0, classes=(0, 1, 2))
+>>> # stats = engine.run()          # LatencyStats, incl. latency_by_class
 >>> # engine.delivered_sets()       # per published document, for checking
 """
 
@@ -42,10 +54,15 @@ import heapq
 import random
 from collections import deque
 from dataclasses import dataclass
-from typing import Optional, Union
+from typing import Callable, Optional, Sequence, Union
 
-from repro.routing.broker import LatencyStats, percentile
+from repro.routing.broker import ClassLatency, LatencyStats, percentile
 from repro.routing.overlay import BrokerOverlay, BrokerStep
+from repro.routing.policy import (
+    SchedulingPolicy,
+    SchedulingSpec,
+    resolve_scheduling,
+)
 from repro.xmltree.corpus import DocumentCorpus
 from repro.xmltree.tree import XMLTree
 
@@ -112,7 +129,12 @@ _COMPLETE = "complete"
 
 @dataclass
 class _Job:
-    """One document instance travelling the overlay."""
+    """One document instance travelling the overlay.
+
+    Satisfies the :class:`~repro.routing.policy.QueuedJob` protocol, so
+    scheduling policies can read (but never mutate) its timing and class
+    attributes.
+    """
 
     document: XMLTree
     doc_index: int
@@ -122,6 +144,13 @@ class _Job:
     #: Set when the job reaches a broker; start-of-service minus this is
     #: the job's queue delay there.
     arrived_at: float = 0.0
+    #: Subscriber class the publication belongs to — the unit
+    #: :class:`~repro.routing.policy.PriorityScheduling` weighs and
+    #: per-class latency stats group by.
+    priority_class: int = 0
+    #: Absolute delivery deadline, if the publisher set one —
+    #: :class:`~repro.routing.policy.DeadlineScheduling` orders on it.
+    deadline: Optional[float] = None
 
 
 class DeliveryEngine:
@@ -139,15 +168,20 @@ class DeliveryEngine:
         overlay: BrokerOverlay,
         service: Optional[ServiceModel] = None,
         links: Optional[LinkModel] = None,
+        scheduling: Optional[SchedulingSpec] = None,
     ):
         if overlay.mode is None:
             raise ValueError(
-                "no routing state: call advertise_subscriptions() or "
-                "advertise_communities() before building an engine"
+                "no routing state: call advertise() (or the legacy "
+                "advertise_subscriptions()/advertise_communities()) "
+                "before building an engine"
             )
         self.overlay = overlay
         self.service = service or ServiceModel()
         self.links = links or LinkModel()
+        self.scheduling: SchedulingPolicy = resolve_scheduling(
+            scheduling if scheduling is not None else "fifo"
+        )
         #: (time, seq, kind, broker_id, job, step-at-completion)
         self._events: list[
             tuple[float, int, str, int, _Job, Optional[BrokerStep]]
@@ -167,6 +201,7 @@ class DeliveryEngine:
         }
         self._delivered: dict[int, set[int]] = {}
         self._latencies: list[float] = []
+        self._latencies_by_class: dict[int, list[float]] = {}
         self._queue_delays: list[float] = []
         self._first_publish: Optional[float] = None
         self._last_event = 0.0
@@ -179,17 +214,29 @@ class DeliveryEngine:
     # ------------------------------------------------------------------
 
     def publish(
-        self, document: XMLTree, at_broker: int = 0, time: float = 0.0
+        self,
+        document: XMLTree,
+        at_broker: int = 0,
+        time: float = 0.0,
+        priority_class: int = 0,
+        deadline: Optional[float] = None,
     ) -> int:
         """Schedule *document* for publication at *at_broker*.
 
-        Returns the publish index identifying the document in
-        :meth:`delivered_sets`.
+        ``priority_class`` tags the publication with a subscriber class
+        (read by :class:`~repro.routing.policy.PriorityScheduling` and
+        reported per class in the stats); ``deadline`` is the absolute
+        simulated time the delivery should beat (read by
+        :class:`~repro.routing.policy.DeadlineScheduling`).  Both travel
+        with every forwarded copy of the document.  Returns the publish
+        index identifying the document in :meth:`delivered_sets`.
         """
         if at_broker not in self.overlay.brokers:
             raise ValueError(f"no broker {at_broker}")
         if time < 0.0:
             raise ValueError("publish time must be >= 0")
+        if deadline is not None and deadline < time:
+            raise ValueError("deadline must not precede the publish time")
         index = self._documents
         self._documents += 1
         self._delivered[index] = set()
@@ -200,6 +247,8 @@ class DeliveryEngine:
             doc_index=index,
             published_at=time,
             origin=None,
+            priority_class=priority_class,
+            deadline=deadline,
         )
         self._schedule(time, _ARRIVAL, at_broker, job)
         return index
@@ -212,6 +261,8 @@ class DeliveryEngine:
         start: float = 0.0,
         arrivals: str = "uniform",
         seed: int = 0,
+        classes: Union[Sequence[int], Callable[[int], int], None] = None,
+        deadline_slack: Optional[float] = None,
     ) -> list[int]:
         """Publish every corpus document at an average *rate* (documents
         per simulated time unit).
@@ -221,7 +272,12 @@ class DeliveryEngine:
         inter-arrival process: ``"uniform"`` spaces publishes exactly
         ``1/rate`` apart, ``"poisson"`` draws exponential gaps from a
         ``random.Random(seed)`` — seeded, so still deterministic.
-        Returns the publish indices.
+
+        ``classes`` assigns each publication its subscriber class: a
+        sequence is cycled over the publish positions (``(0, 1, 2)``
+        round-robins three classes), a callable is invoked with the
+        position.  ``deadline_slack`` gives every publication the
+        deadline ``publish time + slack``.  Returns the publish indices.
         """
         if rate <= 0.0:
             raise ValueError("publish rate must be positive")
@@ -230,6 +286,17 @@ class DeliveryEngine:
                 f"unknown arrival process {arrivals!r}; "
                 "choose 'uniform' or 'poisson'"
             )
+        if deadline_slack is not None and deadline_slack < 0.0:
+            raise ValueError("deadline_slack must be >= 0")
+        if classes is None:
+            klass = lambda position: 0  # noqa: E731
+        elif callable(classes):
+            klass = classes
+        else:
+            cycle = list(classes)
+            if not cycle:
+                raise ValueError("classes sequence must not be empty")
+            klass = lambda position: cycle[position % len(cycle)]  # noqa: E731
         rng = random.Random(seed)
         time = start
         indices = []
@@ -238,7 +305,19 @@ class DeliveryEngine:
                 source = position % len(self.overlay.brokers)
             else:
                 source = int(publish_at)
-            indices.append(self.publish(document, source, time))
+            indices.append(
+                self.publish(
+                    document,
+                    source,
+                    time,
+                    priority_class=klass(position),
+                    deadline=(
+                        None
+                        if deadline_slack is None
+                        else time + deadline_slack
+                    ),
+                )
+            )
             if arrivals == "poisson":
                 time += rng.expovariate(rate)
             else:
@@ -262,14 +341,27 @@ class DeliveryEngine:
             self._events, (time, self._sequence, kind, broker_id, job, step)
         )
 
-    def _next_job(self, broker_id: int) -> Optional[_Job]:
-        """Pick the next queued document at *broker_id* (FIFO).
+    def _next_job(self, broker_id: int, now: float) -> Optional[_Job]:
+        """Pick the next queued document at *broker_id*.
 
-        The scheduling-discipline extension point: override to model
-        priority or deadline scheduling without touching the event loop.
+        Delegates to the engine's
+        :class:`~repro.routing.policy.SchedulingPolicy` — the queue is
+        presented oldest-arrival-first and the policy answers with the
+        position to service next, so disciplines never touch the event
+        loop.
         """
         queue = self._queues[broker_id]
-        return queue.popleft() if queue else None
+        if not queue:
+            return None
+        choice = self.scheduling.select(queue, now)
+        if not 0 <= choice < len(queue):
+            raise ValueError(
+                f"{type(self.scheduling).__name__}.select returned "
+                f"position {choice} for a queue of {len(queue)}"
+            )
+        job = queue[choice]
+        del queue[choice]
+        return job
 
     def _start_service(self, broker_id: int, job: _Job, now: float) -> None:
         self._busy[broker_id] = True
@@ -298,6 +390,9 @@ class DeliveryEngine:
         for subscriber_id in sorted(step.deliveries):
             self._delivered[job.doc_index].add(subscriber_id)
             self._latencies.append(now - job.published_at)
+            self._latencies_by_class.setdefault(
+                job.priority_class, []
+            ).append(now - job.published_at)
         for neighbor in step.forwards:
             self._forwards += 1
             forwarded = _Job(
@@ -305,6 +400,8 @@ class DeliveryEngine:
                 doc_index=job.doc_index,
                 published_at=job.published_at,
                 origin=broker_id,
+                priority_class=job.priority_class,
+                deadline=job.deadline,
             )
             self._schedule(
                 now + self.links.latency(broker_id, neighbor),
@@ -313,7 +410,7 @@ class DeliveryEngine:
                 forwarded,
             )
         self._busy[broker_id] = False
-        pending = self._next_job(broker_id)
+        pending = self._next_job(broker_id, now)
         if pending is not None:
             self._start_service(broker_id, pending, now)
 
@@ -370,6 +467,12 @@ class DeliveryEngine:
             busy_time=dict(self._busy_time),
             match_operations=self._match_operations,
             forwards=self._forwards,
+            latency_by_class={
+                priority_class: ClassLatency.of(samples)
+                for priority_class, samples in sorted(
+                    self._latencies_by_class.items()
+                )
+            },
         )
 
     def __repr__(self) -> str:

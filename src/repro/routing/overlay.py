@@ -15,38 +15,59 @@ that network:
   reverse-path forwarding, and reports per-broker match operations, table
   sizes and delivery precision/recall.
 
-Two advertisement regimes realise the paper's trade-off:
+The advertisement regime is a first-class
+:class:`~repro.routing.policy.AdvertisementPolicy` object consumed by
+:meth:`BrokerOverlay.advertise` — the paper's trade-off is the choice of
+policy:
 
-* ``advertise_subscriptions`` — every subscription is advertised through
-  the overlay: exact delivery, maximal routing state (the baseline);
-* ``advertise_communities`` — each broker first clusters its local
-  subscriptions into semantic communities with a live
+* :class:`~repro.routing.policy.PerSubscriptionPolicy` — every
+  subscription is advertised through the overlay: exact delivery, maximal
+  routing state (the baseline);
+* :class:`~repro.routing.policy.CommunityPolicy` — each broker first
+  clusters its local subscriptions into semantic communities with a live
   :class:`~repro.core.similarity.SimilarityIndex` and advertises one
   pattern per community: routing state shrinks to one entry per community,
   delivery quality is governed by community coherence — i.e. by the
-  similarity metric.
+  similarity metric;
+* :class:`~repro.routing.policy.HybridPolicy` — per-subscription precision
+  at lightly loaded brokers, aggregation where state actually accumulates.
 
-Both regimes are maintained **incrementally under churn** through the
+The legacy spellings survive: ``advertise_subscriptions()`` /
+``advertise_communities(provider, threshold=...)`` delegate to
+:meth:`advertise`, which also accepts the string names
+``"per_subscription"`` / ``"community"`` and resolves them to policy
+instances.
+
+Every policy is maintained **incrementally under churn** through the
 subscription lifecycle: :meth:`BrokerOverlay.subscribe` returns a
-:class:`SubscriptionId` and immediately advertises the arrival (in the
-community regime, by re-aggregating only the home broker's communities the
-arrival touched, reusing the index's memoised pairwise work);
+:class:`SubscriptionId` and immediately advertises the arrival (in
+aggregating policies, by re-aggregating only the home broker and diffing
+the advertisement state, reusing the index's memoised pairwise work);
 :meth:`BrokerOverlay.unsubscribe` retires it again with hop-by-hop
 unadvertise propagation, resurrecting and re-advertising the entries its
-advertisement had covered.  The bulk path (:meth:`BrokerOverlay.attach`
-followed by one ``advertise_*`` call) and the event path converge to the
-same routing state.
+advertisement had covered.  :meth:`BrokerOverlay.subscribe_many` /
+:meth:`BrokerOverlay.unsubscribe_many` coalesce a churn burst into one
+re-aggregation and one advertisement diff per touched broker.  The bulk
+path (:meth:`BrokerOverlay.attach` followed by one :meth:`advertise`
+call) and the event path converge to the same routing state.
 """
 
 from __future__ import annotations
 
 import random
+from collections import Counter
 from dataclasses import dataclass, field
-from typing import Optional, Union
+from typing import Iterable, Optional, Union
 
 from repro.core.pattern import TreePattern
 from repro.core.similarity import SelectivityProvider, SimilarityIndex
-from repro.routing.community import leader_clustering
+from repro.routing.policy import (
+    AdvertisementPolicy,
+    AdvertisementSpec,
+    CommunityPolicy,
+    PerSubscriptionPolicy,
+    resolve_advertisement,
+)
 from repro.routing.table import RoutingTable
 from repro.xmltree.corpus import DocumentCorpus
 from repro.xmltree.tree import XMLTree
@@ -215,12 +236,11 @@ class BrokerOverlay:
         self._advertised: set[int] = set()
         self.advertisement_messages = 0
         self.mode: Optional[str] = None
-        #: Community-regime parameters captured by ``advertise_communities``
-        #: so churn events can keep re-aggregating:
-        #: ``(provider, threshold, metric, elect_by_selectivity)``.
-        self._community: Optional[
-            tuple[SelectivityProvider, float, str, bool]
-        ] = None
+        #: The live advertisement policy (None before :meth:`advertise`);
+        #: churn events keep re-aggregating through it.
+        self.policy: Optional[AdvertisementPolicy] = None
+        #: The selectivity provider backing similarity-based policies.
+        self.provider: Optional[SelectivityProvider] = None
 
     @staticmethod
     def _check_tree(n_brokers: int, edges: list[tuple[int, int]]) -> None:
@@ -346,69 +366,145 @@ class BrokerOverlay:
         self._advertised = set()
         self.advertisement_messages = 0
         self.mode = None
-        self._community = None
+        self.policy = None
+        self.provider = None
 
     # ------------------------------------------------------------------
     # subscription lifecycle (event-driven)
     # ------------------------------------------------------------------
 
+    def _register(
+        self, node: BrokerNode, subscription_id: int, pattern: TreePattern
+    ) -> None:
+        """Admit one subscription into the live policy's advertised set."""
+        if node.index is not None:
+            node.handles[subscription_id] = node.index.add(pattern)
+        else:
+            self._advertised.add(subscription_id)
+
+    def _is_advertised(self, node: BrokerNode, subscription_id: int) -> bool:
+        """Whether the live policy ever advertised this subscription."""
+        return (
+            subscription_id in node.handles
+            or subscription_id in self._advertised
+        )
+
     def subscribe(
         self, broker_id: int, pattern: TreePattern
     ) -> SubscriptionId:
-        """Home a new subscriber and advertise it through the live regime.
+        """Home a new subscriber and advertise it through the live policy.
 
-        * no regime yet (``mode is None``) — membership only, exactly like
+        * no policy yet (``mode is None``) — membership only, exactly like
           :meth:`attach`;
-        * per-subscription regime — the pattern is installed as a local
-          delivery entry and flooded hop-by-hop with covering pruning;
-        * community regime — the pattern joins the home broker's live
-          :class:`~repro.core.similarity.SimilarityIndex` and only the
-          communities its arrival touches are re-advertised; all pairwise
-          similarity work already done for the untouched population is
-          reused from the index memo.
+        * otherwise the arrival joins the home broker's advertised set
+          (and its live :class:`~repro.core.similarity.SimilarityIndex`,
+          for similarity-based policies), the broker re-aggregates, and
+          only the advertisement *diff* travels the overlay — a
+          per-subscription policy floods exactly the new pattern, an
+          aggregating policy re-advertises only the communities the
+          arrival touched, reusing the index's memoised pairwise work for
+          the untouched population.
         """
         subscription_id = self.attach(broker_id, pattern)
-        if self.mode is None:
+        if self.policy is None:
             return subscription_id
-        node = self.brokers[broker_id]
-        if self._community is not None:
-            node.handles[subscription_id] = node.index.add(pattern)
-            self._reaggregate(broker_id)
-        else:
-            self._advertised.add(subscription_id)
-            node.table.add(pattern, (_DELIVER, (subscription_id,)))
-            self._propagate(broker_id, pattern)
+        self._register(self.brokers[broker_id], subscription_id, pattern)
+        self._reaggregate(broker_id)
         return subscription_id
 
     def unsubscribe(self, subscription_id: int) -> TreePattern:
         """Retire a subscription and withdraw its advertisements.
 
-        The inverse of :meth:`subscribe`: in the per-subscription regime
-        the delivery entry is dropped and an unadvertise message walks the
-        reverse advertisement paths, resurrecting (and re-advertising)
-        entries the departing pattern had covered; in the community regime
-        the home broker's index forgets the pattern and only the touched
-        communities are re-aggregated.  A subscription that was never
-        advertised under the live regime (it :meth:`attach`\\ -ed after the
-        bulk ``advertise_*`` call) has nothing to withdraw and is simply
-        detached.  Returns the retired pattern.
+        The inverse of :meth:`subscribe`: the home broker drops the
+        subscription from its advertised set (and index), re-aggregates,
+        and the advertisement diff walks the reverse advertisement paths
+        — under a per-subscription policy that unadvertises exactly the
+        departing pattern, resurrecting (and re-advertising) entries it
+        had covered; under an aggregating policy only the touched
+        communities are re-advertised.  A subscription that was never
+        advertised under the live policy (it :meth:`attach`\\ -ed after
+        the bulk :meth:`advertise` call) has nothing to withdraw and is
+        simply detached.  Returns the retired pattern.
         """
         if subscription_id not in self.subscriptions:
             raise ValueError(f"unknown subscription id {subscription_id}")
         home_id, pattern = self.subscriptions[subscription_id]
         node = self.brokers[home_id]
-        was_advertised = subscription_id in self._advertised
-        was_aggregated = subscription_id in node.handles
+        was_advertised = self._is_advertised(node, subscription_id)
         self.detach(subscription_id)  # also retires any index entry
-        if self.mode is None:
-            return pattern
-        if self._community is not None:
-            if was_aggregated:
-                self._reaggregate(home_id)
-        elif was_advertised:
-            node.table.remove_destination((_DELIVER, (subscription_id,)))
-            self._unadvertise(home_id, pattern)
+        if self.policy is not None and was_advertised:
+            self._reaggregate(home_id)
         return pattern
+
+    def subscribe_many(
+        self, broker_id: int, patterns: Iterable[TreePattern]
+    ) -> list[SubscriptionId]:
+        """Home a burst of subscribers on one broker in a single batch.
+
+        The batch equivalent of looping :meth:`subscribe`: all arrivals
+        join the broker's membership (and advertised set) first, then the
+        broker re-aggregates **once** and advertises one diff — so a
+        burst costs one re-clustering and never floods the transient
+        community shapes the per-event loop would have announced and
+        withdrawn between arrivals.  Returns the new subscription ids in
+        argument order.
+        """
+        subscription_ids = [
+            self.attach(broker_id, pattern) for pattern in patterns
+        ]
+        if self.policy is None or not subscription_ids:
+            return subscription_ids
+        node = self.brokers[broker_id]
+        for subscription_id in subscription_ids:
+            self._register(
+                node, subscription_id, self.subscriptions[subscription_id][1]
+            )
+        self._reaggregate(broker_id)
+        return subscription_ids
+
+    def unsubscribe_many(
+        self, subscription_ids: Iterable[int]
+    ) -> list[TreePattern]:
+        """Retire a burst of subscriptions in a single batch.
+
+        The batch equivalent of looping :meth:`unsubscribe`: every
+        departure is detached first, then each touched broker
+        re-aggregates **once** and advertises one diff.  The ids may span
+        brokers; each broker still pays exactly one re-aggregation.
+        Returns the retired patterns in argument order.
+        """
+        subscription_ids = list(subscription_ids)
+        missing = [
+            subscription_id
+            for subscription_id in subscription_ids
+            if subscription_id not in self.subscriptions
+        ]
+        if missing:
+            raise ValueError(f"unknown subscription ids {missing}")
+        if len(set(subscription_ids)) != len(subscription_ids):
+            duplicated = sorted(
+                subscription_id
+                for subscription_id, count in Counter(
+                    subscription_ids
+                ).items()
+                if count > 1
+            )
+            raise ValueError(
+                f"subscription ids repeated in one batch: {duplicated}"
+            )
+        touched: set[int] = set()
+        patterns: list[TreePattern] = []
+        for subscription_id in subscription_ids:
+            home_id, pattern = self.subscriptions[subscription_id]
+            node = self.brokers[home_id]
+            if self._is_advertised(node, subscription_id):
+                touched.add(home_id)
+            self.detach(subscription_id)
+            patterns.append(pattern)
+        if self.policy is not None:
+            for home_id in sorted(touched):
+                self._reaggregate(home_id)
+        return patterns
 
     # ------------------------------------------------------------------
     # advertisement
@@ -484,62 +580,46 @@ class BrokerOverlay:
         for broker_id, sender, entry in readvertise:
             self._propagate(broker_id, entry, skip=sender)
 
-    def advertise_subscriptions(self) -> None:
-        """Per-subscription advertisement: exact routing, maximal state."""
-        self.reset_routing()
-        self.mode = "per_subscription"
-        self._advertised = set(self.subscriptions)
-        for subscriber_id, (home_id, pattern) in self.subscriptions.items():
-            home = self.brokers[home_id]
-            home.table.add(pattern, (_DELIVER, (subscriber_id,)))
-            self._propagate(home_id, pattern)
-
-    def _cluster_node(
+    def _aggregate_node(
         self, node: BrokerNode
     ) -> list[tuple[TreePattern, tuple[int, ...]]]:
-        """Cluster one broker's advertised subscriptions into communities.
+        """One broker's target advertisement state under the live policy.
 
-        Runs :func:`~repro.routing.community.leader_clustering` over the
-        broker's live similarity index (every pairwise value the clustering
-        needs is memoised there, so re-clustering after churn only pays for
-        pairs involving changed patterns) and elects the advertised pattern
-        per community.  Only subscribers holding an index handle take part:
-        members that merely :meth:`attach`\\ -ed after the bulk
-        advertisement stay out of the aggregation until it is rebuilt,
-        mirroring the per-subscription regime's treatment of unadvertised
-        membership.
+        Hands the policy the broker's *advertised* subscriptions — for
+        similarity-based policies the live index population (every
+        pairwise value an aggregation needs is memoised there, so
+        re-aggregating after churn only pays for pairs involving changed
+        patterns), otherwise the overlay-wide advertised set.  Members
+        that merely :meth:`attach`\\ -ed after the bulk advertisement stay
+        out until it is rebuilt, whatever the policy.
         """
-        assert self._community is not None and node.index is not None
-        _, threshold, _, elect_by_selectivity = self._community
-        advertised_members = [
-            subscriber_id
-            for subscriber_id in node.local_subscribers
-            if subscriber_id in node.handles
-        ]
+        assert self.policy is not None
+        if node.index is not None:
+            advertised_members = [
+                subscriber_id
+                for subscriber_id in node.local_subscribers
+                if subscriber_id in node.handles
+            ]
+        else:
+            advertised_members = [
+                subscriber_id
+                for subscriber_id in node.local_subscribers
+                if subscriber_id in self._advertised
+            ]
         local_patterns = [
             self.subscriptions[subscriber_id][1]
             for subscriber_id in advertised_members
         ]
-        communities = leader_clustering(local_patterns, node.index, threshold)
-        aggregated: list[tuple[TreePattern, tuple[int, ...]]] = []
-        for community in communities:
-            members = tuple(
-                advertised_members[index] for index in community.members
-            )
-            advertised = local_patterns[community.leader]
-            if elect_by_selectivity:
-                advertised = max(
-                    (local_patterns[index] for index in community.members),
-                    key=node.index.selectivity,
-                )
-            aggregated.append((advertised, members))
-        return aggregated
+        return self.policy.aggregate(
+            advertised_members, local_patterns, node.index
+        )
 
     def _reaggregate(self, broker_id: int) -> None:
-        """Refresh one broker's community advertisements after churn.
+        """Refresh one broker's advertisements after churn.
 
-        Re-clusters the broker's local subscriptions (cheap: the index
-        memo already holds every surviving pair) and applies two separate
+        Re-aggregates the broker's local subscriptions through the live
+        policy (cheap for similarity-based policies: the index memo
+        already holds every surviving pair) and applies two separate
         diffs against the live aggregation:
 
         * local delivery entries follow the full ``(pattern, members)``
@@ -552,14 +632,23 @@ class BrokerOverlay:
           routes on the pattern, not on the membership.
         """
         node = self.brokers[broker_id]
-        fresh = self._cluster_node(node)
-        unmatched = list(fresh)
+        fresh = self._aggregate_node(node)
+        # Multiset diff in O(k): equal entries are interchangeable, so
+        # only the per-entry surplus decides what departs or arrives.
+        old_counts = Counter(node.communities)
+        fresh_counts = Counter(fresh)
+        surplus_old = old_counts - fresh_counts
+        surplus_fresh = fresh_counts - old_counts
         departed: list[tuple[TreePattern, tuple[int, ...]]] = []
         for entry in node.communities:
-            if entry in unmatched:
-                unmatched.remove(entry)
-            else:
+            if surplus_old[entry] > 0:
+                surplus_old[entry] -= 1
                 departed.append(entry)
+        unmatched: list[tuple[TreePattern, tuple[int, ...]]] = []
+        for entry in fresh:
+            if surplus_fresh[entry] > 0:
+                surplus_fresh[entry] -= 1
+                unmatched.append(entry)
         withdrawn = [advertised for advertised, _ in departed]
         for advertised, members in departed:
             node.table.remove_destination((_DELIVER, members))
@@ -575,6 +664,63 @@ class BrokerOverlay:
             self._unadvertise(broker_id, advertised)
         node.communities = fresh
 
+    def advertise(
+        self,
+        policy: AdvertisementSpec,
+        provider: Optional[SelectivityProvider] = None,
+        **overrides,
+    ) -> None:
+        """Install routing state for the whole overlay under *policy*.
+
+        *policy* is an :class:`~repro.routing.policy.AdvertisementPolicy`
+        instance, or one of the legacy string spellings
+        (``"per_subscription"``, ``"community"``, ``"hybrid"`` — keyword
+        overrides such as ``threshold=`` are forwarded to the resolved
+        policy's constructor).  Similarity-based policies additionally
+        need *provider*, the
+        :class:`~repro.core.similarity.SelectivityProvider` each broker's
+        live index scores patterns with.
+
+        Every broker aggregates its local subscriptions through the
+        policy and floods the resulting advertisements hop-by-hop with
+        covering pruning.  The policy, provider and per-broker indexes
+        stay live afterwards, so :meth:`subscribe` / :meth:`unsubscribe`
+        (and their batch variants) maintain the advertisement state
+        incrementally instead of rebuilding it.
+        """
+        policy = resolve_advertisement(policy, **overrides)
+        if policy.uses_similarity and provider is None:
+            raise ValueError(
+                f"{type(policy).__name__} clusters over pattern similarity "
+                "and needs a selectivity provider"
+            )
+        self.reset_routing()
+        self.policy = policy
+        self.provider = provider if policy.uses_similarity else None
+        self.mode = policy.mode_label()
+        for node in self.brokers.values():
+            if policy.uses_similarity:
+                node.index = policy.make_index(provider)
+                node.handles = {
+                    subscriber_id: node.index.add(
+                        self.subscriptions[subscriber_id][1]
+                    )
+                    for subscriber_id in node.local_subscribers
+                }
+            else:
+                self._advertised.update(node.local_subscribers)
+            node.communities = self._aggregate_node(node)
+            for advertised, members in node.communities:
+                node.table.add(advertised, (_DELIVER, members))
+                self._propagate(node.broker_id, advertised)
+
+    def advertise_subscriptions(self) -> None:
+        """Per-subscription advertisement: exact routing, maximal state.
+
+        Legacy spelling of ``advertise(PerSubscriptionPolicy())``.
+        """
+        self.advertise(PerSubscriptionPolicy())
+
     def advertise_communities(
         self,
         provider: SelectivityProvider,
@@ -585,50 +731,24 @@ class BrokerOverlay:
     ) -> None:
         """Community-aggregated advertisement.
 
-        Each broker clusters its local subscriptions with
+        Legacy spelling of ``advertise(CommunityPolicy(...), provider)``:
+        each broker clusters its local subscriptions with
         :func:`~repro.routing.community.leader_clustering` over a live
         :class:`~repro.core.similarity.SimilarityIndex` (one
         joint-selectivity computation per pattern pair, shared across all
         queries and across later churn events), then advertises a single
-        pattern per community.  With ``elect_by_selectivity`` the advertised
-        pattern is the community member with the highest selectivity — the
-        member whose match set covers the most of the community's traffic,
-        which trades a little precision for recall; otherwise the
-        clustering leader is advertised.
-
-        The per-broker index and the regime parameters stay live
-        afterwards, so :meth:`subscribe` / :meth:`unsubscribe` maintain the
-        aggregation incrementally instead of rebuilding it.
-
-        With ``ratio_prefilter`` (the default) the clustering threshold is
-        handed to each broker's index as its selectivity-ratio bound
-        (``m3_prune_below``): the clustering only thresholds similarities,
-        so pairs whose M3 provably cannot reach *threshold* skip the
-        joint-selectivity evaluation entirely.  The bound relies on
-        ``P(p ∧ q) ≤ min(P(p), P(q))``, which exact providers satisfy by
-        construction; synopsis estimators need not, so pass
-        ``ratio_prefilter=False`` to reproduce an estimator's raw
-        clustering bit for bit.
+        pattern per community.  See :class:`CommunityPolicy` for the
+        ``elect_by_selectivity`` and ``ratio_prefilter`` knobs.
         """
-        self.reset_routing()
-        self.mode = f"community(threshold={threshold})"
-        self._community = (provider, threshold, metric, elect_by_selectivity)
-        for node in self.brokers.values():
-            node.index = SimilarityIndex(
-                provider,
+        self.advertise(
+            CommunityPolicy(
+                threshold,
                 metric=metric,
-                m3_prune_below=threshold if ratio_prefilter else None,
-            )
-            node.handles = {
-                subscriber_id: node.index.add(
-                    self.subscriptions[subscriber_id][1]
-                )
-                for subscriber_id in node.local_subscribers
-            }
-            node.communities = self._cluster_node(node)
-            for advertised, members in node.communities:
-                node.table.add(advertised, (_DELIVER, members))
-                self._propagate(node.broker_id, advertised)
+                elect_by_selectivity=elect_by_selectivity,
+                ratio_prefilter=ratio_prefilter,
+            ),
+            provider,
+        )
 
     # ------------------------------------------------------------------
     # routing
@@ -714,8 +834,8 @@ class BrokerOverlay:
         """
         if self.mode is None:
             raise ValueError(
-                "no routing state: call advertise_subscriptions() or "
-                "advertise_communities() first"
+                "no routing state: call advertise() (or the legacy "
+                "advertise_subscriptions()/advertise_communities()) first"
             )
         interest = {
             subscriber_id: corpus.match_set(pattern)

@@ -1,0 +1,469 @@
+"""First-class routing policies: advertisement aggregation and scheduling.
+
+The overlay's two behavioural axes used to be hardwired — the
+advertisement regime as a pair of ``advertise_*`` methods on
+:class:`~repro.routing.overlay.BrokerOverlay`, the queueing discipline as
+a private-method override on
+:class:`~repro.routing.engine.DeliveryEngine`.  This module turns both
+into composable strategy objects, so a deployment picks its point on the
+paper's precision-vs-state trade-off (and its fairness-vs-tail-latency
+trade-off under load) by *passing a policy*, not by calling a different
+method or subclassing the engine.
+
+Advertisement policies (consumed by ``BrokerOverlay.advertise``):
+
+* :class:`PerSubscriptionPolicy` — every subscription advertised on its
+  own: exact delivery, maximal routing state (the baseline);
+* :class:`CommunityPolicy` — each broker clusters its local subscriptions
+  into semantic communities over a live
+  :class:`~repro.core.similarity.SimilarityIndex` and advertises one
+  pattern per community; ``linkage`` selects greedy leader clustering
+  (online) or average-linkage agglomerative clustering (offline quality);
+* :class:`HybridPolicy` — per-subscription precision at lightly loaded
+  brokers, community aggregation only where it pays: a broker aggregates
+  once its live subscription count exceeds ``aggregate_above``.
+
+Scheduling policies (consumed by ``DeliveryEngine``):
+
+* :class:`FifoScheduling` — first come, first served (the baseline);
+* :class:`PriorityScheduling` — strict priority by subscriber-class
+  weight, FIFO within a class;
+* :class:`DeadlineScheduling` — earliest deadline first.
+
+The legacy string spellings stay accepted everywhere policies are:
+:func:`resolve_advertisement` maps ``"per_subscription"`` /
+``"community"`` (plus keyword overrides) onto a policy instance, and
+:func:`resolve_scheduling` maps ``"fifo"`` / ``"priority"`` /
+``"deadline"`` likewise — so existing call sites and configuration files
+keep working unchanged.
+
+>>> # overlay.advertise(CommunityPolicy(threshold=0.5), provider=corpus)
+>>> # overlay.advertise("per_subscription")       # string shim
+>>> # DeliveryEngine(overlay, scheduling=PriorityScheduling({2: 10.0}))
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Protocol, Sequence, Union
+
+from repro.core.pattern import TreePattern
+from repro.core.similarity import SelectivityProvider, SimilarityIndex
+from repro.routing.community import agglomerative_clustering, leader_clustering
+
+__all__ = [
+    "AdvertisementPolicy",
+    "PerSubscriptionPolicy",
+    "CommunityPolicy",
+    "HybridPolicy",
+    "resolve_advertisement",
+    "SchedulingPolicy",
+    "FifoScheduling",
+    "PriorityScheduling",
+    "DeadlineScheduling",
+    "resolve_scheduling",
+    "QueuedJob",
+    "LINKAGES",
+]
+
+#: One aggregated advertisement: the pattern a broker announces and the
+#: local subscriber ids it delivers for.
+Aggregate = tuple[TreePattern, tuple[int, ...]]
+
+LINKAGES = ("leader", "average")
+
+
+class AdvertisementPolicy:
+    """Strategy deciding how a broker advertises its local subscriptions.
+
+    The overlay hands every policy the same inputs — the broker's
+    advertised subscriber ids, their patterns, and (for similarity-based
+    policies) the broker's live index — and installs whatever
+    ``(advertised pattern, member ids)`` entries :meth:`aggregate`
+    returns.  Because the overlay diffs successive aggregations, a policy
+    is automatically incremental under churn: it only describes the
+    *target* state, never the advertisement traffic to reach it.
+    """
+
+    #: Whether the overlay must equip each broker with a live
+    #: :class:`~repro.core.similarity.SimilarityIndex` (and therefore
+    #: requires a :class:`~repro.core.similarity.SelectivityProvider`).
+    uses_similarity = False
+
+    def mode_label(self) -> str:
+        """The ``BrokerOverlay.mode`` string advertised state reports."""
+        raise NotImplementedError
+
+    def make_index(self, provider: SelectivityProvider) -> Optional[SimilarityIndex]:
+        """A fresh per-broker similarity index, or None if unused."""
+        return None
+
+    def aggregate(
+        self,
+        members: Sequence[int],
+        patterns: Sequence[TreePattern],
+        index: Optional[SimilarityIndex],
+    ) -> list[Aggregate]:
+        """Turn one broker's advertised subscriptions into advertisements.
+
+        ``members[i]`` subscribes with ``patterns[i]``; both follow the
+        broker's home order.  Returns the full target advertisement state
+        for the broker — the overlay applies the diff.
+        """
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class PerSubscriptionPolicy(AdvertisementPolicy):
+    """Advertise every subscription individually (the exact baseline)."""
+
+    def mode_label(self) -> str:
+        return "per_subscription"
+
+    def aggregate(
+        self,
+        members: Sequence[int],
+        patterns: Sequence[TreePattern],
+        index: Optional[SimilarityIndex],
+    ) -> list[Aggregate]:
+        return [(pattern, (member,)) for member, pattern in zip(members, patterns)]
+
+
+class CommunityPolicy(AdvertisementPolicy):
+    """Advertise one pattern per semantic community.
+
+    Each broker clusters its local subscriptions over its live similarity
+    index and announces a single representative pattern per community —
+    routing state shrinks to one entry per community, delivery quality is
+    governed by community coherence (i.e. by the similarity metric).
+
+    ``linkage`` selects the clustering: ``"leader"`` is the one-pass
+    greedy threshold clustering an online broker can afford;
+    ``"average"`` is average-linkage agglomerative clustering that keeps
+    merging while the best inter-community linkage stays above
+    *threshold* — a better optimiser for offline re-organisation.  With
+    ``elect_by_selectivity`` the advertised pattern is the community
+    member with the highest selectivity (recall over precision);
+    otherwise the clustering's own leader is advertised.
+
+    ``ratio_prefilter`` (leader linkage only) hands *threshold* to each
+    broker's index as its selectivity-ratio bound: pairs whose metric
+    provably cannot reach the clustering threshold skip the
+    joint-selectivity call.  Average linkage sums similarity values
+    instead of thresholding them, so the bound never applies there.
+    Synopsis estimators whose joint estimates may break the
+    ``min(P(p), P(q))`` bound should pass ``ratio_prefilter=False``.
+    """
+
+    uses_similarity = True
+
+    def __init__(
+        self,
+        threshold: float,
+        linkage: str = "leader",
+        metric: str = "M3",
+        elect_by_selectivity: bool = True,
+        ratio_prefilter: bool = True,
+    ):
+        if not 0.0 <= threshold <= 1.0:
+            raise ValueError("threshold must be in [0, 1]")
+        if linkage not in LINKAGES:
+            raise ValueError(f"unknown linkage {linkage!r}; choose from {LINKAGES}")
+        self.threshold = threshold
+        self.linkage = linkage
+        self.metric = metric
+        self.elect_by_selectivity = elect_by_selectivity
+        self.ratio_prefilter = ratio_prefilter
+
+    def mode_label(self) -> str:
+        label = f"community(threshold={self.threshold})"
+        if self.linkage != "leader":
+            label = f"community(threshold={self.threshold}, linkage={self.linkage})"
+        return label
+
+    def make_index(self, provider: SelectivityProvider) -> SimilarityIndex:
+        prune = (
+            self.threshold
+            if self.ratio_prefilter and self.linkage == "leader"
+            else None
+        )
+        return SimilarityIndex(provider, metric=self.metric, prune_below=prune)
+
+    def _cluster(
+        self,
+        patterns: Sequence[TreePattern],
+        index: SimilarityIndex,
+    ):
+        if self.linkage == "average":
+            return agglomerative_clustering(
+                patterns, index, 1, min_similarity=self.threshold
+            )
+        return leader_clustering(patterns, index, self.threshold)
+
+    def aggregate(
+        self,
+        members: Sequence[int],
+        patterns: Sequence[TreePattern],
+        index: Optional[SimilarityIndex],
+    ) -> list[Aggregate]:
+        assert index is not None, "community aggregation needs a live index"
+        aggregated: list[Aggregate] = []
+        for community in self._cluster(patterns, index):
+            group = tuple(members[i] for i in community.members)
+            advertised = patterns[community.leader]
+            if self.elect_by_selectivity:
+                advertised = max(
+                    (patterns[i] for i in community.members),
+                    key=index.selectivity,
+                )
+            aggregated.append((advertised, group))
+        return aggregated
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(threshold={self.threshold}, "
+            f"linkage={self.linkage!r}, metric={self.metric!r})"
+        )
+
+
+class HybridPolicy(CommunityPolicy):
+    """Aggregate only where aggregation pays.
+
+    Community aggregation trades delivery precision for routing state;
+    at a broker holding a handful of subscriptions there is no state to
+    save and the precision loss is pure cost.  This policy keeps
+    per-subscription advertisement at brokers whose live subscription
+    count is at most ``aggregate_above`` and switches to community
+    aggregation beyond it — per-broker, re-evaluated on every churn
+    event, so a broker crossing the cutoff in either direction flips
+    regime automatically (the overlay's diff turns the flip into the
+    minimal advertisement traffic).
+    """
+
+    def __init__(
+        self,
+        threshold: float,
+        aggregate_above: int = 8,
+        linkage: str = "leader",
+        metric: str = "M3",
+        elect_by_selectivity: bool = True,
+        ratio_prefilter: bool = True,
+    ):
+        super().__init__(
+            threshold,
+            linkage=linkage,
+            metric=metric,
+            elect_by_selectivity=elect_by_selectivity,
+            ratio_prefilter=ratio_prefilter,
+        )
+        if aggregate_above < 0:
+            raise ValueError("aggregate_above must be >= 0")
+        self.aggregate_above = aggregate_above
+
+    def mode_label(self) -> str:
+        return (
+            f"hybrid(threshold={self.threshold}, "
+            f"aggregate_above={self.aggregate_above})"
+        )
+
+    def aggregate(
+        self,
+        members: Sequence[int],
+        patterns: Sequence[TreePattern],
+        index: Optional[SimilarityIndex],
+    ) -> list[Aggregate]:
+        if len(members) <= self.aggregate_above:
+            return [(pattern, (member,)) for member, pattern in zip(members, patterns)]
+        return super().aggregate(members, patterns, index)
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(threshold={self.threshold}, "
+            f"aggregate_above={self.aggregate_above})"
+        )
+
+
+#: Anything ``BrokerOverlay.advertise`` accepts as its policy argument.
+AdvertisementSpec = Union[AdvertisementPolicy, str]
+
+
+def resolve_advertisement(spec: AdvertisementSpec, **overrides) -> AdvertisementPolicy:
+    """Resolve a policy instance or legacy string spelling to a policy.
+
+    ``"per_subscription"`` maps to :class:`PerSubscriptionPolicy`,
+    ``"community"`` to :class:`CommunityPolicy` (keyword overrides such
+    as ``threshold=`` are forwarded; the threshold defaults to 0.5), and
+    ``"hybrid"`` to :class:`HybridPolicy`.  A policy instance passes
+    through unchanged — in which case overrides are rejected, because
+    the instance already carries its configuration.
+    """
+    if isinstance(spec, AdvertisementPolicy):
+        if overrides:
+            raise ValueError(
+                "policy overrides only apply to string spellings; "
+                f"configure {type(spec).__name__} directly instead"
+            )
+        return spec
+    if isinstance(spec, str):
+        if spec == "per_subscription":
+            if overrides:
+                raise ValueError("per_subscription advertisement takes no parameters")
+            return PerSubscriptionPolicy()
+        if spec == "community":
+            overrides.setdefault("threshold", 0.5)
+            return CommunityPolicy(**overrides)
+        if spec == "hybrid":
+            overrides.setdefault("threshold", 0.5)
+            return HybridPolicy(**overrides)
+        raise ValueError(
+            f"unknown advertisement policy {spec!r}; choose from "
+            "('per_subscription', 'community', 'hybrid') or pass an "
+            "AdvertisementPolicy instance"
+        )
+    raise TypeError(f"expected an AdvertisementPolicy or policy name, got {spec!r}")
+
+
+# ----------------------------------------------------------------------
+# scheduling
+# ----------------------------------------------------------------------
+
+
+class QueuedJob(Protocol):
+    """What a scheduling policy may read about a queued document.
+
+    The engine's queue entries satisfy this protocol; policies never see
+    (or mutate) anything else of the engine.
+    """
+
+    doc_index: int
+    published_at: float
+    arrived_at: float
+    priority_class: int
+    deadline: Optional[float]
+
+
+class SchedulingPolicy:
+    """Strategy picking the next document a busy broker services.
+
+    :meth:`select` receives the broker's queue (oldest arrival first)
+    and the current simulated time, and returns the *queue position* of
+    the job to service next.  Policies must be pure functions of their
+    arguments — the engine's bit-for-bit replay determinism rests on it.
+    """
+
+    def select(self, queue: Sequence[QueuedJob], now: float) -> int:
+        """The index (into *queue*) of the job to service next."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class FifoScheduling(SchedulingPolicy):
+    """First come, first served — the engine's historical discipline."""
+
+    def select(self, queue: Sequence[QueuedJob], now: float) -> int:
+        return 0
+
+
+class PriorityScheduling(SchedulingPolicy):
+    """Strict priority by subscriber-class weight, FIFO within a class.
+
+    ``weights`` maps a job's ``priority_class`` to its scheduling weight;
+    higher weight is served first.  A class without an explicit weight
+    uses its own numeric value, so with no weights at all a higher class
+    number simply outranks a lower one.  Ties keep arrival order, which
+    makes the policy a drop-in FIFO when every job carries one class.
+    """
+
+    def __init__(self, weights: Optional[dict[int, float]] = None):
+        self.weights = dict(weights or {})
+
+    def weight(self, priority_class: int) -> float:
+        """The scheduling weight of one subscriber class."""
+        return self.weights.get(priority_class, float(priority_class))
+
+    def select(self, queue: Sequence[QueuedJob], now: float) -> int:
+        # enumerate, not indexing: the engine queues are deques, where
+        # positional access is O(position).
+        best = 0
+        best_weight: Optional[float] = None
+        for position, job in enumerate(queue):
+            weight = self.weight(job.priority_class)
+            if best_weight is None or weight > best_weight:
+                best = position
+                best_weight = weight
+        return best
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(weights={self.weights})"
+
+
+class DeadlineScheduling(SchedulingPolicy):
+    """Earliest deadline first.
+
+    Jobs published without a deadline fall back to ``published_at +
+    default_slack``; with the default infinite slack they yield to every
+    deadline-carrying job and keep arrival order among themselves.
+    """
+
+    def __init__(self, default_slack: float = float("inf")):
+        if default_slack < 0.0:
+            raise ValueError("default_slack must be >= 0")
+        self.default_slack = default_slack
+
+    def _deadline(self, job: QueuedJob) -> float:
+        if job.deadline is not None:
+            return job.deadline
+        return job.published_at + self.default_slack
+
+    def select(self, queue: Sequence[QueuedJob], now: float) -> int:
+        best = 0
+        best_deadline: Optional[float] = None
+        for position, job in enumerate(queue):
+            deadline = self._deadline(job)
+            if best_deadline is None or deadline < best_deadline:
+                best = position
+                best_deadline = deadline
+        return best
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(default_slack={self.default_slack})"
+
+
+#: Anything ``DeliveryEngine`` accepts as its scheduling argument.
+SchedulingSpec = Union[SchedulingPolicy, str]
+
+_SCHEDULING_NAMES = {
+    "fifo": FifoScheduling,
+    "priority": PriorityScheduling,
+    "deadline": DeadlineScheduling,
+}
+
+
+def resolve_scheduling(spec: SchedulingSpec, **overrides) -> SchedulingPolicy:
+    """Resolve a policy instance or string spelling to a scheduling policy.
+
+    ``"fifo"``, ``"priority"`` and ``"deadline"`` map to their policy
+    classes (keyword overrides are forwarded to the constructor); an
+    instance passes through unchanged, rejecting overrides.
+    """
+    if isinstance(spec, SchedulingPolicy):
+        if overrides:
+            raise ValueError(
+                "scheduling overrides only apply to string spellings; "
+                f"configure {type(spec).__name__} directly instead"
+            )
+        return spec
+    if isinstance(spec, str):
+        try:
+            factory = _SCHEDULING_NAMES[spec]
+        except KeyError:
+            raise ValueError(
+                f"unknown scheduling policy {spec!r}; choose from "
+                f"{tuple(sorted(_SCHEDULING_NAMES))} or pass a "
+                "SchedulingPolicy instance"
+            ) from None
+        return factory(**overrides)
+    raise TypeError(f"expected a SchedulingPolicy or policy name, got {spec!r}")

@@ -6,6 +6,12 @@ from repro.core.pattern_parser import parse_xpath
 from repro.routing.broker import percentile
 from repro.routing.engine import DeliveryEngine, LinkModel, ServiceModel
 from repro.routing.overlay import BrokerOverlay
+from repro.routing.policy import (
+    DeadlineScheduling,
+    FifoScheduling,
+    PriorityScheduling,
+    SchedulingPolicy,
+)
 from repro.xmltree.parser import parse_xml
 
 
@@ -145,6 +151,152 @@ class TestEngineBasics:
         stats = engine.run()
         assert stats.documents == 2
         assert set(engine.delivered_sets()) == {0, 1}
+
+
+class TestSchedulingPolicies:
+    """The engine under non-FIFO queue disciplines."""
+
+    @pytest.fixture()
+    def single_broker(self):
+        """One broker, one subscriber: every publish queues at broker 0."""
+        overlay = BrokerOverlay.chain(1)
+        overlay.attach(0, parse_xpath("/a/b"))
+        overlay.advertise_subscriptions()
+        return overlay
+
+    def publish_three(self, engine):
+        """Three same-instant publishes with classes 0, 2, 1."""
+        for index, priority_class in enumerate((0, 2, 1)):
+            engine.publish(
+                doc("<a><b/></a>", index),
+                at_broker=0,
+                time=0.0,
+                priority_class=priority_class,
+                deadline=10.0 - priority_class,
+            )
+
+    def completion_order(self, engine):
+        engine.run()
+        stats = engine.stats()
+        order = sorted(
+            (digest.p50, priority_class)
+            for priority_class, digest in stats.latency_by_class.items()
+        )
+        return [priority_class for _, priority_class in order]
+
+    def test_default_scheduling_is_fifo(self, single_broker):
+        engine = DeliveryEngine(single_broker)
+        assert isinstance(engine.scheduling, FifoScheduling)
+
+    def test_string_spelling_accepted(self, single_broker):
+        engine = DeliveryEngine(single_broker, scheduling="priority")
+        assert isinstance(engine.scheduling, PriorityScheduling)
+
+    def test_fifo_services_in_arrival_order(self, single_broker):
+        engine = DeliveryEngine(
+            single_broker, service=ServiceModel(base=1.0, per_match=0.0)
+        )
+        self.publish_three(engine)
+        # Arrival order 0, 2, 1 — FIFO keeps it.
+        assert self.completion_order(engine) == [0, 2, 1]
+
+    def test_priority_services_heaviest_class_first(self, single_broker):
+        engine = DeliveryEngine(
+            single_broker,
+            service=ServiceModel(base=1.0, per_match=0.0),
+            scheduling=PriorityScheduling(),
+        )
+        self.publish_three(engine)
+        # The first arrival is already in service; the queue drains by
+        # class weight afterwards.
+        assert self.completion_order(engine) == [0, 2, 1]
+        engine = DeliveryEngine(
+            single_broker,
+            service=ServiceModel(base=1.0, per_match=0.0),
+            scheduling=PriorityScheduling({0: 5.0, 1: 1.0, 2: 0.5}),
+        )
+        self.publish_three(engine)
+        assert self.completion_order(engine) == [0, 1, 2]
+
+    def test_deadline_services_most_urgent_first(self, single_broker):
+        engine = DeliveryEngine(
+            single_broker,
+            service=ServiceModel(base=1.0, per_match=0.0),
+            scheduling=DeadlineScheduling(),
+        )
+        # Deadlines 10-class: class 2 is most urgent after the head.
+        self.publish_three(engine)
+        assert self.completion_order(engine) == [0, 2, 1]
+
+    def test_per_class_latency_stats(self, single_broker):
+        engine = DeliveryEngine(
+            single_broker, service=ServiceModel(base=1.0, per_match=0.0)
+        )
+        self.publish_three(engine)
+        stats = engine.run()
+        assert sorted(stats.latency_by_class) == [0, 1, 2]
+        assert all(
+            digest.deliveries == 1
+            for digest in stats.latency_by_class.values()
+        )
+        assert stats.latency_by_class[0].p50 == 1.0
+
+    def test_classless_run_reports_class_zero(self, single_broker):
+        engine = DeliveryEngine(single_broker)
+        engine.publish(doc("<a><b/></a>"), at_broker=0)
+        stats = engine.run()
+        assert list(stats.latency_by_class) == [0]
+        assert stats.latency_by_class[0].deliveries == stats.deliveries
+
+    def test_forwarded_jobs_inherit_class(self, chain3):
+        engine = DeliveryEngine(chain3)
+        engine.publish(doc("<a><b/></a>"), at_broker=0, priority_class=7)
+        stats = engine.run()
+        # All three brokers' subscribers hear under the publish class.
+        assert list(stats.latency_by_class) == [7]
+        assert stats.latency_by_class[7].deliveries == 3
+
+    def test_publish_rejects_deadline_before_publish(self, single_broker):
+        engine = DeliveryEngine(single_broker)
+        with pytest.raises(ValueError):
+            engine.publish(doc("<a><b/></a>"), time=5.0, deadline=4.0)
+
+    def test_publish_corpus_class_assignment(self, single_broker):
+        from repro.xmltree.corpus import DocumentCorpus
+
+        corpus = DocumentCorpus(
+            [doc("<a><b/></a>", index) for index in range(5)]
+        )
+        engine = DeliveryEngine(single_broker)
+        engine.publish_corpus(corpus, rate=1.0, classes=(0, 1))
+        stats = engine.run()
+        assert stats.latency_by_class[0].deliveries == 3
+        assert stats.latency_by_class[1].deliveries == 2
+        engine = DeliveryEngine(single_broker)
+        engine.publish_corpus(
+            corpus, rate=1.0, classes=lambda position: position % 3
+        )
+        stats = engine.run()
+        assert sorted(stats.latency_by_class) == [0, 1, 2]
+        engine = DeliveryEngine(single_broker)
+        with pytest.raises(ValueError):
+            engine.publish_corpus(corpus, rate=1.0, classes=())
+        with pytest.raises(ValueError):
+            engine.publish_corpus(corpus, rate=1.0, deadline_slack=-1.0)
+
+    def test_malformed_policy_selection_rejected(self, single_broker):
+        class Broken(SchedulingPolicy):
+            def select(self, queue, now):
+                return len(queue)
+
+        engine = DeliveryEngine(
+            single_broker,
+            service=ServiceModel(base=1.0, per_match=0.0),
+            scheduling=Broken(),
+        )
+        self.publish_three(engine)
+        with pytest.raises(ValueError):
+            engine.run()
 
 
 class TestDeterminism:

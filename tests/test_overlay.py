@@ -617,6 +617,113 @@ class TestSubscriptionLifecycle:
         assert now == stale
 
 
+class TestBatchChurn:
+    """subscribe_many / unsubscribe_many: one diff per touched broker."""
+
+    def test_subscribe_many_before_advertisement_is_membership_only(
+        self, subscriptions
+    ):
+        overlay = BrokerOverlay.chain(3)
+        ids = overlay.subscribe_many(1, subscriptions[:3])
+        assert ids == [0, 1, 2]
+        assert all(len(n.table) == 0 for n in overlay.brokers.values())
+
+    def test_empty_batches_are_no_ops(self, corpus, subscriptions):
+        overlay = build_overlay("chain", subscriptions)
+        overlay.advertise_communities(corpus, threshold=0.5)
+        before = overlay.advertisement_messages
+        assert overlay.subscribe_many(0, []) == []
+        assert overlay.unsubscribe_many([]) == []
+        assert overlay.advertisement_messages == before
+
+    def test_unsubscribe_many_rejects_unknown_and_duplicate_ids(
+        self, corpus, subscriptions
+    ):
+        overlay = build_overlay("chain", subscriptions)
+        overlay.advertise_communities(corpus, threshold=0.5)
+        with pytest.raises(ValueError):
+            overlay.unsubscribe_many([0, 99])
+        with pytest.raises(ValueError):
+            overlay.unsubscribe_many([0, 0])
+        # The failed batches changed nothing.
+        assert len(overlay.subscriptions) == len(subscriptions)
+
+    @pytest.mark.parametrize("threshold", [0.3, 0.5, 1.0])
+    def test_batch_matches_rebuild_community(
+        self, corpus, subscriptions, threshold
+    ):
+        overlay = build_overlay("chain", subscriptions[:3])
+        overlay.advertise_communities(corpus, threshold=threshold)
+        ids = overlay.subscribe_many(1, subscriptions[3:])
+        rebuilt = rebuild_from_survivors(
+            overlay, "chain", community=(corpus, threshold)
+        )
+        assert table_signature(overlay) == table_signature(rebuilt)
+        assert overlay.unsubscribe_many(ids) == subscriptions[3:]
+        rebuilt = rebuild_from_survivors(
+            overlay, "chain", community=(corpus, threshold)
+        )
+        assert table_signature(overlay) == table_signature(rebuilt)
+
+    def test_batch_matches_rebuild_per_subscription(self, subscriptions):
+        overlay = build_overlay("random_tree", subscriptions[:3])
+        overlay.advertise_subscriptions()
+        ids = overlay.subscribe_many(2, subscriptions[3:])
+        rebuilt = rebuild_from_survivors(overlay, "random_tree")
+        assert table_signature(overlay) == table_signature(rebuilt)
+        overlay.unsubscribe_many(ids)
+        rebuilt = rebuild_from_survivors(overlay, "random_tree")
+        assert table_signature(overlay) == table_signature(rebuilt)
+
+    def test_unsubscribe_many_spans_brokers(self, corpus, subscriptions):
+        overlay = build_overlay("chain", subscriptions)
+        overlay.advertise_communities(corpus, threshold=0.5)
+        # One victim homed on each broker, retired in one batch.
+        victims = [0, 1, 2]
+        patterns = [overlay.subscriptions[v][1] for v in victims]
+        assert overlay.unsubscribe_many(victims) == patterns
+        rebuilt = rebuild_from_survivors(
+            overlay, "chain", community=(corpus, 0.5)
+        )
+        assert table_signature(overlay) == table_signature(rebuilt)
+
+    def test_batch_reaggregates_once_per_broker(self, corpus, subscriptions):
+        overlay = build_overlay("chain", subscriptions)
+        overlay.advertise_communities(corpus, threshold=0.5)
+        node = overlay.brokers[1]
+        adds_before = node.index.stats.adds
+        burst = [parse_xpath("/a/b/e"), parse_xpath("/a/b/e/k")]
+        overlay.subscribe_many(1, burst)
+        # Both arrivals joined the live index; other brokers untouched.
+        assert node.index.stats.adds == adds_before + len(burst)
+        for broker_id in (0, 2):
+            other = overlay.brokers[broker_id]
+            assert other.index.stats.adds == len(
+                other.local_subscribers
+            )
+
+    def test_unadvertised_attachments_skip_batch_reaggregation(
+        self, corpus, subscriptions
+    ):
+        overlay = build_overlay("chain", subscriptions)
+        overlay.advertise_communities(corpus, threshold=0.5)
+        silent = overlay.attach(1, parse_xpath("/a/b"))
+        before = {
+            broker_id: frozenset(
+                (entry.pattern, entry.destination) for entry in node.table
+            )
+            for broker_id, node in overlay.brokers.items()
+        }
+        assert overlay.unsubscribe_many([silent]) == [parse_xpath("/a/b")]
+        after = {
+            broker_id: frozenset(
+                (entry.pattern, entry.destination) for entry in node.table
+            )
+            for broker_id, node in overlay.brokers.items()
+        }
+        assert after == before
+
+
 class TestStats:
     def test_flooding_baseline(self, corpus, subscriptions):
         overlay = build_overlay("chain", subscriptions)

@@ -298,6 +298,137 @@ class TestRatioPrefilter:
     def test_invalid_bound_rejected(self, skewed_corpus):
         with pytest.raises(ValueError):
             SimilarityIndex(skewed_corpus, m3_prune_below=1.5)
+        with pytest.raises(ValueError):
+            SimilarityIndex(skewed_corpus, prune_below=-0.1)
+
+    def test_generic_bound_arms_any_metric(self, skewed_corpus):
+        # prune_below (unlike the legacy M3-only spelling) prunes under
+        # every metric, with the metric's own marginal bound.
+        p, q = parse_xpath("/a/b"), parse_xpath("/a/c")
+        # M2 <= (1 + 0.25) / 2 = 0.625 < 0.7: prunable.
+        counting = CountingProvider(skewed_corpus)
+        index = SimilarityIndex(counting, metric="M2", prune_below=0.7)
+        assert index(p, q) == 0.0
+        assert counting.joint_calls == {}
+        assert index.stats.joint_ratio_pruned == 1
+        assert index.stats.ratio_pruned_by_metric == {"M2": 1}
+        # ... but not below 0.6: the bound steps aside and evaluates.
+        counting = CountingProvider(skewed_corpus)
+        index = SimilarityIndex(counting, metric="M2", prune_below=0.6)
+        raw = SimilarityIndex(skewed_corpus, metric="M2")
+        assert index(p, q) == raw(p, q)
+        assert len(counting.joint_calls) == 1
+
+    def test_m1_bound_is_direction_aware(self, skewed_corpus):
+        # P(/a/b)=0.25, P(/a/c)=1.0.  M1(b|c) <= 0.25/1.0: prunable at
+        # 0.5; M1(c|b) <= 0.25/0.25 = 1: must evaluate.
+        counting = CountingProvider(skewed_corpus)
+        index = SimilarityIndex(counting, metric="M1", prune_below=0.5)
+        b, c = parse_xpath("/a/b"), parse_xpath("/a/c")
+        assert index(b, c) == 0.0
+        assert counting.joint_calls == {}
+        assert index.stats.ratio_pruned_by_metric == {"M1": 1}
+        exact = SimilarityIndex(skewed_corpus, metric="M1")
+        assert index(c, b) == exact(c, b)
+        assert len(counting.joint_calls) == 1
+        # Each pruned direction counts once, ever.
+        index(b, c)
+        assert index.stats.joint_ratio_pruned == 1
+
+    @pytest.mark.parametrize("metric", sorted(METRICS))
+    def test_generic_bound_is_sound_for_thresholding(
+        self, skewed_corpus, metric
+    ):
+        threshold = 0.5
+        bounded = SimilarityIndex(
+            skewed_corpus, metric=metric, prune_below=threshold
+        )
+        exact = SimilarityIndex(skewed_corpus, metric=metric)
+        pairs = [
+            (parse_xpath("/a/b"), parse_xpath("/a/c")),
+            (parse_xpath("/a/c"), parse_xpath("/a")),
+            (parse_xpath("/a"), parse_xpath("/a/b")),
+            (parse_xpath("/a/b"), parse_xpath("/a")),
+        ]
+        for p, q in pairs:
+            assert (bounded(p, q) >= threshold) == (
+                exact(p, q) >= threshold
+            ), (metric, p, q)
+
+    def test_per_metric_counters_fold_into_totals(self, skewed_corpus):
+        index = SimilarityIndex(skewed_corpus, prune_below=0.5)
+        index(parse_xpath("/a/b"), parse_xpath("/a/c"))
+        assert index.stats.ratio_pruned_by_metric == {"M3": 1}
+        assert index.stats.joint_ratio_pruned == 1
+        assert index.stats.prune_ratio == 1.0
+
+
+class TestMemoCapacity:
+    """The LRU cap layered on top of population-tied compaction."""
+
+    @pytest.fixture()
+    def patterns(self):
+        return [parse_xpath(f"//{tag}") for tag in ("b", "e", "o", "k")]
+
+    def test_capacity_validation(self, corpus):
+        with pytest.raises(ValueError):
+            SimilarityIndex(corpus, memo_capacity=0)
+
+    def test_joint_memo_stays_bounded(self, corpus, patterns):
+        index = SimilarityIndex(corpus, patterns, memo_capacity=3)
+        materialize(index)  # 6 distinct pairs through a 3-entry memo
+        assert len(index._joint_memo) <= 3
+        assert index.stats.memo_lru_evicted >= 3
+
+    def test_uncapped_index_never_lru_evicts(self, corpus, patterns):
+        index = SimilarityIndex(corpus, patterns)
+        materialize(index)
+        assert index.stats.memo_lru_evicted == 0
+
+    def test_eviction_recomputes_same_values(self, corpus, patterns):
+        capped = SimilarityIndex(corpus, patterns, memo_capacity=2)
+        free = SimilarityIndex(corpus, patterns)
+        for p in patterns:
+            for q in patterns:
+                assert capped(p, q) == free(p, q)
+        # A second sweep re-pays provider calls for evicted pairs but
+        # still agrees.
+        for p in patterns:
+            for q in patterns:
+                assert capped(p, q) == free(p, q)
+
+    def test_recently_used_pairs_survive(self, corpus):
+        counting = CountingProvider(corpus)
+        b, e, o = (parse_xpath(f"//{t}") for t in ("b", "e", "o"))
+        index = SimilarityIndex(counting, memo_capacity=2)
+        index(b, e)
+        index(b, o)
+        index(b, e)  # touch: (b, e) is now the most recent
+        calls_before = dict(counting.joint_calls)
+        index(e, o)  # evicts the LRU entry (b, o)
+        index(b, e)  # still memoised: no new provider call
+        assert counting.joint_calls.keys() - calls_before.keys() == {
+            frozenset((e, o))
+        }
+        index(b, o)  # evicted: recomputes
+        assert index.stats.memo_lru_evicted >= 1
+
+    def test_capacity_counts_distinct_pairs_not_calls(self, corpus, patterns):
+        index = SimilarityIndex(corpus, patterns, memo_capacity=100)
+        materialize(index)
+        assert index.stats.memo_lru_evicted == 0
+        assert len(index._joint_memo) == 6
+
+    def test_compact_layers_under_capacity(self, corpus, patterns):
+        index = SimilarityIndex(corpus, patterns, memo_capacity=10)
+        materialize(index)
+        victim = index.handles()[-1]
+        index.remove(victim)
+        evicted = index.compact()
+        assert evicted > 0
+        assert index.stats.memo_evicted == evicted
+        # Both eviction counters are reported independently.
+        assert index.stats.memo_lru_evicted == 0
 
 
 class TestMemoEviction:
