@@ -32,6 +32,7 @@ from repro.core import (
     to_xpath,
 )
 from repro.routing import (
+    BrokerId,
     BrokerOverlay,
     CommunityPolicy,
     DeadlineScheduling,
@@ -46,6 +47,7 @@ from repro.routing import (
     PriorityScheduling,
     RoutingTable,
     ServiceModel,
+    TopologyEvent,
 )
 from repro.synopsis import DocumentSynopsis, compress_to_ratio, measure
 from repro.xmltree import PatternMatcher, XMLTree, matches, parse_xml, skeleton
@@ -61,10 +63,12 @@ __all__ = [
     "SimilarityEstimator",
     "SimilarityIndex",
     "SimilarityMatrix",
+    "BrokerId",
     "BrokerOverlay",
     "OverlayStats",
     "OverlayBuilder",
     "RoutingTable",
+    "TopologyEvent",
     "PerSubscriptionPolicy",
     "CommunityPolicy",
     "HybridPolicy",

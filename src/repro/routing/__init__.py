@@ -19,11 +19,18 @@ Module map:
   random-tree topologies, hop-by-hop advertisement with covering pruning,
   reverse-path document routing, per-broker cost accounting, the
   community-aggregated advertisement regime built on the similarity
-  engine, and the subscription lifecycle —
+  engine, the subscription lifecycle —
   ``subscribe(broker, pattern) -> SubscriptionId`` / ``unsubscribe(id)``
   with hop-by-hop unadvertise propagation and incremental community
   re-aggregation over per-broker live
-  :class:`~repro.core.similarity.SimilarityIndex` instances;
+  :class:`~repro.core.similarity.SimilarityIndex` instances — and the
+  topology lifecycle: ``add_broker(parent, split=...) -> BrokerId``
+  grafts a broker (seeded with exactly the advertisement state its
+  neighbours have forwarded), ``remove_broker(id, merge_into=...)``
+  retires one (withdrawing its advertisements, re-homing its
+  subscriptions and subtrees, transplanting its reversible-covering
+  state), with routing tables provably equal to a from-scratch rebuild
+  after any interleaving of churn;
 * :mod:`repro.routing.policy` — the first-class routing policies:
   :class:`AdvertisementPolicy` strategies (per-subscription, community,
   hybrid) consumed by ``BrokerOverlay.advertise``, and
@@ -61,7 +68,12 @@ from repro.routing.community import (
     agglomerative_clustering,
     leader_clustering,
 )
-from repro.routing.engine import DeliveryEngine, LinkModel, ServiceModel
+from repro.routing.engine import (
+    DeliveryEngine,
+    LinkModel,
+    ServiceModel,
+    TopologyEvent,
+)
 from repro.routing.inclusion import InclusionForest, InclusionNode
 from repro.routing.policy import (
     AdvertisementPolicy,
@@ -77,6 +89,7 @@ from repro.routing.policy import (
 )
 from repro.routing.overlay import (
     TOPOLOGIES,
+    BrokerId,
     BrokerNode,
     BrokerOverlay,
     BrokerStep,
@@ -95,6 +108,7 @@ __all__ = [
     "InclusionNode",
     "RoutingTable",
     "TableEntry",
+    "BrokerId",
     "BrokerNode",
     "BrokerOverlay",
     "BrokerStep",
@@ -102,6 +116,7 @@ __all__ = [
     "SubscriptionId",
     "TOPOLOGIES",
     "DeliveryEngine",
+    "TopologyEvent",
     "ServiceModel",
     "LinkModel",
     "LatencyStats",

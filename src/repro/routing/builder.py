@@ -72,6 +72,7 @@ class OverlayBuilder:
         self._service: Optional[ServiceModel] = None
         self._links: Optional[LinkModel] = None
         self._scheduling = resolve_scheduling("fifo")
+        self._allow_topology_churn = False
 
     # ------------------------------------------------------------------
     # topology and membership
@@ -143,6 +144,20 @@ class OverlayBuilder:
         self._scheduling = resolve_scheduling(policy, **overrides)
         return self
 
+    def allow_topology_churn(self, allow: bool = True) -> "OverlayBuilder":
+        """Permit broker join/leave events on the built engine.
+
+        Off by default: scheduling a
+        :class:`~repro.routing.engine.TopologyEvent` mid-simulation
+        re-routes in-flight documents at a retiring broker (their
+        service restarts at the merge target), a timing semantics the
+        deployment opts into explicitly.  The overlay's own
+        ``add_broker`` / ``remove_broker`` are always available — this
+        gate only covers churn scheduled *inside* a running simulation.
+        """
+        self._allow_topology_churn = allow
+        return self
+
     # ------------------------------------------------------------------
     # materialisation
     # ------------------------------------------------------------------
@@ -179,6 +194,7 @@ class OverlayBuilder:
             service=self._service,
             links=self._links,
             scheduling=self._scheduling,
+            allow_topology_churn=self._allow_topology_churn,
         )
 
     def build(self) -> tuple[BrokerOverlay, DeliveryEngine]:

@@ -36,6 +36,17 @@ without subclassing.  Publishes may carry a ``priority_class`` and a
 per-class latency percentiles, the fairness-vs-tail-latency axis a
 scheduling policy trades on.
 
+The broker tree itself may churn mid-simulation: a :class:`TopologyEvent`
+(scheduled through :meth:`DeliveryEngine.schedule_join` /
+:meth:`DeliveryEngine.schedule_leave`, gated by the explicit
+``allow_topology_churn`` opt-in) applies ``BrokerOverlay.add_broker`` /
+``remove_broker`` at its simulated instant, in the same deterministic
+``(time, seq)`` order as every other event.  A leave re-routes the
+retiring broker's in-flight documents to its merge target — queued and
+in-service work restarts there, copies already on the wire are
+re-targeted — so no publication loses deliveries to topology churn
+(delivery sets deduplicate per publish).
+
 Remaining extension points: subclass :class:`ServiceModel` for non-affine
 service times (e.g. batching at saturated brokers), subclass
 :class:`LinkModel` for heterogeneous or load-dependent links, and
@@ -66,7 +77,7 @@ from repro.routing.policy import (
 from repro.xmltree.corpus import DocumentCorpus
 from repro.xmltree.tree import XMLTree
 
-__all__ = ["ServiceModel", "LinkModel", "DeliveryEngine"]
+__all__ = ["ServiceModel", "LinkModel", "DeliveryEngine", "TopologyEvent"]
 
 
 @dataclass(frozen=True)
@@ -125,6 +136,37 @@ class LinkModel:
 #: their sequence number, keeping the schedule strictly FIFO.
 _ARRIVAL = "arrival"
 _COMPLETE = "complete"
+_TOPOLOGY = "topology"
+
+
+@dataclass(frozen=True)
+class TopologyEvent:
+    """One scheduled broker join or leave, applied mid-simulation.
+
+    ``action`` is ``"join"`` (graft a broker under *parent*, splitting
+    the ``parent — split`` edge when *split* is given) or ``"leave"``
+    (retire *broker_id*, merging into *merge_into* or its lowest-id
+    neighbour).  The event sits in the same ``(time, seq)``-ordered
+    queue as arrivals and completions, so topology churn interleaves
+    deterministically with traffic — replays stay bit-identical.
+    """
+
+    action: str
+    broker_id: Optional[int] = None
+    parent: Optional[int] = None
+    split: Optional[int] = None
+    merge_into: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.action not in ("join", "leave"):
+            raise ValueError(
+                f"unknown topology action {self.action!r}; "
+                "choose 'join' or 'leave'"
+            )
+        if self.action == "join" and self.parent is None:
+            raise ValueError("a join event needs a parent broker")
+        if self.action == "leave" and self.broker_id is None:
+            raise ValueError("a leave event needs the retiring broker id")
 
 
 @dataclass
@@ -169,6 +211,7 @@ class DeliveryEngine:
         service: Optional[ServiceModel] = None,
         links: Optional[LinkModel] = None,
         scheduling: Optional[SchedulingSpec] = None,
+        allow_topology_churn: bool = False,
     ):
         if overlay.mode is None:
             raise ValueError(
@@ -182,9 +225,29 @@ class DeliveryEngine:
         self.scheduling: SchedulingPolicy = resolve_scheduling(
             scheduling if scheduling is not None else "fifo"
         )
-        #: (time, seq, kind, broker_id, job, step-at-completion)
+        #: Whether :meth:`schedule_join` / :meth:`schedule_leave` are
+        #: permitted.  Topology churn mid-simulation re-routes in-flight
+        #: documents (their timing restarts at the merge target), so it
+        #: is an explicit opt-in — see
+        #: ``OverlayBuilder.allow_topology_churn``.
+        self.allow_topology_churn = allow_topology_churn
+        #: Retired broker id -> its merge target, for translating
+        #: forwards whose filtering step pre-dates a leave event.
+        self._retired: dict[int, int] = {}
+        #: ``(time, event, resulting broker id)`` per applied topology
+        #: event — the join entries record the id the overlay minted.
+        self.topology_log: list[tuple[float, TopologyEvent, int]] = []
+        #: (time, seq, kind, broker_id, job-or-topology-event,
+        #: step-at-completion)
         self._events: list[
-            tuple[float, int, str, int, _Job, Optional[BrokerStep]]
+            tuple[
+                float,
+                int,
+                str,
+                int,
+                Union[_Job, TopologyEvent, None],
+                Optional[BrokerStep],
+            ]
         ] = []
         self._sequence = 0
         self._queues: dict[int, deque[_Job]] = {
@@ -300,9 +363,10 @@ class DeliveryEngine:
         rng = random.Random(seed)
         time = start
         indices = []
+        order = sorted(self.overlay.brokers)
         for position, document in enumerate(corpus.documents):
             if publish_at == "round_robin":
-                source = position % len(self.overlay.brokers)
+                source = order[position % len(order)]
             else:
                 source = int(publish_at)
             indices.append(
@@ -325,6 +389,167 @@ class DeliveryEngine:
         return indices
 
     # ------------------------------------------------------------------
+    # topology churn
+    # ------------------------------------------------------------------
+
+    def schedule_topology(self, time: float, event: TopologyEvent) -> None:
+        """Queue a broker join/leave for simulated instant *time*.
+
+        Requires ``allow_topology_churn=True`` (see
+        ``OverlayBuilder.allow_topology_churn``): applying a leave
+        mid-simulation re-routes the retiring broker's queued and
+        in-service documents to the merge target — nothing is lost, but
+        their service restarts there, which is a timing semantics the
+        caller must opt into.  The event is applied by :meth:`run` in
+        ``(time, seq)`` order like any other event; the outcome (for a
+        join, the minted broker id) is recorded in
+        :attr:`topology_log`.
+        """
+        if not self.allow_topology_churn:
+            raise ValueError(
+                "topology churn is disabled for this engine; construct "
+                "it with allow_topology_churn=True (or via "
+                "OverlayBuilder.allow_topology_churn())"
+            )
+        if time < 0.0:
+            raise ValueError("topology event time must be >= 0")
+        self._schedule(time, _TOPOLOGY, -1, event)
+
+    def schedule_join(
+        self,
+        time: float,
+        parent: int,
+        split: Optional[int] = None,
+    ) -> None:
+        """Queue an ``add_broker(parent, split=split)`` at *time*."""
+        self.schedule_topology(
+            time, TopologyEvent(action="join", parent=parent, split=split)
+        )
+
+    def schedule_leave(
+        self,
+        time: float,
+        broker_id: int,
+        merge_into: Optional[int] = None,
+    ) -> None:
+        """Queue a ``remove_broker(broker_id, merge_into=...)`` at
+        *time*."""
+        self.schedule_topology(
+            time,
+            TopologyEvent(
+                action="leave", broker_id=broker_id, merge_into=merge_into
+            ),
+        )
+
+    def _on_topology(self, event: TopologyEvent, now: float) -> None:
+        """Apply one scheduled join/leave to the overlay and the engine.
+
+        A join simply equips the newcomer with an empty service queue.
+        A leave re-routes every in-flight document the retiring broker
+        owned: its queued documents and the one in service arrive at the
+        merge target *now* (service restarts — the aborted service time
+        is credited back to the retiring broker's busy time), copies
+        already on the wire towards it are re-targeted at their original
+        arrival instants, and documents elsewhere that arrived over a
+        link from the retiring broker have their origin re-pointed at
+        the merge target, matching the renamed reverse-path state.
+        Delivered subscriber sets are unaffected: re-routed documents
+        may revisit brokers, but deliveries deduplicate per publish.
+
+        Events are scheduled ahead of time, so by their instant an
+        earlier leave may have retired a broker they name.  Ids are
+        resolved through the merge chain (a join under a retired parent
+        grafts under its merge target), stale edge references degrade
+        gracefully (a vanished split edge grafts a plain leaf, a
+        retired or detached merge target falls back to the default),
+        and a leave for an already-retired broker is a recorded no-op —
+        the simulation never aborts with events still pending.
+        """
+        if event.action == "join":
+            parent = self._resolve_broker(event.parent)
+            split = None
+            if event.split is not None:
+                split = self._resolve_broker(event.split)
+                if (
+                    split == parent
+                    or split not in self.overlay.brokers[parent].neighbors
+                ):
+                    split = None
+            new_id = int(self.overlay.add_broker(parent, split=split))
+            self._ensure_broker(new_id)
+            self.topology_log.append((now, event, new_id))
+            return
+        retiring = event.broker_id
+        if retiring in self._retired:
+            # An earlier scheduled leave already merged it away.
+            self.topology_log.append(
+                (now, event, self._resolve_broker(retiring))
+            )
+            return
+        merge_into = event.merge_into
+        if merge_into is not None:
+            merge_into = self._resolve_broker(merge_into)
+            if (
+                merge_into == retiring
+                or merge_into
+                not in self.overlay.brokers[retiring].neighbors
+            ):
+                merge_into = None
+        target = int(
+            self.overlay.remove_broker(retiring, merge_into=merge_into)
+        )
+        self._retired[retiring] = target
+        reinject: list[_Job] = list(self._queues.pop(retiring, ()))
+        self._busy.pop(retiring, None)
+        retained = []
+        for entry in self._events:
+            time, seq, kind, broker_id, payload, step = entry
+            if isinstance(payload, _Job) and payload.origin == retiring:
+                payload.origin = target
+            if kind == _TOPOLOGY or broker_id != retiring:
+                retained.append(entry)
+            elif kind == _ARRIVAL:
+                retained.append(
+                    (time, seq, _ARRIVAL, target, payload, None)
+                )
+            else:
+                # The document in service: the work is abandoned where
+                # it stood and the service restarts at the merge target.
+                self._busy_time[retiring] -= time - now
+                reinject.append(payload)
+        self._events = retained
+        heapq.heapify(self._events)
+        for queue in self._queues.values():
+            for job in queue:
+                if job.origin == retiring:
+                    job.origin = target
+        for job in reinject:
+            self._schedule(now, _ARRIVAL, target, job)
+        self.topology_log.append((now, event, target))
+
+    def _resolve_broker(self, broker_id: int) -> int:
+        """Follow the merge chain of retired brokers to a live one."""
+        while broker_id in self._retired:
+            broker_id = self._retired[broker_id]
+        return broker_id
+
+    def _ensure_broker(self, broker_id: int) -> None:
+        """Create engine-side state for a broker on first use.
+
+        Covers brokers the overlay gained *after* this engine was built
+        — whether through a scheduled join event or an out-of-band
+        ``add_broker`` call between construction and :meth:`run`.
+        (Out-of-band *removals* have no merge record here; retire
+        brokers through :meth:`schedule_leave` while a simulation owns
+        in-flight documents.)
+        """
+        if broker_id not in self._queues:
+            self._queues[broker_id] = deque()
+            self._busy[broker_id] = False
+            self._depth_peaks[broker_id] = 0
+            self._busy_time[broker_id] = 0.0
+
+    # ------------------------------------------------------------------
     # event loop
     # ------------------------------------------------------------------
 
@@ -333,7 +558,7 @@ class DeliveryEngine:
         time: float,
         kind: str,
         broker_id: int,
-        job: _Job,
+        job: Union[_Job, TopologyEvent],
         step: Optional[BrokerStep] = None,
     ) -> None:
         self._sequence += 1
@@ -373,6 +598,7 @@ class DeliveryEngine:
         self._schedule(now + duration, _COMPLETE, broker_id, job, step)
 
     def _on_arrival(self, broker_id: int, job: _Job, now: float) -> None:
+        self._ensure_broker(broker_id)
         job.arrived_at = now
         depth = len(self._queues[broker_id]) + (
             1 if self._busy[broker_id] else 0
@@ -387,14 +613,23 @@ class DeliveryEngine:
     def _on_complete(
         self, broker_id: int, job: _Job, step: BrokerStep, now: float
     ) -> None:
+        delivered = self._delivered[job.doc_index]
         for subscriber_id in sorted(step.deliveries):
-            self._delivered[job.doc_index].add(subscriber_id)
+            if subscriber_id in delivered:
+                # A document re-routed by topology churn may revisit a
+                # broker; only the first delivery to each subscriber
+                # counts — in the sets and in the latency samples.
+                continue
+            delivered.add(subscriber_id)
             self._latencies.append(now - job.published_at)
             self._latencies_by_class.setdefault(
                 job.priority_class, []
             ).append(now - job.published_at)
         for neighbor in step.forwards:
             self._forwards += 1
+            # A filtering step computed before a leave event may still
+            # name the retired broker; the copy goes to its merge target.
+            destination = self._resolve_broker(neighbor)
             forwarded = _Job(
                 document=job.document,
                 doc_index=job.doc_index,
@@ -404,9 +639,9 @@ class DeliveryEngine:
                 deadline=job.deadline,
             )
             self._schedule(
-                now + self.links.latency(broker_id, neighbor),
+                now + self.links.latency(broker_id, destination),
                 _ARRIVAL,
-                neighbor,
+                destination,
                 forwarded,
             )
         self._busy[broker_id] = False
@@ -423,7 +658,9 @@ class DeliveryEngine:
         while self._events:
             time, _, kind, broker_id, job, step = heapq.heappop(self._events)
             self._last_event = max(self._last_event, time)
-            if kind == _ARRIVAL:
+            if kind == _TOPOLOGY:
+                self._on_topology(job, time)
+            elif kind == _ARRIVAL:
                 self._on_arrival(broker_id, job, time)
             else:
                 assert step is not None

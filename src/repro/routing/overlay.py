@@ -50,6 +50,18 @@ advertisement had covered.  :meth:`BrokerOverlay.subscribe_many` /
 re-aggregation and one advertisement diff per touched broker.  The bulk
 path (:meth:`BrokerOverlay.attach` followed by one :meth:`advertise`
 call) and the event path converge to the same routing state.
+
+The *topology* is dynamic too: :meth:`BrokerOverlay.add_broker` grafts a
+new broker (as a leaf, or splitting an existing edge) and seeds it with
+exactly the advertisement state its neighbours have already forwarded —
+nothing re-floods elsewhere — while :meth:`BrokerOverlay.remove_broker`
+retires a broker by withdrawing its own advertisements, re-homing its
+subscriptions and child subtrees onto a merge target, and transplanting
+its per-link advertisement-instance records so reversible covering keeps
+working across the splice.  The headline guarantee, property-tested in
+``tests/test_topology_properties.py``: after any interleaving of
+join/leave and subscription churn, under any policy, every routing table
+equals a from-scratch rebuild of the final topology.
 """
 
 from __future__ import annotations
@@ -73,6 +85,7 @@ from repro.xmltree.corpus import DocumentCorpus
 from repro.xmltree.tree import XMLTree
 
 __all__ = [
+    "BrokerId",
     "BrokerNode",
     "BrokerOverlay",
     "BrokerStep",
@@ -86,6 +99,21 @@ _FORWARD = "forward"
 _DELIVER = "deliver"
 
 TOPOLOGIES = ("chain", "star", "random_tree")
+
+
+class BrokerId(int):
+    """Handle returned by :meth:`BrokerOverlay.add_broker`.
+
+    It *is* the broker id (an int), so neighbour lists, routing-table
+    destinations and stats dictionaries keep working unchanged; the
+    subclass merely marks values minted by the topology lifecycle.
+    Broker ids are never reused across removals.
+    """
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return f"BrokerId({int(self)})"
 
 
 class SubscriptionId(int):
@@ -226,6 +254,9 @@ class BrokerOverlay:
         for node in self.brokers.values():
             node.neighbors.sort()
         self._check_tree(n_brokers, edges)
+        #: Next broker id :meth:`add_broker` mints; never reused, so a
+        #: broker id stays unambiguous across topology churn.
+        self._next_broker = n_brokers
         #: subscriber id -> (home broker id, pattern); insertion-ordered,
         #: ids are never reused across unsubscribes.
         self.subscriptions: dict[int, tuple[int, TreePattern]] = {}
@@ -325,9 +356,14 @@ class BrokerOverlay:
         return subscriber_id
 
     def attach_round_robin(self, patterns: list[TreePattern]) -> list[int]:
-        """Spread *patterns* over brokers in round-robin order."""
+        """Spread *patterns* over brokers in round-robin order.
+
+        Rotates over the brokers in id order — after topology churn the
+        id space may be sparse, so position, not id, picks the home.
+        """
+        order = sorted(self.brokers)
         return [
-            self.attach(index % len(self.brokers), pattern)
+            self.attach(order[index % len(order)], pattern)
             for index, pattern in enumerate(patterns)
         ]
 
@@ -505,6 +541,348 @@ class BrokerOverlay:
             for home_id in sorted(touched):
                 self._reaggregate(home_id)
         return patterns
+
+    # ------------------------------------------------------------------
+    # topology lifecycle (broker join/leave)
+    # ------------------------------------------------------------------
+
+    def _seed_link(self, source: BrokerNode, node: BrokerNode) -> None:
+        """Hand a newly attached *node* the advertisement state it needs
+        to route like the rest of the overlay.
+
+        *source* (an existing neighbour of *node*) replays every
+        advertisement instance it has forwarded onward — its active
+        entries, the absorbed instances whose flood had passed through,
+        and its own advertised communities — over the new link.  The
+        instances are installed with :meth:`RoutingTable.seed`, i.e.
+        *without* fresh-flood semantics: nothing propagates beyond the
+        new broker, because everything being seeded already lives in the
+        rest of the overlay.  Each seeded instance costs one
+        advertisement message (the state crosses the new link once).
+        """
+        for pattern in source.table.forwarded_instances(
+            exclude=((_FORWARD, node.broker_id),)
+        ):
+            self.advertisement_messages += 1
+            node.table.seed(pattern, (_FORWARD, source.broker_id))
+
+    def add_broker(
+        self, parent: int, *, split: Optional[int] = None
+    ) -> BrokerId:
+        """Graft a new broker onto the overlay and return its id.
+
+        With ``split=None`` the new broker joins as a leaf under
+        *parent*; with ``split=child`` it splits the existing edge
+        ``parent — child`` and sits between the two.  The overlay stays
+        a tree either way, and broker ids are never reused.
+
+        When a routing regime is live the join is incremental: the new
+        broker receives each neighbour's forwarded advertisement state
+        over its new link(s) (one message per instance, nothing
+        re-floods elsewhere), gets a fresh similarity index under
+        similarity-based policies, and starts with no subscriptions —
+        later :meth:`subscribe` calls advertise from it exactly like
+        from any seed broker.  Splitting an edge additionally re-keys
+        both endpoints' link state onto the newcomer
+        (:meth:`RoutingTable.rename_destination`), which costs no
+        advertisement traffic at all.
+        """
+        if parent not in self.brokers:
+            raise ValueError(f"no broker {parent}")
+        parent_node = self.brokers[parent]
+        if split is not None and split not in parent_node.neighbors:
+            raise ValueError(
+                f"({parent}, {split}) is not an overlay edge; "
+                "split must name a current neighbour of parent"
+            )
+        broker_id = BrokerId(self._next_broker)
+        self._next_broker += 1
+        node = BrokerNode(broker_id)
+        self.brokers[broker_id] = node
+        if split is None:
+            parent_node.neighbors.append(broker_id)
+            parent_node.neighbors.sort()
+            node.neighbors = [parent]
+        else:
+            split_node = self.brokers[split]
+            parent_node.neighbors.remove(split)
+            parent_node.neighbors.append(broker_id)
+            parent_node.neighbors.sort()
+            split_node.neighbors.remove(parent)
+            split_node.neighbors.append(broker_id)
+            split_node.neighbors.sort()
+            node.neighbors = sorted((parent, split))
+        if self.policy is None:
+            return broker_id
+        if self.policy.uses_similarity:
+            node.index = self.policy.make_index(self.provider)
+        if split is not None:
+            split_node = self.brokers[split]
+            parent_node.table.rename_destination(
+                (_FORWARD, split), (_FORWARD, broker_id)
+            )
+            split_node.table.rename_destination(
+                (_FORWARD, parent), (_FORWARD, broker_id)
+            )
+            self._seed_link(parent_node, node)
+            self._seed_link(split_node, node)
+        else:
+            self._seed_link(parent_node, node)
+        return broker_id
+
+    @staticmethod
+    def _take_flag(flags: list[bool], prefer: bool) -> bool:
+        """Consume one inherited flood flag, preferring *prefer*.
+
+        An empty record means the instance's passage left no trace at
+        the merge target (it can only happen on protocols that bypassed
+        the overlay's own bookkeeping); False — downstream state exists
+        — is the conservative answer that never floods duplicates.
+        """
+        if not flags:
+            return False
+        choice = prefer if prefer in flags else flags[0]
+        flags.remove(choice)
+        return choice
+
+    def _transplant(
+        self, node: BrokerNode, target: BrokerNode, orphans: list[int]
+    ) -> None:
+        """Move a retiring broker's per-link advertisement state into the
+        merge target.
+
+        The retiring *node* held, per re-attached subtree, an instance
+        multiset with reversible-covering flags; the *target* held the
+        merged multiset of everything the retiring broker ever forwarded
+        it, with its own flags.  Both records matter:
+
+        * an instance whose flood **died at the retiring broker**
+          (absorbed there with the resume-flood flag) exists nowhere
+          downstream — it is re-seeded absorbed with the pending-flood
+          flag, so a later resurrection still re-advertises it;
+        * an instance that reached the target inherits the flag the
+          target had recorded for it — False when it travelled onward
+          (downstream state exists), True when it died at the target.
+          Cross-subtree covering cannot be represented in the split
+          per-link destinations, so an inherited-True instance that
+          comes out *active* in its new destination is flooded beyond
+          the target right away — exactly the advertisement a fresh
+          rebuild of the new topology would have propagated.
+
+        Each transplanted instance costs one advertisement message (the
+        state crosses the spliced link once); the extra floods are
+        counted by :meth:`_propagate` as usual.
+        """
+        inherited: dict[TreePattern, list[bool]] = {}
+        for pattern, resume_flood in target.table.export_destination(
+            (_FORWARD, node.broker_id)
+        ):
+            inherited.setdefault(pattern, []).append(resume_flood)
+        target.table.remove_destination((_FORWARD, node.broker_id))
+        # Advertisements from the target's side whose flood died at the
+        # retiring broker: no orphan subtree has heard of them, and the
+        # covering knowledge ("resurrect when the cover leaves") would
+        # die with the broker.  Re-home it into each orphan's re-keyed
+        # link destination with the pending-flood flag.
+        pending = [
+            pattern
+            for pattern, died_at_node in node.table.export_destination(
+                (_FORWARD, target.broker_id)
+            )
+            if died_at_node
+        ]
+        for neighbor_id in orphans:
+            orphan_table = self.brokers[neighbor_id].table
+            for pattern in pending:
+                self.advertisement_messages += 1
+                if orphan_table.seed(
+                    pattern, (_FORWARD, target.broker_id), True
+                ):
+                    # Nothing in the orphan's own record covers it after
+                    # all: the pending flood resumes into that subtree
+                    # immediately, as a rebuild would have advertised it.
+                    self._propagate(
+                        neighbor_id, pattern, skip=target.broker_id
+                    )
+        for neighbor_id in orphans:
+            destination = (_FORWARD, neighbor_id)
+            for pattern, died_at_node in node.table.export_destination(
+                destination
+            ):
+                self.advertisement_messages += 1
+                if died_at_node:
+                    target.table.seed(pattern, destination, True)
+                    continue
+                absorbs = target.table.covers(pattern, destination)
+                flag = self._take_flag(
+                    inherited.get(pattern, []), prefer=absorbs
+                )
+                became_active = target.table.seed(
+                    pattern, destination, flag
+                )
+                if became_active and flag:
+                    self._propagate(
+                        target.broker_id, pattern, skip=neighbor_id
+                    )
+
+    def remove_broker(
+        self, broker_id: int, *, merge_into: Optional[int] = None
+    ) -> BrokerId:
+        """Retire a broker, merging its state into a neighbour.
+
+        ``merge_into`` names the neighbour that absorbs the retiring
+        broker (default: its lowest-id neighbour).  The surgery, in
+        order:
+
+        * the retiring broker's own advertisements are withdrawn
+          overlay-wide through the normal hop-by-hop unadvertise
+          protocol (resurrecting whatever they covered);
+        * every other neighbour re-attaches to the merge target, and —
+          because only the next hop changed — re-keys its link state
+          with zero advertisement traffic;
+        * the merge target drops its link to the retiring broker and
+          adopts, per re-attached subtree, the retiring broker's full
+          advertisement-instance record for that link
+          (:meth:`RoutingTable.export_destination` →
+          :meth:`RoutingTable.seed`, one message per instance) — so
+          reversible covering keeps working across the splice;
+        * the retiring broker's subscriptions are re-homed onto the
+          target (advertised ones join its live index under
+          similarity-based policies) and **one** re-aggregation folds
+          them into the target's advertisements, flooding only the
+          resulting diff.
+
+        Every policy stays incremental: after the merge, every routing
+        table equals a from-scratch rebuild of the new topology (the
+        property suite's headline guarantee).  Returns the merge
+        target's id.
+        """
+        if broker_id not in self.brokers:
+            raise ValueError(f"no broker {broker_id}")
+        if len(self.brokers) == 1:
+            raise ValueError("cannot remove the only broker")
+        node = self.brokers[broker_id]
+        if merge_into is None:
+            merge_into = node.neighbors[0]
+        elif merge_into not in node.neighbors:
+            raise ValueError(
+                f"merge target {merge_into} is not a neighbour of "
+                f"broker {broker_id}"
+            )
+        target = self.brokers[merge_into]
+        live = self.policy is not None
+        if live:
+            for advertised, members in node.communities:
+                node.table.remove_destination((_DELIVER, members))
+                self._unadvertise(broker_id, advertised)
+            node.communities = []
+        orphans = [
+            neighbor for neighbor in node.neighbors if neighbor != merge_into
+        ]
+        for neighbor_id in orphans:
+            neighbor = self.brokers[neighbor_id]
+            neighbor.neighbors.remove(broker_id)
+            neighbor.neighbors.append(merge_into)
+            neighbor.neighbors.sort()
+            if live:
+                neighbor.table.rename_destination(
+                    (_FORWARD, broker_id), (_FORWARD, merge_into)
+                )
+        target.neighbors.remove(broker_id)
+        target.neighbors.extend(orphans)
+        target.neighbors.sort()
+        if live:
+            self._transplant(node, target, orphans)
+        adopted_advertised = False
+        for subscription_id in node.local_subscribers:
+            _, pattern = self.subscriptions[subscription_id]
+            self.subscriptions[subscription_id] = (merge_into, pattern)
+            if subscription_id in node.handles:
+                adopted_advertised = True
+                if target.index is not None:
+                    target.handles[subscription_id] = target.index.add(
+                        pattern
+                    )
+            elif subscription_id in self._advertised:
+                adopted_advertised = True
+        target.local_subscribers = sorted(
+            target.local_subscribers + node.local_subscribers
+        )
+        del self.brokers[broker_id]
+        if live and adopted_advertised:
+            self._reaggregate(merge_into)
+        return BrokerId(merge_into)
+
+    def topology_signature(self) -> dict[int, frozenset]:
+        """Routing state with broker and subscriber ids relabelled by
+        rank.
+
+        The comparator behind the zero-decay guarantee: a lived-in
+        overlay mints fresh ids on every join and subscribe (they are
+        never reused), so its tables can only be compared with a
+        from-scratch rebuild after mapping broker ids — dictionary keys
+        and forward payloads — and deliver-payload subscriber ids onto
+        their rank among the survivors.  Two overlays route identically
+        iff their signatures are equal.
+        """
+        broker_rank = {
+            broker_id: rank
+            for rank, broker_id in enumerate(sorted(self.brokers))
+        }
+        sub_rank = {
+            subscriber_id: rank
+            for rank, subscriber_id in enumerate(sorted(self.subscriptions))
+        }
+        signature = {}
+        for broker_id, node in self.brokers.items():
+            entries = set()
+            for entry in node.table:
+                kind, payload = entry.destination
+                if kind == _DELIVER:
+                    payload = tuple(
+                        sorted(sub_rank[member] for member in payload)
+                    )
+                else:
+                    payload = broker_rank[payload]
+                entries.add((entry.pattern, kind, payload))
+            signature[broker_rank[broker_id]] = frozenset(entries)
+        return signature
+
+    def rebuilt(
+        self,
+        policy: Optional[AdvertisementSpec] = None,
+        provider: Optional[SelectivityProvider] = None,
+    ) -> "BrokerOverlay":
+        """A from-scratch overlay over this one's topology and
+        membership.
+
+        Brokers and subscriptions are re-created in rank order and the
+        live policy and provider (or explicit overrides) advertise from
+        nothing — the oracle every incremental-lifecycle guarantee is
+        checked against: after any churn,
+        ``overlay.topology_signature() ==
+        overlay.rebuilt().topology_signature()``.  With no routing
+        regime live (and no override), the copy is membership-only.
+        """
+        ids = sorted(self.brokers)
+        broker_rank = {broker_id: rank for rank, broker_id in enumerate(ids)}
+        edges = sorted(
+            {
+                (broker_rank[min(a, b)], broker_rank[max(a, b)])
+                for a in self.brokers
+                for b in self.brokers[a].neighbors
+            }
+        )
+        fresh = BrokerOverlay(len(ids), edges)
+        for home_id, pattern in self.subscriptions.values():
+            fresh.attach(broker_rank[home_id], pattern)
+        if policy is None:
+            policy = self.policy
+        if provider is None:
+            provider = self.provider
+        if policy is not None:
+            fresh.advertise(policy, provider)
+        return fresh
 
     # ------------------------------------------------------------------
     # advertisement
@@ -850,9 +1228,10 @@ class BrokerOverlay:
         by_broker: dict[int, int] = {
             broker_id: 0 for broker_id in self.brokers
         }
+        order = sorted(self.brokers)
         for index, document in enumerate(corpus.documents):
             if publish_at == "round_robin":
-                source = index % len(self.brokers)
+                source = order[index % len(order)]
             else:
                 source = int(publish_at)
             delivered, operations, forwards = self.route(document, source)

@@ -81,7 +81,13 @@ class AdvertisementPolicy:
     ``(advertised pattern, member ids)`` entries :meth:`aggregate`
     returns.  Because the overlay diffs successive aggregations, a policy
     is automatically incremental under churn: it only describes the
-    *target* state, never the advertisement traffic to reach it.
+    *target* state, never the advertisement traffic to reach it.  That
+    covers *topology* churn too — when ``BrokerOverlay.remove_broker``
+    re-homes a retiring broker's subscriptions onto its merge target,
+    the target re-aggregates through the same diff lifecycle (under
+    :class:`HybridPolicy`, crossing the cutoff flips its regime
+    automatically), and ``add_broker`` seeds a newcomer without any
+    policy involvement at all.
     """
 
     #: Whether the overlay must equip each broker with a live

@@ -21,6 +21,15 @@ advertisements when the last covering instance leaves.  The restored
 entries are returned to the caller, which is exactly what a broker's
 unadvertise protocol needs to re-announce them downstream.
 
+The same instance bookkeeping powers *topology surgery*: when the broker
+tree itself changes, :meth:`RoutingTable.rename_destination` re-keys a
+link's state to its new next hop, :meth:`RoutingTable.export_destination`
+hands the full instance multiset (with flood flags) to a merge target,
+and :meth:`RoutingTable.seed` re-installs instances whose downstream
+state already exists — so broker join/leave never re-floods what the
+overlay already knows (see ``BrokerOverlay.add_broker`` /
+``remove_broker``).
+
 Matching a document evaluates entries destination by destination and
 short-circuits within a destination on the first hit (a broker needs one
 reason to forward, not all of them); every pattern-vs-document evaluation
@@ -219,13 +228,132 @@ class RoutingTable:
 
         Returns the removed *active* (maximal) patterns so callers can
         re-advertise them; absorbed duplicates they covered are discarded
-        with them, since the active set already subsumes those.
+        with them, since the active set already subsumes those.  All
+        per-destination bookkeeping — the absorbed-instance records and
+        the matcher cache entries of every pattern that only this
+        destination kept alive — is retired with the entries, so a
+        destination removed during topology surgery leaves no residue
+        behind (``remove_broker`` relies on this when it drops the link
+        to a retiring neighbour).
         """
-        self._absorbed.pop(destination, None)
+        absorbed = self._absorbed.pop(destination, {})
         removed = list(self._by_destination.pop(destination, ()))
         for pattern in removed:
             self._prune_matcher(pattern)
+        for instances in absorbed.values():
+            for pattern, _ in instances:
+                self._prune_matcher(pattern)
         return removed
+
+    def rename_destination(
+        self, old: Destination, new: Destination
+    ) -> bool:
+        """Re-key every entry (and its absorbed bookkeeping) of *old* to
+        *new*.
+
+        The topology-surgery primitive behind broker leave: when a
+        retiring neighbour's subtree is re-homed, the link's routing
+        state is still valid — only the next hop changed — so the whole
+        per-destination record moves without touching covering state or
+        spending advertisement traffic.  Returns False when *old* has no
+        entries.  *new* must not already hold entries: merging two
+        destinations would need covering re-evaluation, which is the
+        caller's job (:meth:`seed` entry by entry).
+        """
+        if old not in self._by_destination:
+            return False
+        if new in self._by_destination:
+            raise ValueError(
+                f"cannot rename destination onto existing entries: {new!r}"
+            )
+        self._by_destination[new] = self._by_destination.pop(old)
+        if old in self._absorbed:
+            self._absorbed[new] = self._absorbed.pop(old)
+        return True
+
+    def seed(
+        self,
+        pattern: TreePattern,
+        destination: Destination,
+        resume_flood: bool = False,
+    ) -> bool:
+        """Install one advertisement instance without fresh-flood semantics.
+
+        Topology surgery re-creates routing state that *already exists*
+        downstream (a grafted broker inherits its parent's forwarded
+        advertisements; a merge target inherits a retiring neighbour's
+        link state).  Unlike :meth:`add`, an instance absorbed here
+        records ``resume_flood`` as given — False (the default) marks
+        "downstream brokers already hold this advertisement", so a later
+        resurrection stays local instead of re-flooding duplicates.
+        Returns False when covering absorbed the instance.
+        """
+        return self._admit(pattern, destination, resume_flood=resume_flood)
+
+    def export_destination(
+        self, destination: Destination
+    ) -> list[tuple[TreePattern, bool]]:
+        """The full advertisement-instance multiset of one destination.
+
+        Replay-ordered for transplanting into another table with
+        :meth:`seed`: active entries first (mutually non-covering, each
+        tagged ``resume_flood=False`` — an active instance has always
+        been propagated onward, whether at admission or by the
+        resurrection protocol), then every absorbed instance with its
+        recorded flood flag.  Re-seeding the list in order reproduces
+        the same active set and the same per-instance flags, which is
+        what ``remove_broker`` needs to move a retiring broker's link
+        state to the merge target without losing reversible-covering
+        knowledge.
+        """
+        exported: list[tuple[TreePattern, bool]] = [
+            (pattern, False)
+            for pattern in self._by_destination.get(destination, ())
+        ]
+        for instances in self._absorbed.get(destination, {}).values():
+            exported.extend(instances)
+        return exported
+
+    def covers(self, pattern: TreePattern, destination: Destination) -> bool:
+        """Whether an active entry for *destination* contains *pattern*.
+
+        The pre-insertion probe topology surgery uses to decide an
+        instance's flood flag before :meth:`seed` records it: covering
+        is evaluated exactly like :meth:`add` would.
+        """
+        return any(
+            contains(existing, pattern)
+            for existing in self._by_destination.get(destination, ())
+        )
+
+    def forwarded_instances(
+        self, exclude: Iterable[Destination] = ()
+    ) -> list[TreePattern]:
+        """Every advertisement instance this table has propagated onward.
+
+        Per destination (minus *exclude*): the active entries plus the
+        absorbed instances whose flood had already passed through before
+        covering absorbed them (``resume_flood`` False) — exactly the
+        advertisements any neighbour of this broker has been told about.
+        Covered inserts whose flood died in this table are *not*
+        included.  Deliver destinations contribute the broker's own
+        advertised patterns, so the result is the seed set a newly
+        grafted neighbour must be handed to route like the rest of the
+        overlay.
+        """
+        skip = set(exclude)
+        forwarded: list[TreePattern] = []
+        for destination, patterns in self._by_destination.items():
+            if destination in skip:
+                continue
+            forwarded.extend(patterns)
+            for instances in self._absorbed.get(destination, {}).values():
+                forwarded.extend(
+                    pattern
+                    for pattern, resume_flood in instances
+                    if not resume_flood
+                )
+        return forwarded
 
     def _prune_matcher(self, pattern: TreePattern) -> None:
         """Drop the compiled matcher of a pattern with no active entry left.

@@ -1,10 +1,23 @@
-"""Shared fixtures: the paper's worked examples and small reusable corpora."""
+"""Shared fixtures: the paper's worked examples and small reusable corpora.
+
+Also registers the hypothesis settings profiles the CI property-test job
+selects with ``HYPOTHESIS_PROFILE``: the ``thorough`` profile raises the
+example budget for bare ``@given`` tests, and the property suites scale
+their pinned budgets through
+:func:`tests.strategies.property_max_examples`.
+"""
 
 from __future__ import annotations
 
+import os
+
 import pytest
+from hypothesis import settings
 
 from repro.xmltree.tree import XMLTree
+
+settings.register_profile("thorough", max_examples=300, deadline=None)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))
 
 
 @pytest.fixture(scope="session")

@@ -7,6 +7,8 @@ nothing.
 
 from __future__ import annotations
 
+import os
+
 from hypothesis import strategies as st
 
 from repro.core.labels import DESCENDANT, WILDCARD
@@ -14,6 +16,18 @@ from repro.core.pattern import PatternNode, TreePattern
 from repro.xmltree.tree import XMLTree
 
 TAGS = ("a", "b", "c", "d", "e")
+
+
+def property_max_examples(base: int) -> int:
+    """Example budget for a pinned property-suite test.
+
+    Tier-1 runs keep the per-test baseline so the suite stays fast; the
+    CI property-test job exports ``HYPOTHESIS_PROFILE=thorough`` (see
+    ``tests/conftest.py``) and gets an 8× deeper sweep.
+    """
+    if os.environ.get("HYPOTHESIS_PROFILE", "") == "thorough":
+        return base * 8
+    return base
 
 
 @st.composite

@@ -335,3 +335,273 @@ class TestDeterminism:
             engine.publish_corpus(corpus, rate=0.0)
         with pytest.raises(ValueError):
             engine.publish_corpus(corpus, rate=1.0, arrivals="uniformish")
+
+
+class TestTopologyEvents:
+    """Mid-simulation broker join/leave through the event queue."""
+
+    def _churn_engine(self, overlay, **kwargs):
+        kwargs.setdefault("allow_topology_churn", True)
+        return DeliveryEngine(overlay, **kwargs)
+
+    def test_churn_is_gated_by_opt_in(self, chain3):
+        engine = DeliveryEngine(chain3)
+        with pytest.raises(ValueError):
+            engine.schedule_leave(1.0, 2)
+        with pytest.raises(ValueError):
+            engine.schedule_join(1.0, parent=0)
+
+    def test_builder_opt_in_enables_churn(self):
+        from repro.routing.builder import OverlayBuilder
+
+        overlay, engine = (
+            OverlayBuilder()
+            .topology("chain", 3)
+            .subscriptions([parse_xpath("/a/b")])
+            .allow_topology_churn()
+            .build()
+        )
+        engine.schedule_leave(1.0, 2)  # accepted
+        engine.run()
+        assert 2 not in overlay.brokers
+
+    def test_event_validation(self):
+        from repro.routing.engine import TopologyEvent
+
+        with pytest.raises(ValueError):
+            TopologyEvent(action="explode")
+        with pytest.raises(ValueError):
+            TopologyEvent(action="join")  # no parent
+        with pytest.raises(ValueError):
+            TopologyEvent(action="leave")  # no broker
+        engine_event = TopologyEvent(action="join", parent=0, split=1)
+        assert engine_event.parent == 0 and engine_event.split == 1
+
+    def test_negative_event_time_rejected(self, chain3):
+        engine = self._churn_engine(chain3)
+        with pytest.raises(ValueError):
+            engine.schedule_leave(-0.5, 2)
+
+    def test_join_equips_newcomer_mid_run(self, chain3):
+        engine = self._churn_engine(chain3)
+        engine.publish(doc("<a><b/></a>"), at_broker=0, time=0.0)
+        engine.schedule_join(0.5, parent=2)
+        stats = engine.run()
+        (when, event, minted) = engine.topology_log[0]
+        assert (when, event.action, minted) == (0.5, "join", 3)
+        assert 3 in chain3.brokers
+        # The newcomer has engine state and appears in the stats maps.
+        assert stats.queue_depth_peaks[3] == 0
+        assert stats.busy_time[3] == 0.0
+
+    def test_leave_reroutes_queued_and_in_service_documents(self):
+        # Broker 1 is slow and will be retired while documents sit in
+        # its queue; every delivery must still happen — at its merge
+        # target — and the aborted service time is credited back.
+        overlay = BrokerOverlay.chain(3)
+        for broker_id in range(3):
+            overlay.attach(broker_id, parse_xpath("/a/b"))
+        overlay.advertise_subscriptions()
+        engine = self._churn_engine(
+            overlay,
+            service=ServiceModel(base=5.0, per_match=0.0),
+            links=LinkModel(default=0.1),
+        )
+        for index in range(3):
+            engine.publish(doc("<a><b/></a>", index), at_broker=1, time=0.0)
+        engine.schedule_leave(6.0, 1)  # one served, one in service, one queued
+        stats = engine.run()
+        assert all(
+            delivered == frozenset({0, 1, 2})
+            for delivered in engine.delivered_sets().values()
+        )
+        assert 1 not in overlay.brokers
+        # One full service (5.0) plus one second of the aborted one: the
+        # unfinished remainder was credited back on the leave.
+        assert stats.busy_time[1] == pytest.approx(6.0)
+
+    def test_forwards_computed_before_leave_reach_merge_target(self):
+        # Broker 0's filtering step names neighbour 1; broker 1 retires
+        # before the slow service completes, so the copy must follow the
+        # merge chain instead of crashing on a dead id.
+        overlay = BrokerOverlay.chain(3)
+        overlay.attach(2, parse_xpath("/a/b"))
+        overlay.advertise_subscriptions()
+        engine = self._churn_engine(
+            overlay,
+            service=ServiceModel(base=2.0, per_match=0.0),
+            links=LinkModel(default=0.1),
+        )
+        engine.publish(doc("<a><b/></a>"), at_broker=0, time=0.0)
+        engine.schedule_leave(1.0, 1)  # while the publisher is in service
+        engine.run()
+        assert engine.delivered_sets() == {0: frozenset({0})}
+        assert sorted(overlay.brokers) == [0, 2]
+
+    def test_leave_of_publish_broker_rehomes_its_queue(self, chain3):
+        engine = self._churn_engine(
+            chain3, service=ServiceModel(base=3.0, per_match=0.0)
+        )
+        for index in range(2):
+            engine.publish(doc("<a><b/></a>", index), at_broker=2, time=0.0)
+        engine.schedule_leave(0.5, 2)
+        engine.run()
+        # Both documents still reach every subscriber, including the
+        # retired broker's own (re-homed) one.
+        assert all(
+            delivered == frozenset({0, 1, 2})
+            for delivered in engine.delivered_sets().values()
+        )
+
+    def test_topology_churn_replays_bit_for_bit(self, chain3):
+        from repro.xmltree.corpus import DocumentCorpus
+
+        corpus = DocumentCorpus(
+            [doc("<a><b/></a>", index) for index in range(6)]
+        )
+        outcomes = []
+        for _ in range(2):
+            overlay = BrokerOverlay.chain(3)
+            for broker_id in range(3):
+                overlay.attach(broker_id, parse_xpath("/a/b"))
+            overlay.advertise_subscriptions()
+            engine = self._churn_engine(
+                overlay,
+                service=ServiceModel(base=0.4, per_match=0.1),
+                links=LinkModel(default=0.7),
+            )
+            engine.publish_corpus(corpus, rate=1.5, arrivals="poisson", seed=7)
+            engine.schedule_leave(1.2, 1)
+            engine.schedule_join(2.3, parent=0)
+            outcomes.append(
+                (engine.run(), engine.delivered_sets(), engine.topology_log)
+            )
+        assert outcomes[0] == outcomes[1]
+
+
+class TestZeroDeliveryClasses:
+    """latency_by_class on classes that never deliver anything."""
+
+    def test_class_latency_digest_of_no_samples(self):
+        from repro.routing.broker import ClassLatency
+
+        digest = ClassLatency.of([])
+        assert digest.deliveries == 0
+        assert (digest.p50, digest.p95, digest.p99) == (0.0, 0.0, 0.0)
+        assert (digest.mean, digest.max) == (0.0, 0.0)
+
+    def test_undelivered_class_stays_out_of_the_stats(self, chain3):
+        engine = DeliveryEngine(chain3)
+        engine.publish(doc("<a><b/></a>", 0), at_broker=0, priority_class=1)
+        # Class 7 publishes a document nobody subscribes to.
+        engine.publish(doc("<z/>", 1), at_broker=0, priority_class=7)
+        stats = engine.run()
+        assert sorted(stats.latency_by_class) == [1]
+        assert stats.latency_by_class[1].deliveries == stats.deliveries
+        assert engine.delivered_sets()[1] == frozenset()
+
+    def test_no_publishes_at_all_reports_empty_classes(self, chain3):
+        stats = DeliveryEngine(chain3).run()
+        assert stats.latency_by_class == {}
+        assert stats.deliveries == 0
+
+
+class TestOutOfBandTopologyChanges:
+    def test_engine_serves_brokers_added_after_construction(self):
+        # Builder first, topology churn after: the engine must equip
+        # out-of-band newcomers lazily instead of crashing on arrival.
+        overlay = BrokerOverlay.chain(2)
+        overlay.attach(0, parse_xpath("/a/b"))
+        overlay.advertise_subscriptions()
+        engine = DeliveryEngine(overlay)
+        joined = overlay.add_broker(1)
+        subscription = overlay.subscribe(joined, parse_xpath("/a/b"))
+        engine.publish(doc("<a><b/></a>"), at_broker=joined, time=0.0)
+        stats = engine.run()
+        assert engine.delivered_sets() == {0: frozenset({0, subscription})}
+        assert stats.queue_depth_peaks[joined] == 1
+
+
+class TestStaleTopologyEvents:
+    """Scheduled events naming brokers an earlier event retired."""
+
+    @pytest.fixture()
+    def churn_chain(self):
+        overlay = BrokerOverlay.chain(3)
+        for broker_id in range(3):
+            overlay.attach(broker_id, parse_xpath("/a/b"))
+        overlay.advertise_subscriptions()
+        return overlay
+
+    def test_join_under_retired_parent_lands_at_merge_target(
+        self, churn_chain
+    ):
+        engine = DeliveryEngine(churn_chain, allow_topology_churn=True)
+        engine.schedule_leave(1.0, 1, merge_into=0)
+        engine.schedule_join(2.0, parent=1)  # parent retires first
+        engine.publish(doc("<a><b/></a>"), at_broker=0, time=3.0)
+        engine.run()
+        joined = engine.topology_log[-1][2]
+        assert 0 in churn_chain.brokers[joined].neighbors
+        assert engine.delivered_sets() == {0: frozenset({0, 1, 2})}
+
+    def test_second_leave_of_same_broker_is_recorded_noop(self, churn_chain):
+        engine = DeliveryEngine(churn_chain, allow_topology_churn=True)
+        engine.schedule_leave(1.0, 1)
+        engine.schedule_leave(2.0, 1)
+        engine.run()
+        assert sorted(churn_chain.brokers) == [0, 2]
+        # Both events are logged; the stale one resolves to the target.
+        assert [entry[2] for entry in engine.topology_log] == [0, 0]
+
+    def test_stale_merge_target_falls_back_to_default(self, churn_chain):
+        engine = DeliveryEngine(churn_chain, allow_topology_churn=True)
+        engine.schedule_leave(1.0, 0)
+        # Broker 0 is gone by t=2; retiring 1 "into 0" resolves/falls back.
+        engine.schedule_leave(2.0, 1, merge_into=0)
+        engine.run()
+        assert len(churn_chain.brokers) == 1
+
+    def test_retired_split_resolves_to_spliced_edge(self, churn_chain):
+        engine = DeliveryEngine(churn_chain, allow_topology_churn=True)
+        engine.schedule_leave(1.0, 1, merge_into=2)
+        # "Split the link towards broker 1" follows the merge: that
+        # link's successor is the spliced edge 0 — 2.
+        engine.schedule_join(2.0, parent=0, split=1)
+        engine.run()
+        joined = engine.topology_log[-1][2]
+        assert churn_chain.brokers[joined].neighbors == [0, 2]
+
+    def test_split_merged_into_parent_degrades_to_leaf_graft(
+        self, churn_chain
+    ):
+        engine = DeliveryEngine(churn_chain, allow_topology_churn=True)
+        engine.schedule_leave(1.0, 1, merge_into=0)
+        # Broker 1 collapsed into the would-be parent: there is no edge
+        # left to split, so the join grafts a plain leaf instead of
+        # aborting the run.
+        engine.schedule_join(2.0, parent=0, split=1)
+        engine.run()
+        joined = engine.topology_log[-1][2]
+        assert churn_chain.brokers[joined].neighbors == [0]
+
+    def test_rerouted_duplicates_never_inflate_latency_stats(self):
+        # A copy in service at the retiring broker is re-serviced at the
+        # merge target, which re-delivers to the target's own
+        # subscriber; only the first delivery may enter the stats.
+        overlay = BrokerOverlay.chain(3)
+        for broker_id in range(3):
+            overlay.attach(broker_id, parse_xpath("/a/b"))
+        overlay.advertise_subscriptions()
+        engine = DeliveryEngine(
+            overlay,
+            service=ServiceModel(base=1.0, per_match=0.0),
+            links=LinkModel(default=0.1),
+            allow_topology_churn=True,
+        )
+        engine.publish(doc("<a><b/></a>"), at_broker=0, time=0.0)
+        engine.schedule_leave(1.5, 1, merge_into=0)
+        stats = engine.run()
+        assert engine.delivered_sets() == {0: frozenset({0, 1, 2})}
+        assert stats.deliveries == 3
+        assert stats.latency_by_class[0].deliveries == 3

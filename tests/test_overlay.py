@@ -756,3 +756,191 @@ class TestStats:
         assert all(len(n.table) == 0 for n in overlay.brokers.values())
         with pytest.raises(ValueError):
             overlay.route_corpus(corpus)
+
+
+class TestTopologyLifecycle:
+    """Broker join/leave: graft, split, merge, and their bookkeeping."""
+
+    def test_add_broker_mints_fresh_ids(self, subscriptions):
+        from repro.routing.overlay import BrokerId
+
+        overlay = BrokerOverlay.chain(3)
+        first = overlay.add_broker(0)
+        assert isinstance(first, BrokerId) and first == 3
+        assert "BrokerId" in repr(first)
+        overlay.remove_broker(first)
+        # Ids are never reused, even after a removal.
+        assert overlay.add_broker(0) == 4
+        assert sorted(overlay.brokers) == [0, 1, 2, 4]
+
+    def test_add_broker_validates_parent_and_split(self):
+        overlay = BrokerOverlay.chain(3)
+        with pytest.raises(ValueError):
+            overlay.add_broker(9)
+        with pytest.raises(ValueError):
+            overlay.add_broker(0, split=2)  # 0 — 2 is not an edge
+
+    def test_remove_broker_validates_victim_and_target(self):
+        overlay = BrokerOverlay.chain(3)
+        with pytest.raises(ValueError):
+            overlay.remove_broker(9)
+        with pytest.raises(ValueError):
+            overlay.remove_broker(0, merge_into=2)  # not a neighbour
+        single = BrokerOverlay.chain(1)
+        with pytest.raises(ValueError):
+            single.remove_broker(0)
+
+    def test_membership_only_surgery_keeps_tables_empty(self, subscriptions):
+        overlay = BrokerOverlay.chain(2)
+        overlay.attach(1, subscriptions[0])
+        joined = overlay.add_broker(1)
+        overlay.remove_broker(1, merge_into=joined)
+        assert all(len(n.table) == 0 for n in overlay.brokers.values())
+        # The re-homed subscription followed its broker's merge.
+        assert overlay.subscriptions[0][0] == joined
+        assert overlay.brokers[joined].local_subscribers == [0]
+
+    def test_graft_seeds_existing_advertisements(self, corpus, subscriptions):
+        overlay = build_overlay("chain", subscriptions)
+        overlay.advertise_subscriptions()
+        before = overlay.advertisement_messages
+        joined = overlay.add_broker(2)
+        # The newcomer learned the overlay's state over its single link
+        # (one message per forwarded instance), and nothing re-flooded.
+        node = overlay.brokers[joined]
+        assert len(node.table) > 0
+        assert overlay.advertisement_messages > before
+        assert all(
+            destination == ("forward", 2)
+            for destination in node.table.destinations()
+        )
+        stats = overlay.route_corpus(corpus)
+        assert stats.precision == 1.0 and stats.recall == 1.0
+
+    def test_split_edge_rekeys_link_state(self, corpus, subscriptions):
+        overlay = build_overlay("chain", subscriptions)
+        overlay.advertise_subscriptions()
+        mid = overlay.add_broker(0, split=1)
+        assert overlay.brokers[0].neighbors == [mid]
+        assert overlay.brokers[1].neighbors == [2, mid]
+        assert sorted(overlay.brokers[mid].neighbors) == [0, 1]
+        # Both endpoints now route through the newcomer.
+        for broker_id in (0, 1):
+            table = overlay.brokers[broker_id].table
+            assert ("forward", mid) in table.destinations()
+        stats = overlay.route_corpus(corpus)
+        assert stats.precision == 1.0 and stats.recall == 1.0
+
+    def test_remove_rehomes_subscriptions_and_index(
+        self, corpus, subscriptions
+    ):
+        overlay = build_overlay("chain", subscriptions)
+        overlay.advertise_communities(corpus, threshold=0.5)
+        moved = list(overlay.brokers[1].local_subscribers)
+        target = overlay.remove_broker(1, merge_into=2)
+        assert target == 2
+        node = overlay.brokers[2]
+        for subscription_id in moved:
+            assert overlay.subscriptions[subscription_id][0] == 2
+            assert subscription_id in node.handles
+        assert node.local_subscribers == sorted(node.local_subscribers)
+        # The adopted patterns joined the target's live index.
+        assert len(node.index) == len(node.local_subscribers)
+
+    @pytest.mark.parametrize("topology", TOPOLOGIES)
+    def test_join_leave_matches_rebuild_per_subscription(
+        self, subscriptions, topology
+    ):
+        from tests.test_topology_properties import (
+            rebuild,
+            relabeled_signature,
+        )
+        from repro.routing.policy import PerSubscriptionPolicy
+
+        overlay = build_overlay(topology, subscriptions)
+        overlay.advertise_subscriptions()
+        policy = PerSubscriptionPolicy()
+        joined = overlay.add_broker(1)
+        assert relabeled_signature(overlay) == relabeled_signature(
+            rebuild(overlay, policy, None)
+        )
+        overlay.subscribe(joined, parse_xpath("/a/b/e"))
+        overlay.remove_broker(0)
+        assert relabeled_signature(overlay) == relabeled_signature(
+            rebuild(overlay, policy, None)
+        )
+
+    @pytest.mark.parametrize("threshold", [0.3, 0.5, 1.0])
+    def test_join_leave_matches_rebuild_community(
+        self, corpus, subscriptions, threshold
+    ):
+        from tests.test_topology_properties import (
+            rebuild,
+            relabeled_signature,
+        )
+        from repro.routing.policy import CommunityPolicy
+
+        overlay = build_overlay("chain", subscriptions)
+        overlay.advertise_communities(corpus, threshold=threshold)
+        policy = CommunityPolicy(threshold)
+        mid = overlay.add_broker(1, split=2)
+        overlay.subscribe(mid, parse_xpath("/a/d/e/m"))
+        assert relabeled_signature(overlay) == relabeled_signature(
+            rebuild(overlay, policy, corpus)
+        )
+        overlay.remove_broker(1)  # internal broker with subscriptions
+        assert relabeled_signature(overlay) == relabeled_signature(
+            rebuild(overlay, policy, corpus)
+        )
+        overlay.remove_broker(mid)
+        assert relabeled_signature(overlay) == relabeled_signature(
+            rebuild(overlay, policy, corpus)
+        )
+
+    def test_incremental_churn_cheaper_than_rebuild(
+        self, corpus, subscriptions
+    ):
+        overlay = build_overlay("chain", subscriptions, n_brokers=6)
+        overlay.advertise_communities(corpus, threshold=0.5)
+        settled = overlay.advertisement_messages
+        joined = overlay.add_broker(5)
+        overlay.remove_broker(3)
+        incremental = overlay.advertisement_messages - settled
+        from tests.test_topology_properties import rebuild
+        from repro.routing.policy import CommunityPolicy
+
+        fresh = rebuild(overlay, CommunityPolicy(0.5), corpus)
+        assert incremental < fresh.advertisement_messages
+        assert joined in overlay.brokers
+
+    def test_attach_only_members_survive_rehoming_unadvertised(
+        self, corpus, subscriptions
+    ):
+        overlay = build_overlay("chain", subscriptions)
+        overlay.advertise_communities(corpus, threshold=0.5)
+        silent = overlay.attach(1, parse_xpath("/a/b"))
+        overlay.remove_broker(1, merge_into=0)
+        # Membership moved, but the never-advertised member stays out of
+        # the target's aggregation (and can still detach cleanly).
+        assert overlay.subscriptions[silent][0] == 0
+        members = {
+            member
+            for _, group in overlay.brokers[0].communities
+            for member in group
+        }
+        assert silent not in members
+        overlay.unsubscribe(silent)
+        assert silent not in overlay.subscriptions
+
+    def test_round_robin_skips_retired_ids(self, corpus, subscriptions):
+        overlay = build_overlay("chain", subscriptions)
+        overlay.advertise_subscriptions()
+        overlay.remove_broker(1)
+        # Round-robin now rotates over the surviving ids only.
+        ids = overlay.attach_round_robin(
+            [parse_xpath("/a"), parse_xpath("/a/b")]
+        )
+        homes = [overlay.subscriptions[i][0] for i in ids]
+        assert homes == [0, 2]
+        stats = overlay.route_corpus(corpus)
+        assert stats.brokers == 2

@@ -365,3 +365,45 @@ class TestOverlayBuilder:
     def test_repr_mentions_policies(self, patterns):
         builder = self.build_base(patterns).advertisement("community")
         assert "CommunityPolicy" in repr(builder)
+
+
+class TestDeadlineTieBreaking:
+    """EDF's underspecified corners: equal deadlines and mixed fallbacks."""
+
+    def test_equal_deadlines_keep_arrival_order(self):
+        queue = [
+            _StubJob(deadline=5.0),
+            _StubJob(deadline=5.0),
+            _StubJob(deadline=5.0),
+        ]
+        assert DeadlineScheduling().select(queue, 0.0) == 0
+
+    def test_strictly_earlier_deadline_beats_arrival_order(self):
+        queue = [_StubJob(deadline=5.0), _StubJob(deadline=5.0 - 1e-9)]
+        assert DeadlineScheduling().select(queue, 0.0) == 1
+
+    def test_deadline_ties_fallback_jobs_keep_arrival_order(self):
+        # With infinite default slack every no-deadline job ties at +inf;
+        # the head of the queue must win, making EDF a drop-in FIFO.
+        queue = [_StubJob(), _StubJob(), _StubJob()]
+        assert DeadlineScheduling().select(queue, 0.0) == 0
+
+    def test_explicit_deadline_ties_with_fallback_deadline(self):
+        # published_at + slack == the explicit deadline: arrival order
+        # decides, so the earlier-queued fallback job is served first.
+        queue = [_StubJob(published_at=2.0), _StubJob(deadline=12.0)]
+        assert DeadlineScheduling(default_slack=10.0).select(queue, 0.0) == 0
+        # Swap the arrival order and the explicit deadline wins the tie.
+        swapped = [_StubJob(deadline=12.0), _StubJob(published_at=2.0)]
+        assert (
+            DeadlineScheduling(default_slack=10.0).select(swapped, 0.0) == 0
+        )
+
+    def test_past_deadlines_still_order_most_overdue_first(self):
+        queue = [_StubJob(deadline=4.0), _StubJob(deadline=1.0)]
+        # Both are overdue at now=9; the most overdue job is served first.
+        assert DeadlineScheduling().select(queue, 9.0) == 1
+
+    def test_default_slack_validation(self):
+        with pytest.raises(ValueError):
+            DeadlineScheduling(default_slack=-1.0)

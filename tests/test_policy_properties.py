@@ -186,6 +186,49 @@ class TestBatchEqualsPerEvent:
         batched.unsubscribe_many(ids_batch)
         assert table_snapshot(batched) == table_snapshot(per_event)
 
+    @settings(max_examples=20, deadline=None)
+    @given(
+        corpora(),
+        st.lists(tree_patterns(), min_size=1, max_size=3),
+        st.lists(tree_patterns(), min_size=1, max_size=4),
+        st.sampled_from([0.3, 0.7]),
+        st.integers(min_value=0, max_value=6),
+        st.data(),
+    )
+    def test_subscribe_many_matches_event_loop_hybrid(
+        self, docs, base, burst, threshold, cutoff, data
+    ):
+        # PR 4 pinned the two base policies; HybridPolicy additionally
+        # flips regimes as the burst pushes a broker across the cutoff,
+        # so the batched path must converge through the flip too.
+        corpus = DocumentCorpus(docs)
+        per_event = membership_overlay("chain", 3, base)
+        batched = membership_overlay("chain", 3, base)
+        for overlay in (per_event, batched):
+            overlay.advertise(
+                HybridPolicy(threshold, aggregate_above=cutoff),
+                provider=corpus,
+            )
+        home = data.draw(
+            st.integers(min_value=0, max_value=2), label="home"
+        )
+        ids_event = [per_event.subscribe(home, p) for p in burst]
+        ids_batch = batched.subscribe_many(home, burst)
+        assert ids_batch == ids_event
+        assert table_snapshot(batched) == table_snapshot(per_event)
+        assert delivered_sets(batched, corpus) == delivered_sets(
+            per_event, corpus
+        )
+        # Retire the burst through the opposite APIs to cross the cutoff
+        # downward as well.
+        for subscription_id in ids_event:
+            per_event.unsubscribe(subscription_id)
+        batched.unsubscribe_many(ids_batch)
+        assert table_snapshot(batched) == table_snapshot(per_event)
+        assert delivered_sets(batched, corpus) == delivered_sets(
+            per_event, corpus
+        )
+
 
 class TestSchedulingNeverChangesDelivery:
     @settings(max_examples=15, deadline=None)

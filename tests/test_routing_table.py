@@ -288,3 +288,124 @@ class TestRemovePattern:
         assert sorted(table.patterns_for("link-1"), key=repr) == sorted(
             [parse_xpath("//e")], key=repr
         )
+
+
+class TestTopologySurgery:
+    """The primitives broker join/leave is built on."""
+
+    def test_rename_destination_moves_actives_and_absorbed(self):
+        table = RoutingTable()
+        table.add(parse_xpath("/a"), "link-1")
+        table.add(parse_xpath("/a/b"), "link-1")  # absorbed under /a
+        assert table.rename_destination("link-1", "link-9")
+        assert table.destinations() == ["link-9"]
+        assert table.patterns_for("link-9") == [parse_xpath("/a")]
+        # The reversible-covering record travelled with the rename.
+        removed, restored = table.remove_pattern(parse_xpath("/a"), "link-9")
+        assert removed and restored == [parse_xpath("/a/b")]
+
+    def test_rename_missing_destination_is_noop(self):
+        table = RoutingTable()
+        assert not table.rename_destination("link-1", "link-2")
+        assert len(table) == 0
+
+    def test_rename_onto_existing_destination_rejected(self):
+        table = RoutingTable()
+        table.add(parse_xpath("/a"), "link-1")
+        table.add(parse_xpath("/a/b"), "link-2")
+        with pytest.raises(ValueError):
+            table.rename_destination("link-1", "link-2")
+
+    def test_seed_records_downstream_has_state(self):
+        table = RoutingTable()
+        table.seed(parse_xpath("/a"), "link-1")
+        table.seed(parse_xpath("/a/b"), "link-1")  # absorbed, flag False
+        removed, restored = table.remove_pattern(parse_xpath("/a"), "link-1")
+        assert removed
+        # /a/b becomes active but is NOT reported for re-advertising:
+        # seeding promised its downstream state already exists.
+        assert restored == []
+        assert table.patterns_for("link-1") == [parse_xpath("/a/b")]
+
+    def test_seed_with_pending_flood_flag_readvertises(self):
+        table = RoutingTable()
+        table.seed(parse_xpath("/a"), "link-1")
+        table.seed(parse_xpath("/a/b"), "link-1", resume_flood=True)
+        removed, restored = table.remove_pattern(parse_xpath("/a"), "link-1")
+        assert removed and restored == [parse_xpath("/a/b")]
+
+    def test_export_destination_lists_actives_then_absorbed(self):
+        table = RoutingTable()
+        table.add(parse_xpath("/a/b/e"), "link-1")
+        table.add(parse_xpath("/a/b"), "link-1")   # evicts /a/b/e (False)
+        table.add(parse_xpath("/a/b/f"), "link-1")  # covered insert (True)
+        table.add(parse_xpath("//e"), "link-1")
+        exported = table.export_destination("link-1")
+        assert exported[: len(table.patterns_for("link-1"))] == [
+            (parse_xpath("/a/b"), False),
+            (parse_xpath("//e"), False),
+        ]
+        assert (parse_xpath("/a/b/e"), False) in exported
+        assert (parse_xpath("/a/b/f"), True) in exported
+
+    def test_export_then_seed_transplants_state(self):
+        table = RoutingTable()
+        table.add(parse_xpath("/a/b/e"), "link-1")
+        table.add(parse_xpath("/a/b"), "link-1")
+        table.add(parse_xpath("/a/b/f"), "link-1")
+        clone = RoutingTable()
+        for pattern, resume_flood in table.export_destination("link-1"):
+            clone.seed(pattern, "link-1", resume_flood)
+        assert clone.patterns_for("link-1") == table.patterns_for("link-1")
+        # The clone replays the same resurrection behaviour: the covered
+        # insert /a/b/f re-advertises, the evicted /a/b/e does not.
+        removed, restored = clone.remove_pattern(parse_xpath("/a/b"), "link-1")
+        assert removed and restored == [parse_xpath("/a/b/f")]
+
+    def test_covers_probes_like_add(self):
+        table = RoutingTable()
+        table.add(parse_xpath("/a"), "link-1")
+        assert table.covers(parse_xpath("/a/b"), "link-1")
+        assert table.covers(parse_xpath("/a"), "link-1")
+        assert not table.covers(parse_xpath("//e"), "link-1")
+        assert not table.covers(parse_xpath("/a/b"), "link-2")
+
+    def test_forwarded_instances_reflect_what_propagated(self):
+        table = RoutingTable()
+        table.add(parse_xpath("/a/b/e"), "link-1")  # active → propagated
+        table.add(parse_xpath("/a/b"), "link-1")    # evicts: both went out
+        table.add(parse_xpath("/a/b/f"), "link-1")  # covered: died here
+        table.add(parse_xpath("//e"), "link-2")
+        table.add(parse_xpath("/a/d"), ("deliver", (7,)))
+        forwarded = table.forwarded_instances()
+        assert forwarded.count(parse_xpath("/a/b")) == 1
+        assert forwarded.count(parse_xpath("/a/b/e")) == 1
+        assert parse_xpath("/a/b/f") not in forwarded
+        assert parse_xpath("//e") in forwarded
+        assert parse_xpath("/a/d") in forwarded
+        # The excluded link contributes nothing.
+        assert parse_xpath("//e") not in table.forwarded_instances(
+            exclude=("link-2",)
+        )
+
+    def test_remove_destination_regression_no_residual_bookkeeping(
+        self, document
+    ):
+        # The remove_broker path: dropping a link's destination must not
+        # leave absorbed-instance records or cached matchers behind.
+        table = RoutingTable()
+        table.add(parse_xpath("/a/b"), "link-1")
+        table.add(parse_xpath("/a"), "link-1")      # evicts /a/b
+        table.add(parse_xpath("/a/d"), "link-1")    # covered insert
+        table.add(parse_xpath("/a"), "link-2")
+        table.destinations_for(document)            # compile matchers
+        assert table.remove_destination("link-1") == [parse_xpath("/a")]
+        assert table._absorbed == {}
+        assert "link-1" not in table._by_destination
+        # /a stays cached (active for link-2); nothing else survives.
+        assert set(table._matchers) <= {parse_xpath("/a")}
+        # Re-adding the destination starts from a clean slate: the old
+        # absorbed instances are gone for good.
+        table.add(parse_xpath("/a"), "link-1")
+        removed, restored = table.remove_pattern(parse_xpath("/a"), "link-1")
+        assert removed and restored == []
