@@ -43,6 +43,7 @@ from repro.routing import (
     LinkModel,
     OverlayBuilder,
     OverlayStats,
+    PatternTrie,
     PerSubscriptionPolicy,
     PriorityScheduling,
     RoutingTable,
@@ -68,6 +69,7 @@ __all__ = [
     "OverlayStats",
     "OverlayBuilder",
     "RoutingTable",
+    "PatternTrie",
     "TopologyEvent",
     "PerSubscriptionPolicy",
     "CommunityPolicy",

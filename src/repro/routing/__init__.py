@@ -14,7 +14,14 @@ Module map:
   pattern → destination entries minimised through
   :mod:`repro.core.containment`, with reversible covering (absorbed
   advertisements are remembered and resurrected by
-  ``RoutingTable.remove_pattern`` when their cover leaves);
+  ``RoutingTable.remove_pattern`` when their cover leaves); matching
+  runs on a merged :class:`~repro.routing.trie.PatternTrie` by default,
+  with the per-pattern linear scan retained as the oracle;
+* :mod:`repro.routing.trie` — :class:`PatternTrie`, the merged pattern
+  trie: every active pattern of a broker shares one degree-sorted
+  structure, so one document traversal yields all matching destinations
+  with sublinear trie operations, maintained incrementally under
+  covering churn and topology surgery;
 * :mod:`repro.routing.overlay` — the multi-broker overlay: chain / star /
   random-tree topologies, hop-by-hop advertisement with covering pruning,
   reverse-path document routing, per-broker cost accounting, the
@@ -60,6 +67,7 @@ from repro.routing.broker import (
     LatencyStats,
     RoutingSimulator,
     RoutingStats,
+    ordered_percentile,
     percentile,
 )
 from repro.routing.builder import OverlayBuilder
@@ -97,6 +105,7 @@ from repro.routing.overlay import (
     SubscriptionId,
 )
 from repro.routing.table import RoutingTable, TableEntry
+from repro.routing.trie import PatternTrie, TrieMatch
 
 __all__ = [
     "Community",
@@ -108,6 +117,8 @@ __all__ = [
     "InclusionNode",
     "RoutingTable",
     "TableEntry",
+    "PatternTrie",
+    "TrieMatch",
     "BrokerId",
     "BrokerNode",
     "BrokerOverlay",
@@ -122,6 +133,7 @@ __all__ = [
     "LatencyStats",
     "ClassLatency",
     "percentile",
+    "ordered_percentile",
     "AdvertisementPolicy",
     "PerSubscriptionPolicy",
     "CommunityPolicy",

@@ -73,6 +73,7 @@ class OverlayBuilder:
         self._links: Optional[LinkModel] = None
         self._scheduling = resolve_scheduling("fifo")
         self._allow_topology_churn = False
+        self._matching = "trie"
 
     # ------------------------------------------------------------------
     # topology and membership
@@ -144,6 +145,22 @@ class OverlayBuilder:
         self._scheduling = resolve_scheduling(policy, **overrides)
         return self
 
+    def matching(self, mode: str) -> "OverlayBuilder":
+        """The broker matching mode: ``"trie"`` (default) or ``"linear"``.
+
+        ``"trie"`` merges each broker's patterns into one
+        :class:`~repro.routing.trie.PatternTrie`, so a document costs one
+        traversal per broker and ``match_operations`` counts trie work;
+        ``"linear"`` is the per-pattern oracle the trie is validated
+        against, counting one operation per pattern evaluation.
+        """
+        if mode not in ("trie", "linear"):
+            raise ValueError(
+                f"unknown matching mode {mode!r}; choose 'trie' or 'linear'"
+            )
+        self._matching = mode
+        return self
+
     def allow_topology_churn(self, allow: bool = True) -> "OverlayBuilder":
         """Permit broker join/leave events on the built engine.
 
@@ -169,10 +186,15 @@ class OverlayBuilder:
                 "no topology configured: call topology() or edges() first"
             )
         if self._edges is not None:
-            overlay = BrokerOverlay(self._n_brokers, list(self._edges))
+            overlay = BrokerOverlay(
+                self._n_brokers, list(self._edges), matching=self._matching
+            )
         else:
             overlay = BrokerOverlay.build(
-                self._topology, self._n_brokers, seed=self._seed
+                self._topology,
+                self._n_brokers,
+                seed=self._seed,
+                matching=self._matching,
             )
         for placement in self._placements:
             if placement[0] == "rr":

@@ -67,7 +67,7 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Optional, Sequence, Union
 
-from repro.routing.broker import ClassLatency, LatencyStats, percentile
+from repro.routing.broker import ClassLatency, LatencyStats, ordered_percentile
 from repro.routing.overlay import BrokerOverlay, BrokerStep
 from repro.routing.policy import (
     SchedulingPolicy,
@@ -85,10 +85,14 @@ class ServiceModel:
     """Broker service time as an affine function of filtering work.
 
     ``base`` is the fixed per-document handling cost (parsing, queue
-    management); ``per_match`` the cost of one pattern-vs-document
-    evaluation.  Community aggregation shrinks routing tables, hence match
-    operations, hence service time — which is exactly the knob this model
-    exposes to the latency benchmark.
+    management); ``per_match`` the cost of one filtering operation in the
+    broker's matching mode — a trie operation (node-candidate test,
+    branch evaluation, gate check) under the default merged-trie tables,
+    or one pattern-vs-document evaluation under the ``"linear"``
+    per-pattern oracle.  Community aggregation shrinks routing tables and
+    trie matching makes each table sublinear to filter, both of which
+    shrink match operations, hence service time — exactly the knobs this
+    model exposes to the latency benchmark.
     """
 
     base: float = 0.2
@@ -682,24 +686,24 @@ class DeliveryEngine:
         """The :class:`LatencyStats` of everything processed so far."""
         start = self._first_publish or 0.0
         makespan = max(0.0, self._last_event - start)
-        latencies = self._latencies
-        delays = self._queue_delays
+        latencies = sorted(self._latencies)
+        delays = sorted(self._queue_delays)
         return LatencyStats(
             documents=self._documents,
             deliveries=len(latencies),
             makespan=makespan,
-            latency_p50=percentile(latencies, 50.0),
-            latency_p95=percentile(latencies, 95.0),
-            latency_p99=percentile(latencies, 99.0),
+            latency_p50=ordered_percentile(latencies, 50.0),
+            latency_p95=ordered_percentile(latencies, 95.0),
+            latency_p99=ordered_percentile(latencies, 99.0),
             latency_mean=(
                 sum(latencies) / len(latencies) if latencies else 0.0
             ),
-            latency_max=max(latencies, default=0.0),
+            latency_max=latencies[-1] if latencies else 0.0,
             queue_delay_mean=(
                 sum(delays) / len(delays) if delays else 0.0
             ),
-            queue_delay_p95=percentile(delays, 95.0),
-            queue_delay_max=max(delays, default=0.0),
+            queue_delay_p95=ordered_percentile(delays, 95.0),
+            queue_delay_max=delays[-1] if delays else 0.0,
             queue_depth_peaks=dict(self._depth_peaks),
             busy_time=dict(self._busy_time),
             match_operations=self._match_operations,

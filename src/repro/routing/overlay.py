@@ -179,8 +179,9 @@ class BrokerStep:
     #: Neighbour broker ids the document is forwarded to, in table order
     #: (deterministic across runs).
     forwards: tuple[int, ...]
-    #: Pattern-vs-document evaluations the step spent — the input of a
-    #: service-time model.
+    #: Filtering operations the step spent — trie operations in the
+    #: default merged-trie mode, pattern-vs-document evaluations in
+    #: ``"linear"`` mode — the input of a service-time model.
     match_operations: int
 
 
@@ -240,11 +241,22 @@ class OverlayStats:
 class BrokerOverlay:
     """A tree-shaped broker network with content-based routing."""
 
-    def __init__(self, n_brokers: int, edges: list[tuple[int, int]]):
+    def __init__(
+        self,
+        n_brokers: int,
+        edges: list[tuple[int, int]],
+        matching: str = "trie",
+    ):
         if n_brokers < 1:
             raise ValueError("need at least one broker")
+        #: Matching mode every broker table uses: ``"trie"`` (merged
+        #: pattern trie, the default) or ``"linear"`` (per-pattern oracle).
+        self.matching = matching
         self.brokers: dict[int, BrokerNode] = {
-            broker_id: BrokerNode(broker_id) for broker_id in range(n_brokers)
+            broker_id: BrokerNode(
+                broker_id, table=RoutingTable(matching=matching)
+            )
+            for broker_id in range(n_brokers)
         }
         for a, b in edges:
             if a == b or a not in self.brokers or b not in self.brokers:
@@ -300,36 +312,50 @@ class BrokerOverlay:
     # ------------------------------------------------------------------
 
     @classmethod
-    def chain(cls, n_brokers: int) -> "BrokerOverlay":
+    def chain(cls, n_brokers: int, matching: str = "trie") -> "BrokerOverlay":
         """``0 — 1 — 2 — ... — n-1`` (maximal diameter)."""
-        return cls(n_brokers, [(i, i + 1) for i in range(n_brokers - 1)])
+        return cls(
+            n_brokers,
+            [(i, i + 1) for i in range(n_brokers - 1)],
+            matching=matching,
+        )
 
     @classmethod
-    def star(cls, n_brokers: int) -> "BrokerOverlay":
+    def star(cls, n_brokers: int, matching: str = "trie") -> "BrokerOverlay":
         """Broker 0 as hub, all others leaves (minimal diameter)."""
-        return cls(n_brokers, [(0, i) for i in range(1, n_brokers)])
+        return cls(
+            n_brokers,
+            [(0, i) for i in range(1, n_brokers)],
+            matching=matching,
+        )
 
     @classmethod
-    def random_tree(cls, n_brokers: int, seed: int = 0) -> "BrokerOverlay":
+    def random_tree(
+        cls, n_brokers: int, seed: int = 0, matching: str = "trie"
+    ) -> "BrokerOverlay":
         """A uniformly random recursive tree: broker *i* attaches to a
         random earlier broker."""
         rng = random.Random(seed)
         edges = [
             (rng.randrange(i), i) for i in range(1, n_brokers)
         ]
-        return cls(n_brokers, edges)
+        return cls(n_brokers, edges, matching=matching)
 
     @classmethod
     def build(
-        cls, topology: str, n_brokers: int, seed: int = 0
+        cls,
+        topology: str,
+        n_brokers: int,
+        seed: int = 0,
+        matching: str = "trie",
     ) -> "BrokerOverlay":
         """Factory dispatching on a topology name from :data:`TOPOLOGIES`."""
         if topology == "chain":
-            return cls.chain(n_brokers)
+            return cls.chain(n_brokers, matching=matching)
         if topology == "star":
-            return cls.star(n_brokers)
+            return cls.star(n_brokers, matching=matching)
         if topology == "random_tree":
-            return cls.random_tree(n_brokers, seed=seed)
+            return cls.random_tree(n_brokers, seed=seed, matching=matching)
         raise ValueError(
             f"unknown topology {topology!r}; choose from {TOPOLOGIES}"
         )
@@ -597,7 +623,9 @@ class BrokerOverlay:
             )
         broker_id = BrokerId(self._next_broker)
         self._next_broker += 1
-        node = BrokerNode(broker_id)
+        node = BrokerNode(
+            broker_id, table=RoutingTable(matching=self.matching)
+        )
         self.brokers[broker_id] = node
         if split is None:
             parent_node.neighbors.append(broker_id)

@@ -30,20 +30,28 @@ state already exists — so broker join/leave never re-floods what the
 overlay already knows (see ``BrokerOverlay.add_broker`` /
 ``remove_broker``).
 
-Matching a document evaluates entries destination by destination and
-short-circuits within a destination on the first hit (a broker needs one
-reason to forward, not all of them); every pattern-vs-document evaluation
-counts as one *match operation* — the filtering-cost unit reported by the
-overlay layer.
+Matching goes through a merged :class:`~repro.routing.trie.PatternTrie`
+by default: all active entries share one structure, one traversal returns
+every matching destination, and the *trie operations* spent (anchor tests
+plus shared-subtree satisfactions computed — see :mod:`repro.routing.trie`)
+are the filtering-cost unit reported by the overlay layer.  The
+per-pattern fallback (``matching="linear"``) evaluates entries destination
+by destination, short-circuiting within a destination on the first hit,
+and counts one match operation per pattern-vs-document evaluation; it is
+retained as the oracle the trie is pinned against.  The trie is maintained
+incrementally at every admission, eviction, restoration and surgery step —
+never rebuilt from scratch.
 """
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
-from typing import Hashable, Iterable, Iterator
+from typing import Hashable, Iterable, Iterator, Optional
 
 from repro.core.containment import contains
 from repro.core.pattern import TreePattern
+from repro.routing.trie import PatternTrie
 from repro.xmltree.matcher import CompiledPattern, PatternMatcher
 from repro.xmltree.tree import XMLTree
 
@@ -62,9 +70,20 @@ class TableEntry:
 
 
 class RoutingTable:
-    """Covering-aware pattern → destination table of one broker."""
+    """Covering-aware pattern → destination table of one broker.
 
-    def __init__(self) -> None:
+    ``matching`` selects the filtering engine: ``"trie"`` (the default)
+    routes through the incrementally maintained merged
+    :class:`~repro.routing.trie.PatternTrie`, ``"linear"`` through the
+    per-pattern scan.  Both are always kept consistent, so either can be
+    queried per call via ``destinations_for(..., matching=...)`` — the
+    linear scan is the oracle the trie is property-tested against.
+    """
+
+    def __init__(self, matching: str = "trie") -> None:
+        if matching not in ("trie", "linear"):
+            raise ValueError(f"unknown matching mode: {matching!r}")
+        self.matching = matching
         self._by_destination: dict[Destination, list[TreePattern]] = {}
         #: Per destination: active entry -> the advertisement instances it
         #: absorbed, as ``(pattern, resume_flood)`` tuples (duplicates
@@ -79,10 +98,38 @@ class RoutingTable:
             Destination, dict[TreePattern, list[tuple[TreePattern, bool]]]
         ] = {}
         self._matchers: dict[TreePattern, PatternMatcher] = {}
+        #: The merged matching structure over every *active* entry.
+        self._trie = PatternTrie()
+        #: Per pattern: how many destinations hold it active — the
+        #: refcount behind O(1) matcher-cache pruning.
+        self._active_counts: dict[TreePattern, int] = {}
         self.match_operations = 0
         self.covered_inserts = 0
         self.evicted_entries = 0
         self.restored_entries = 0
+
+    # ------------------------------------------------------------------
+    # active-set bookkeeping
+    # ------------------------------------------------------------------
+    #
+    # Every mutation of the active entry sets goes through this pair, so
+    # the merged trie and the matcher-cache refcounts can never drift
+    # from ``_by_destination``.
+
+    def _activate(self, pattern: TreePattern, destination: Destination) -> None:
+        self._active_counts[pattern] = self._active_counts.get(pattern, 0) + 1
+        self._trie.add(pattern, destination)
+
+    def _deactivate(
+        self, pattern: TreePattern, destination: Destination
+    ) -> None:
+        remaining = self._active_counts[pattern] - 1
+        if remaining:
+            self._active_counts[pattern] = remaining
+        else:
+            del self._active_counts[pattern]
+        self._trie.discard(pattern, destination)
+        self._prune_matcher(pattern)
 
     # ------------------------------------------------------------------
     # maintenance
@@ -118,23 +165,26 @@ class RoutingTable:
                 ).append((pattern, resume_flood))
                 return False
         survivors: list[TreePattern] = []
+        evicted_active: list[TreePattern] = []
         absorbed_here: list[tuple[TreePattern, bool]] = []
         dest_absorbed = self._absorbed.get(destination, {})
         for existing in patterns:
             if contains(pattern, existing):
+                evicted_active.append(existing)
                 absorbed_here.append((existing, False))
                 absorbed_here.extend(dest_absorbed.pop(existing, ()))
             else:
                 survivors.append(existing)
-        self.evicted_entries += len(patterns) - len(survivors)
+        self.evicted_entries += len(evicted_active)
         survivors.append(pattern)
         self._by_destination[destination] = survivors
+        self._activate(pattern, destination)
+        for evicted in evicted_active:
+            self._deactivate(evicted, destination)
         if absorbed_here:
             self._absorbed.setdefault(destination, {}).setdefault(
                 pattern, []
             ).extend(absorbed_here)
-            for evicted, _ in absorbed_here:
-                self._prune_matcher(evicted)
         return True
 
     @staticmethod
@@ -147,20 +197,71 @@ class RoutingTable:
         never *evicts* a just-restored entry (which would scramble the
         flood flags); among equal patterns the evicted-active instance
         (False) goes first so it, not a duplicate, claims the active slot.
+
+        The strict-containment relation over the candidates is computed
+        once — ``contains`` runs on each ordered pair of *distinct*
+        patterns, at most k·(k−1) invocations — and the order is emitted
+        topologically (lowest surviving position first, so ties resolve
+        exactly as the rescan the relation replaces did).  A deep
+        absorbed chain therefore restores in O(k²) position work instead
+        of O(k³) containment tests.
         """
-        remaining = sorted(candidates, key=lambda item: item[1])
+        stable = sorted(candidates, key=lambda item: item[1])
+        total = len(stable)
+        if total <= 1:
+            return stable
+        distinct: list[TreePattern] = []
+        index_of: dict[TreePattern, int] = {}
+        slots: list[int] = []
+        for pattern, _ in stable:
+            slot = index_of.get(pattern)
+            if slot is None:
+                slot = len(distinct)
+                index_of[pattern] = slot
+                distinct.append(pattern)
+            slots.append(slot)
+        width = len(distinct)
+        held = [
+            [a != b and contains(distinct[a], distinct[b]) for b in range(width)]
+            for a in range(width)
+        ]
+        # a strictly contains b: equal patterns hold each other and never
+        # block; strict containment is a partial order, so a zero-indegree
+        # position always exists.
+        strict = [
+            [held[a][b] and not held[b][a] for b in range(width)]
+            for a in range(width)
+        ]
+        indegree = [0] * total
+        for position in range(total):
+            row = slots[position]
+            indegree[position] = sum(
+                1
+                for other in range(total)
+                if other != position and strict[slots[other]][row]
+            )
+        ready = [
+            position for position in range(total) if indegree[position] == 0
+        ]
+        heapq.heapify(ready)
+        emitted = [False] * total
         ordered: list[tuple[TreePattern, bool]] = []
-        while remaining:
-            pick = 0
-            for position, (pattern, _) in enumerate(remaining):
-                if not any(
-                    contains(other, pattern) and not contains(pattern, other)
-                    for index, (other, _) in enumerate(remaining)
-                    if index != position
-                ):
-                    pick = position
-                    break
-            ordered.append(remaining.pop(pick))
+        while ready:
+            position = heapq.heappop(ready)
+            emitted[position] = True
+            ordered.append(stable[position])
+            container = slots[position]
+            for other in range(total):
+                if not emitted[other] and strict[container][slots[other]]:
+                    indegree[other] -= 1
+                    if indegree[other] == 0:
+                        heapq.heappush(ready, other)
+        if len(ordered) < total:  # unreachable unless ``contains`` cycles
+            ordered.extend(
+                item
+                for position, item in enumerate(stable)
+                if not emitted[position]
+            )
         return ordered
 
     def remove_pattern(
@@ -210,6 +311,7 @@ class RoutingTable:
                     del dest_absorbed[active]
                 return instance[1] is False, []
         patterns.remove(active)
+        self._deactivate(active, destination)
         resurrected = dest_absorbed.pop(active, [])
         restored: list[TreePattern] = []
         for candidate, resume_flood in self._restore_order(resurrected):
@@ -220,7 +322,6 @@ class RoutingTable:
         if not self._by_destination.get(destination):
             self._by_destination.pop(destination, None)
             self._absorbed.pop(destination, None)
-        self._prune_matcher(active)
         return True, restored
 
     def remove_destination(self, destination: Destination) -> list[TreePattern]:
@@ -236,13 +337,10 @@ class RoutingTable:
         behind (``remove_broker`` relies on this when it drops the link
         to a retiring neighbour).
         """
-        absorbed = self._absorbed.pop(destination, {})
+        self._absorbed.pop(destination, None)
         removed = list(self._by_destination.pop(destination, ()))
         for pattern in removed:
-            self._prune_matcher(pattern)
-        for instances in absorbed.values():
-            for pattern, _ in instances:
-                self._prune_matcher(pattern)
+            self._deactivate(pattern, destination)
         return removed
 
     def rename_destination(
@@ -269,6 +367,7 @@ class RoutingTable:
         self._by_destination[new] = self._by_destination.pop(old)
         if old in self._absorbed:
             self._absorbed[new] = self._absorbed.pop(old)
+        self._trie.rename_destination(old, new, self._by_destination[new])
         return True
 
     def seed(
@@ -360,11 +459,12 @@ class RoutingTable:
 
         Matchers are a pure cache keyed by pattern; without this, a
         long-running churn workload would accumulate one compiled matcher
-        per pattern ever routed.  A resurrected pattern simply recompiles.
+        per pattern ever routed.  The activity refcount kept by
+        ``_activate``/``_deactivate`` makes the liveness probe O(1) — no
+        scan over the destination lists.  A resurrected pattern simply
+        recompiles.
         """
-        if not any(
-            pattern in patterns for patterns in self._by_destination.values()
-        ):
+        if pattern not in self._active_counts:
             self._matchers.pop(pattern, None)
 
     def clear(self) -> None:
@@ -372,6 +472,8 @@ class RoutingTable:
         self._by_destination.clear()
         self._absorbed.clear()
         self._matchers.clear()
+        self._trie.clear()
+        self._active_counts.clear()
         self.match_operations = 0
         self.covered_inserts = 0
         self.evicted_entries = 0
@@ -392,9 +494,18 @@ class RoutingTable:
         self,
         document: XMLTree,
         exclude: Iterable[Destination] = (),
+        matching: Optional[str] = None,
     ) -> tuple[list[Destination], int]:
-        """Destinations *document* must be sent to, plus the match
+        """Destinations *document* must be sent to, plus the filtering
         operations spent deciding.
+
+        In trie mode (the default) one merged-trie traversal answers all
+        destinations at once and the count is *trie operations*; in
+        linear mode every pattern is evaluated per destination (first
+        hit short-circuits) and the count is per-pattern match
+        operations.  ``matching`` overrides the table's mode for this
+        call — both structures are always maintained, which is how the
+        property suite pins ``trie == per-pattern`` on the same table.
 
         Destinations are returned in table order (first-advertised first),
         which is deterministic across runs — unlike a set of destinations,
@@ -407,15 +518,27 @@ class RoutingTable:
         """
         skip = set(exclude)
         found: list[Destination] = []
-        operations = 0
-        for destination, patterns in self._by_destination.items():
-            if destination in skip:
-                continue
-            for pattern in patterns:
-                operations += 1
-                if self._matcher(pattern).matches(document):
-                    found.append(destination)
-                    break
+        mode = self.matching if matching is None else matching
+        if mode == "trie":
+            result = self._trie.match(document)
+            operations = result.operations
+            if result.destinations:
+                found = [
+                    destination
+                    for destination in self._by_destination
+                    if destination in result.destinations
+                    and destination not in skip
+                ]
+        else:
+            operations = 0
+            for destination, patterns in self._by_destination.items():
+                if destination in skip:
+                    continue
+                for pattern in patterns:
+                    operations += 1
+                    if self._matcher(pattern).matches(document):
+                        found.append(destination)
+                        break
         self.match_operations += operations
         return found, operations
 

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.pattern_parser import parse_xpath
-from repro.routing.broker import percentile
+from repro.routing.broker import ClassLatency, ordered_percentile, percentile
 from repro.routing.engine import DeliveryEngine, LinkModel, ServiceModel
 from repro.routing.overlay import BrokerOverlay
 from repro.routing.policy import (
@@ -69,6 +69,36 @@ class TestPercentile:
         assert percentile([], 95.0) == 0.0
         with pytest.raises(ValueError):
             percentile([1.0], 101.0)
+
+    def test_ordered_percentile_empty_and_bounds(self):
+        assert ordered_percentile([], 95.0) == 0.0
+        with pytest.raises(ValueError):
+            ordered_percentile([1.0], -1.0)
+
+    @pytest.mark.parametrize(
+        "samples",
+        [
+            [4.0, 1.0, 3.0, 2.0],
+            [0.5],
+            [2.0, 2.0, 2.0, 1.0, 9.5, 0.25],
+            [float(n % 7) * 0.3 for n in range(100)],
+        ],
+    )
+    def test_sort_once_digests_byte_identical(self, samples):
+        # The sort-once path must reproduce the per-call-sort results
+        # exactly — same floats, not approximately.
+        ordered = sorted(samples)
+        for q in (0.0, 1.0, 50.0, 95.0, 99.0, 100.0):
+            assert ordered_percentile(ordered, q) == percentile(samples, q)
+        digest = ClassLatency.of(samples)
+        assert digest == ClassLatency(
+            deliveries=len(samples),
+            p50=percentile(samples, 50.0),
+            p95=percentile(samples, 95.0),
+            p99=percentile(samples, 99.0),
+            mean=sum(samples) / len(samples),
+            max=max(samples),
+        )
 
 
 class TestEngineBasics:

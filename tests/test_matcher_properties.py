@@ -10,7 +10,7 @@ from hypothesis import given, settings
 
 from repro.core.labels import DESCENDANT, WILDCARD
 from repro.core.pattern import PatternNode, TreePattern
-from repro.xmltree.matcher import matches
+from repro.xmltree.matcher import PatternMatcher, matches
 from repro.xmltree.skeleton import skeleton
 from repro.xmltree.tree import XMLTree
 from tests.strategies import tree_patterns, xml_trees
@@ -110,3 +110,26 @@ def test_descendant_tag_pattern_iff_tag_present(tree):
             (PatternNode(DESCENDANT, (PatternNode(tag),)),)
         )
         assert matches(tree, pattern) == (tag in tree.tag_set)
+
+
+def matches_without_prefilter(tree: XMLTree, pattern: TreePattern) -> bool:
+    """The exact ``PatternMatcher.matches`` recursion, with the
+    ``required_tags`` rejection short-circuit disabled."""
+    matcher = PatternMatcher(pattern)
+    memo: dict[int, bool] = {}
+    root_memo: dict[int, bool] = {}
+    return all(
+        matcher._root_sat(tree, tree.root, u, memo, root_memo)
+        for u in matcher.compiled.root_children
+    )
+
+
+@settings(max_examples=300, deadline=None)
+@given(xml_trees(), tree_patterns())
+def test_required_tags_prefilter_never_changes_verdict(tree, pattern):
+    """The prefilter is a pure accelerator: a pattern naming a tag the
+    document lacks can never match, so rejecting on missing tags must
+    agree with the full recursion on every (pattern, document) pair."""
+    assert PatternMatcher(pattern).matches(tree) == (
+        matches_without_prefilter(tree, pattern)
+    )

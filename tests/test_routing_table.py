@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.core.containment import contains
 from repro.core.pattern_parser import parse_xpath
 from repro.routing.table import RoutingTable, TableEntry
 from repro.xmltree.tree import XMLTree
@@ -60,7 +61,8 @@ class TestCoveringInsert:
 
 class TestMatching:
     def test_destinations_and_operation_count(self, document):
-        table = RoutingTable()
+        # Per-pattern operation counts are the linear oracle's semantics.
+        table = RoutingTable(matching="linear")
         table.add(parse_xpath("/a/b"), "link-1")
         table.add(parse_xpath("/a/q"), "link-2")
         destinations, operations = table.destinations_for(document)
@@ -68,8 +70,31 @@ class TestMatching:
         assert operations == 2
         assert table.match_operations == 2
 
-    def test_short_circuit_within_destination(self, document):
+    def test_trie_mode_counts_trie_operations(self, document):
         table = RoutingTable()
+        assert table.matching == "trie"
+        table.add(parse_xpath("/a/b"), "link-1")
+        table.add(parse_xpath("/a/q"), "link-2")
+        destinations, operations = table.destinations_for(document)
+        assert destinations == ["link-1"]
+        assert operations > 0
+        assert table.match_operations == operations
+
+    def test_trie_and_linear_agree_per_call(self, document):
+        table = RoutingTable()
+        table.add(parse_xpath("/a/b"), "link-1")
+        table.add(parse_xpath("/a/q"), "link-2")
+        table.add(parse_xpath("//e"), "link-3")
+        via_trie, _ = table.destinations_for(document, matching="trie")
+        via_linear, _ = table.destinations_for(document, matching="linear")
+        assert via_trie == via_linear == ["link-1", "link-3"]
+
+    def test_unknown_matching_mode_rejected(self):
+        with pytest.raises(ValueError):
+            RoutingTable(matching="bloom")
+
+    def test_short_circuit_within_destination(self, document):
+        table = RoutingTable(matching="linear")
         # Both match; one evaluation suffices to decide the destination.
         table.add(parse_xpath("/a/b"), "link-1")
         table.add(parse_xpath("/a/d"), "link-1")
@@ -78,7 +103,7 @@ class TestMatching:
         assert operations == 1
 
     def test_exclude_skips_without_counting(self, document):
-        table = RoutingTable()
+        table = RoutingTable(matching="linear")
         table.add(parse_xpath("/a/b"), "link-1")
         table.add(parse_xpath("/a/b"), "link-2")
         destinations, operations = table.destinations_for(
@@ -87,8 +112,15 @@ class TestMatching:
         assert destinations == ["link-2"]
         assert operations == 1
 
-    def test_no_match_empty(self, document):
+    def test_exclude_skips_in_trie_mode(self, document):
         table = RoutingTable()
+        table.add(parse_xpath("/a/b"), "link-1")
+        table.add(parse_xpath("/a/b"), "link-2")
+        destinations, _ = table.destinations_for(document, exclude=["link-1"])
+        assert destinations == ["link-2"]
+
+    def test_no_match_empty(self, document):
+        table = RoutingTable(matching="linear")
         table.add(parse_xpath("/z"), "link-1")
         destinations, operations = table.destinations_for(document)
         assert destinations == []
@@ -96,13 +128,15 @@ class TestMatching:
 
     def test_destinations_in_table_order(self, document):
         # Deterministic dispatch: destinations come back in the order the
-        # table first saw them, not in set-iteration (hash) order.
-        table = RoutingTable()
-        table.add(parse_xpath("/a/b"), "link-2")
-        table.add(parse_xpath("/a/d"), "link-1")
-        table.add(parse_xpath("/a"), "link-3")
-        destinations, _ = table.destinations_for(document)
-        assert destinations == ["link-2", "link-1", "link-3"]
+        # table first saw them, not in set-iteration (hash) order — in
+        # both matching modes.
+        for matching in ("trie", "linear"):
+            table = RoutingTable(matching=matching)
+            table.add(parse_xpath("/a/b"), "link-2")
+            table.add(parse_xpath("/a/d"), "link-1")
+            table.add(parse_xpath("/a"), "link-3")
+            destinations, _ = table.destinations_for(document)
+            assert destinations == ["link-2", "link-1", "link-3"], matching
 
 
 class TestMaintenance:
@@ -257,7 +291,8 @@ class TestRemovePattern:
         assert len(table) == 0
 
     def test_compiled_matchers_pruned_with_retired_entries(self, document):
-        table = RoutingTable()
+        # Matchers are compiled lazily by the linear scan only.
+        table = RoutingTable(matching="linear")
         table.add(parse_xpath("/a/b"), "link-1")
         table.add(parse_xpath("/a/b"), "link-2")
         table.destinations_for(document)  # compiles the matcher
@@ -269,7 +304,7 @@ class TestRemovePattern:
         assert table._matchers == {}
 
     def test_compiled_matchers_pruned_on_eviction(self, document):
-        table = RoutingTable()
+        table = RoutingTable(matching="linear")
         table.add(parse_xpath("/a/b/e"), "link-1")
         table.destinations_for(document)
         assert len(table._matchers) == 1
@@ -409,3 +444,128 @@ class TestTopologySurgery:
         table.add(parse_xpath("/a"), "link-1")
         removed, restored = table.remove_pattern(parse_xpath("/a"), "link-1")
         assert removed and restored == []
+
+
+def legacy_restore_order(candidates):
+    """The pre-DAG O(k³) rescan picker, kept as the order oracle."""
+    remaining = sorted(candidates, key=lambda item: item[1])
+    ordered = []
+    while remaining:
+        pick = 0
+        for position, (pattern, _) in enumerate(remaining):
+            if not any(
+                contains(other, pattern) and not contains(pattern, other)
+                for index, (other, _) in enumerate(remaining)
+                if index != position
+            ):
+                pick = position
+                break
+        ordered.append(remaining.pop(pick))
+    return ordered
+
+
+class TestRestoreOrderRegression:
+    """The containment-DAG restore order against the legacy rescan."""
+
+    def test_order_identical_to_legacy_rescan(self):
+        chain = [parse_xpath("/a" + "/b" * depth) for depth in range(4)]
+        candidates = [
+            (chain[3], True),
+            (chain[1], False),
+            (parse_xpath("/c/d"), True),     # incomparable with the chain
+            (chain[1], True),                # duplicate, flood flag differs
+            (chain[2], True),
+            (parse_xpath("//d"), False),     # contains /c/d
+            (chain[0], True),
+        ]
+        assert RoutingTable._restore_order(candidates) == (
+            legacy_restore_order(candidates)
+        )
+
+    def test_deep_absorption_chain_restores_in_quadratic_contains(
+        self, monkeypatch
+    ):
+        depth = 100
+        chain = [
+            parse_xpath("/a" + "/b" * level) for level in range(depth)
+        ]
+        table = RoutingTable()
+        for pattern in reversed(chain[1:]):
+            table.add(pattern, "link-1")
+        table.add(chain[0], "link-1")  # /a absorbs the whole chain
+        assert table.patterns_for("link-1") == [chain[0]]
+
+        calls = {"contains": 0}
+        import repro.routing.table as table_module
+
+        real_contains = table_module.contains
+
+        def counting_contains(p, q):
+            calls["contains"] += 1
+            return real_contains(p, q)
+
+        monkeypatch.setattr(table_module, "contains", counting_contains)
+        removed, restored = table.remove_pattern(chain[0], "link-1")
+        assert removed
+        # Maximal-first: /a/b claims the active slot, the rest re-absorb.
+        assert table.patterns_for("link-1") == [chain[1]]
+        k = depth - 1
+        # The DAG build is ≤ k·(k−1) contains calls; re-admission adds
+        # O(k) more per candidate.  The legacy rescan needed Θ(k³)
+        # (~half a million here).
+        assert calls["contains"] <= 3 * k * k, calls["contains"]
+        # The absorbed chain survived intact: peeling the new cover
+        # promotes the next level, exactly as before the rewrite.
+        removed, _ = table.remove_pattern(chain[1], "link-1")
+        assert removed
+        assert table.patterns_for("link-1") == [chain[2]]
+
+
+class TestPruneMatcherRegression:
+    """Matcher-cache pruning is refcounted, not a destination scan."""
+
+    def test_remove_destination_leaves_no_matcher_residue(self, document):
+        table = RoutingTable(matching="linear")
+        for index in range(20):
+            table.add(parse_xpath(f"/a/b/t{index}"), "link-1")
+            table.add(parse_xpath(f"/a/b/t{index}"), "link-2")
+        table.destinations_for(document)  # compile every matcher
+        assert len(table._matchers) == 20
+        table.remove_destination("link-1")
+        # Still active for link-2: every matcher stays.
+        assert len(table._matchers) == 20
+        table.remove_destination("link-2")
+        assert table._matchers == {}
+        assert table._active_counts == {}
+
+    def test_pruning_never_scans_destination_lists(self, document):
+        class ScanGuard(dict):
+            def values(self):
+                raise AssertionError(
+                    "_prune_matcher scanned _by_destination"
+                )
+
+        table = RoutingTable(matching="linear")
+        for index in range(5):
+            table.add(parse_xpath(f"/a/t{index}"), "link-1")
+            table.add(parse_xpath(f"/a/t{index}"), "link-2")
+        table.destinations_for(document)
+        table._by_destination = ScanGuard(table._by_destination)
+        table.remove_pattern(parse_xpath("/a/t0"), "link-1")
+        table.remove_destination("link-2")
+        # /a/t0 lost both registrations; /a/t1 survives via link-1.
+        assert parse_xpath("/a/t0") not in table._matchers
+        assert parse_xpath("/a/t1") in table._matchers
+
+    def test_activity_refcounts_track_every_mutation(self):
+        table = RoutingTable()
+        table.add(parse_xpath("/a/b"), "link-1")
+        table.add(parse_xpath("/a/b"), "link-2")
+        table.add(parse_xpath("/a"), "link-1")   # evicts /a/b for link-1
+        expected = {}
+        for patterns in table._by_destination.values():
+            for pattern in patterns:
+                expected[pattern] = expected.get(pattern, 0) + 1
+        assert table._active_counts == expected
+        table.remove_destination("link-2")
+        assert table._active_counts == {parse_xpath("/a"): 1}
