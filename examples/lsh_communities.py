@@ -1,0 +1,136 @@
+"""LSH candidate generation: community formation past the all-pairs wall.
+
+Exact community formation compares every incoming subscription against
+every community leader — affordable at workshop scale, quadratic-ish at
+the 10⁵-subscription deployments the paper targets.  This example runs
+the same clustering twice over one NITF workload:
+
+1. **exact** — the historical all-pairs path;
+2. **LSH-gated** — a :class:`~repro.LSHCandidates` generator shingles
+   each pattern by its synopsis matching-set sample, MinHash-signs it
+   into banded buckets, and clustering only evaluates similarity against
+   the leaders it collides with.
+
+Both clusterings are compared community by community, then the same
+generator is threaded through the deployment surface:
+``OverlayBuilder.candidates(...)`` →
+``advertise(CommunityPolicy(...))``, where every broker's live
+similarity index consults the generator before paying for a selectivity
+probe (``IndexStats.candidate_pruned`` counts the skips).
+
+Run:  PYTHONPATH=src python examples/lsh_communities.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    CommunityPolicy,
+    DocumentSynopsis,
+    LSHCandidates,
+    OverlayBuilder,
+    SelectivityEstimator,
+)
+from repro.core.similarity import m3_joint_over_union
+from repro.dtd.builtin import nitf_dtd
+from repro.generators.docgen import DocumentGenerator
+from repro.generators.querygen import PatternGenConfig, PatternGenerator
+from repro.routing.community import leader_clustering
+
+N_DOCUMENTS = 120
+N_SUBSCRIBERS = 3_000
+N_BROKERS = 5
+THRESHOLD = 0.5
+
+
+class CountingSimilarity:
+    """M3 with a pair memo, counting evaluations actually dispatched."""
+
+    def __init__(self, estimator: SelectivityEstimator):
+        self.estimator = estimator
+        self.memo: dict = {}
+        self.calls = 0
+
+    def __call__(self, p, q) -> float:
+        self.calls += 1
+        key = (p, q) if hash(p) <= hash(q) else (q, p)
+        if key not in self.memo:
+            self.memo[key] = m3_joint_over_union(self.estimator, p, q)
+        return self.memo[key]
+
+
+def main() -> None:
+    dtd = nitf_dtd()
+    print(f"building a {N_DOCUMENTS}-document NITF synopsis ...")
+    synopsis = DocumentSynopsis(mode="sets", capacity=128, seed=21)
+    docgen = DocumentGenerator(dtd, seed=21)
+    for _ in range(N_DOCUMENTS):
+        synopsis.insert_document(docgen.generate())
+    estimator = SelectivityEstimator(synopsis)
+
+    print(f"generating {N_SUBSCRIBERS} subscriber patterns ...")
+    patterns = PatternGenerator(
+        dtd, seed=7, config=PatternGenConfig(height=3, p_branch=0.05)
+    ).generate_many(N_SUBSCRIBERS, distinct=False)
+
+    # Shingle each pattern by the sample of documents it matches: MinHash
+    # over matching sets estimates exactly the Jaccard overlap the M3
+    # metric measures, so bucket collisions track the metric itself.
+    token_cache: dict = {}
+
+    def matching_sample_tokens(pattern):
+        if pattern not in token_cache:
+            token_cache[pattern] = [
+                ("doc", i)
+                for i in sorted(estimator.matching_view(pattern).ids)
+            ]
+        return token_cache[pattern]
+
+    generator = LSHCandidates(tokens=matching_sample_tokens)
+
+    exact_sim = CountingSimilarity(estimator)
+    exact = leader_clustering(patterns, exact_sim, THRESHOLD)
+    lsh_sim = CountingSimilarity(estimator)
+    gated = leader_clustering(
+        patterns, lsh_sim, THRESHOLD, candidates=generator
+    )
+
+    print(f"\nexact:     {len(exact):3d} communities, "
+          f"{exact_sim.calls} similarity evaluations")
+    print(f"lsh-gated: {len(gated):3d} communities, "
+          f"{lsh_sim.calls} similarity evaluations "
+          f"({generator.describe()})")
+    exact_sizes = sorted((len(c) for c in exact), reverse=True)[:8]
+    gated_sizes = sorted((len(c) for c in gated), reverse=True)[:8]
+    print(f"largest exact communities: {exact_sizes}")
+    print(f"largest lsh communities:   {gated_sizes}")
+
+    print("\nthreading the generator through a broker overlay ...")
+    overlay = (
+        OverlayBuilder()
+        .topology("random_tree", n_brokers=N_BROKERS, seed=11)
+        .subscriptions(patterns)
+        .provider(estimator)
+        .advertisement(CommunityPolicy(threshold=THRESHOLD))
+        .candidates(generator)
+        .build_overlay()
+    )
+    print(f"overlay mode: {overlay.mode}")
+    for broker_id, node in sorted(overlay.brokers.items()):
+        stats = node.index.stats
+        print(
+            f"  broker {broker_id}: {len(node.local_subscribers):5d} "
+            f"subscriptions -> {len(node.communities):3d} advertisements "
+            f"(candidate-pruned pairs: {stats.candidate_pruned})"
+        )
+
+    print(
+        "\nThe LSH gate makes placement cost per subscription independent\n"
+        "of the community count: O(bands) bucket lookups plus the few\n"
+        "colliding leaders, instead of a similarity probe against every\n"
+        "leader — the step that takes community formation to 10⁵+\n"
+        "subscriptions (see benchmarks/bench_lsh.py for the sweep)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -20,7 +20,10 @@ subpackages for the full surface:
 """
 
 from repro.core import (
+    ExactCandidates,
+    LSHCandidates,
     SelectivityEstimator,
+    ShardedExactCandidates,
     SimilarityEstimator,
     SimilarityIndex,
     SimilarityMatrix,
@@ -64,6 +67,9 @@ __all__ = [
     "SimilarityEstimator",
     "SimilarityIndex",
     "SimilarityMatrix",
+    "ExactCandidates",
+    "LSHCandidates",
+    "ShardedExactCandidates",
     "BrokerId",
     "BrokerOverlay",
     "OverlayStats",

@@ -1,6 +1,13 @@
 """The paper's primary contribution: tree patterns, selectivity estimation
 over document synopses, and proximity metrics."""
 
+from repro.core.candidates import (
+    CandidateGenerator,
+    ExactCandidates,
+    LSHCandidates,
+    ShardedExactCandidates,
+    resolve_candidates,
+)
 from repro.core.containment import containment_order, contains, equivalent
 from repro.core.errors import (
     ErrorSummary,
@@ -44,6 +51,11 @@ __all__ = [
     "parse_xpath",
     "to_xpath",
     "SelectivityEstimator",
+    "CandidateGenerator",
+    "ExactCandidates",
+    "LSHCandidates",
+    "ShardedExactCandidates",
+    "resolve_candidates",
     "METRICS",
     "IndexStats",
     "SimilarityEstimator",

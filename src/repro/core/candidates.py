@@ -1,0 +1,602 @@
+"""Candidate-pair generation for similarity evaluation past the O(n²) wall.
+
+Community formation (``leader_clustering``, ``agglomerative_clustering``,
+``advertise(CommunityPolicy)``) is gated on pairwise pattern similarity,
+and every similarity evaluation costs a joint-selectivity probe — the
+dominant cost the :class:`~repro.core.similarity.SimilarityIndex` memo
+amortises but cannot avoid.  Enumerating *all* pairs is quadratic in the
+subscription population, which is infeasible at the 10⁵–10⁶ scale the
+paper's routing results target.  This module makes the candidate set a
+first-class, swappable stage:
+
+* :class:`ExactCandidates` — the all-pairs oracle (today's behaviour),
+  optionally prefiltered by label-set overlap;
+* :class:`LSHCandidates` — banded MinHash locality-sensitive hashing
+  (as in "Similarity Search and Locality Sensitive Hashing using
+  TCAMs"): each pattern is shingled into its tag *label set* plus its
+  merged-trie *spine prefixes* (the structural-similarity seeds PR 6's
+  trie exposed), MinHash-signed, and bucketed per band — only patterns
+  colliding in at least one band become candidates.  Tunable
+  ``bands × rows`` trades recall against candidate-set size, and the
+  bucket tables are maintained incrementally under add/remove churn so
+  the generator composes with the subscription lifecycle;
+* :class:`ShardedExactCandidates` — the exact oracle with its pairwise
+  generation loop split across ``multiprocessing`` workers, for
+  mid-scale builds where the label-overlap prefilter over n²/2 pairs is
+  itself the bottleneck.
+
+A generator instance doubles as its own *template*: :meth:`spawn` clones
+the configuration with an empty population (sharing the signature memo,
+which depends only on the configuration), which is how each broker of an
+overlay — and each clustering pass — gets a private population without
+recomputing signatures.
+
+Consumers: ``SimilarityIndex(candidates=...)`` answers non-candidate
+pairs 0.0 without touching the provider (``IndexStats.candidate_pruned``
+accounts the skips), both clustering functions accept ``candidates=`` to
+restrict which pairs they evaluate at all, and
+``OverlayBuilder.candidates(...)`` threads a template through
+``advertise(CommunityPolicy)``.
+"""
+
+from __future__ import annotations
+
+import random
+from hashlib import blake2b
+from typing import Hashable, Iterable, Optional, Protocol, Sequence
+
+from repro.core.pattern import TreePattern
+
+__all__ = [
+    "CandidateGenerator",
+    "ExactCandidates",
+    "LSHCandidates",
+    "ShardedExactCandidates",
+    "pattern_tokens",
+]
+
+#: Modulus of the universal hash family: the Mersenne prime 2^61 - 1.
+_MERSENNE = (1 << 61) - 1
+
+#: Stable 64-bit token hashes, shared process-wide (tokens are values).
+_TOKEN_HASHES: dict = {}
+
+#: Pattern label sets, shared process-wide (patterns are immutable).
+_LABEL_SETS: dict[TreePattern, frozenset[str]] = {}
+
+
+def _token_hash(token) -> int:
+    """A stable (process- and seed-independent) 64-bit hash of one token.
+
+    Python's builtin ``hash`` is salted per process for strings, which
+    would make signatures — and therefore communities — irreproducible
+    across runs; blake2b is stable and cached per distinct token.
+    """
+    cached = _TOKEN_HASHES.get(token)
+    if cached is None:
+        digest = blake2b(repr(token).encode(), digest_size=8).digest()
+        cached = int.from_bytes(digest, "big")
+        _TOKEN_HASHES[token] = cached
+    return cached
+
+
+def _label_set(pattern: TreePattern) -> frozenset[str]:
+    """The pattern's plain tag labels, cached per distinct pattern."""
+    cached = _LABEL_SETS.get(pattern)
+    if cached is None:
+        cached = pattern.tags()
+        _LABEL_SETS[pattern] = cached
+    return cached
+
+
+def _spine_prefix_tokens(pattern: TreePattern) -> list[tuple]:
+    """One token per prefix of the pattern's merged-trie spine.
+
+    Reuses the trie's canonical spine decomposition — two patterns share
+    a spine-prefix token exactly when they would share a trie node, so
+    structurally similar patterns (the trie PR's community seeds) agree
+    on a long prefix of these tokens.  Imported lazily: the candidate
+    layer is core, the trie is routing, and only this shingle borrows
+    from the upper layer.
+    """
+    from repro.routing.trie import _decompose
+
+    steps, _gates = _decompose(pattern)
+    spine: list[tuple[str, str]] = []
+    tokens: list[tuple] = []
+    for axis, label, _branches in steps:
+        spine.append((axis, label))
+        tokens.append(("spine", tuple(spine)))
+    return tokens
+
+
+def pattern_tokens(pattern: TreePattern) -> list[tuple]:
+    """The shingle set MinHash signatures are computed over.
+
+    Label tokens capture *what* the pattern talks about, spine-prefix
+    tokens capture *how it is shaped*; their union makes both a shared
+    vocabulary and a shared structure raise collision probability.
+    """
+    tokens: list[tuple] = [("label", tag) for tag in sorted(_label_set(pattern))]
+    tokens.extend(_spine_prefix_tokens(pattern))
+    return tokens
+
+
+class CandidateGenerator(Protocol):
+    """The pluggable candidate-pair stage of similarity evaluation.
+
+    Keys are caller-chosen hashable handles (similarity-index handles,
+    clustering positions, subscriber ids); the generator never interprets
+    them.  ``is_candidate`` must be symmetric, must hold for equal
+    patterns, and must be a pure function of the two patterns — the
+    population only feeds the query-side methods ``candidates_of`` and
+    ``pairs``.
+    """
+
+    def spawn(self) -> "CandidateGenerator":
+        """A fresh, empty generator with this generator's configuration."""
+        ...
+
+    def add(self, key: Hashable, pattern: TreePattern) -> None:
+        """Admit *pattern* to the population under *key*."""
+        ...
+
+    def discard(self, key: Hashable) -> bool:
+        """Retire *key*; True when it was present."""
+        ...
+
+    def is_candidate(self, p: TreePattern, q: TreePattern) -> bool:
+        """Whether the pair (p, q) is worth a similarity evaluation."""
+        ...
+
+    def candidates_of(self, pattern: TreePattern) -> set:
+        """Keys of the population members that are candidates of *pattern*."""
+        ...
+
+    def pairs(self) -> list[tuple]:
+        """All candidate key pairs over the population, deduplicated."""
+        ...
+
+    def describe(self) -> str:
+        """A short label for reports and mode strings."""
+        ...
+
+    def __len__(self) -> int: ...
+
+
+class ExactCandidates:
+    """The all-pairs oracle: every pair is a candidate.
+
+    This reproduces the historical behaviour bit for bit, and is the
+    ground truth LSH recall is measured against.  With
+    ``prefilter_labels=True`` the generator additionally drops pairs
+    whose label sets are disjoint — the synopsis-overlap heuristic
+    generalising the ``//``-free tag-disjointness prune; see
+    ``SimilarityIndex(prune_label_overlap=...)`` for why a pattern with
+    an *empty* label set (pure wildcards) is never pruned.
+    """
+
+    def __init__(self, prefilter_labels: bool = False):
+        self.prefilter_labels = prefilter_labels
+        #: key -> pattern, insertion-ordered: ``pairs()`` follows it.
+        self._patterns: dict[Hashable, TreePattern] = {}
+
+    def spawn(self) -> "ExactCandidates":
+        return ExactCandidates(prefilter_labels=self.prefilter_labels)
+
+    def add(self, key: Hashable, pattern: TreePattern) -> None:
+        if key in self._patterns:
+            raise ValueError(f"duplicate candidate key {key!r}")
+        self._patterns[key] = pattern
+
+    def discard(self, key: Hashable) -> bool:
+        return self._patterns.pop(key, None) is not None
+
+    def _labels_overlap(self, p: TreePattern, q: TreePattern) -> bool:
+        labels_p = _label_set(p)
+        labels_q = _label_set(q)
+        # An empty label set (pure wildcard/descendant pattern) asserts
+        # nothing about vocabulary, so it overlaps everything.
+        return not labels_p or not labels_q or not labels_p.isdisjoint(labels_q)
+
+    def is_candidate(self, p: TreePattern, q: TreePattern) -> bool:
+        if not self.prefilter_labels or p == q:
+            return True
+        return self._labels_overlap(p, q)
+
+    def candidates_of(self, pattern: TreePattern) -> set:
+        if not self.prefilter_labels:
+            return set(self._patterns)
+        return {
+            key
+            for key, candidate in self._patterns.items()
+            if self._labels_overlap(pattern, candidate)
+        }
+
+    def pairs(self) -> list[tuple]:
+        keys = list(self._patterns)
+        if not self.prefilter_labels:
+            return [
+                (keys[i], keys[j])
+                for i in range(len(keys))
+                for j in range(i + 1, len(keys))
+            ]
+        patterns = list(self._patterns.values())
+        return [
+            (keys[i], keys[j])
+            for i in range(len(keys))
+            for j in range(i + 1, len(keys))
+            if self._labels_overlap(patterns[i], patterns[j])
+        ]
+
+    def describe(self) -> str:
+        if self.prefilter_labels:
+            return "exact(prefilter=labels)"
+        return "exact"
+
+    def __len__(self) -> int:
+        return len(self._patterns)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(population={len(self._patterns)})"
+
+
+# -- sharded exact generation ------------------------------------------------
+
+#: Worker-global label table, installed once per worker by the pool
+#: initializer so each chunk task ships only its index range.
+_WORKER_LABELS: Optional[list[Optional[frozenset[str]]]] = None
+
+
+def _init_pair_worker(labels: list[Optional[frozenset[str]]]) -> None:
+    global _WORKER_LABELS
+    _WORKER_LABELS = labels
+
+
+def _pair_chunk(bounds: tuple[int, int]) -> list[tuple[int, int]]:
+    """Surviving (i, j) index pairs for rows ``start <= i < stop``."""
+    start, stop = bounds
+    labels = _WORKER_LABELS
+    assert labels is not None
+    n = len(labels)
+    out: list[tuple[int, int]] = []
+    for i in range(start, stop):
+        left = labels[i]
+        for j in range(i + 1, n):
+            right = labels[j]
+            if left is None or right is None or not left.isdisjoint(right):
+                out.append((i, j))
+    return out
+
+
+class ShardedExactCandidates(ExactCandidates):
+    """Exact candidate generation with the pairwise loop sharded.
+
+    Identical output to :class:`ExactCandidates` (property-tested), but
+    :meth:`pairs` splits its O(n²/2) row loop across ``workers``
+    ``multiprocessing`` processes — worthwhile for mid-scale exact
+    builds where the label-overlap prefilter over millions of pairs is
+    the bottleneck, pointless below ``min_parallel`` keys (the
+    sequential loop wins under fork overhead, so small populations fall
+    back automatically, as does any environment where worker processes
+    cannot be spawned).
+    """
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        prefilter_labels: bool = True,
+        min_parallel: int = 2048,
+    ):
+        super().__init__(prefilter_labels=prefilter_labels)
+        if workers is not None and workers < 1:
+            raise ValueError("workers must be >= 1")
+        if min_parallel < 2:
+            raise ValueError("min_parallel must be >= 2")
+        self.workers = workers
+        self.min_parallel = min_parallel
+
+    def spawn(self) -> "ShardedExactCandidates":
+        return ShardedExactCandidates(
+            workers=self.workers,
+            prefilter_labels=self.prefilter_labels,
+            min_parallel=self.min_parallel,
+        )
+
+    def _resolved_workers(self) -> int:
+        if self.workers is not None:
+            return self.workers
+        import os
+
+        return max(1, min(8, os.cpu_count() or 1))
+
+    def pairs(self) -> list[tuple]:
+        keys = list(self._patterns)
+        n = len(keys)
+        workers = self._resolved_workers()
+        if workers <= 1 or n < self.min_parallel:
+            return super().pairs()
+        labels: list[Optional[frozenset[str]]]
+        if self.prefilter_labels:
+            # None marks match-everything rows: empty label sets, or the
+            # prefilter being off entirely.
+            labels = [_label_set(p) or None for p in self._patterns.values()]
+        else:
+            labels = [None] * n
+        chunk = max(1, (n + workers * 4 - 1) // (workers * 4))
+        bounds = [(start, min(start + chunk, n)) for start in range(0, n, chunk)]
+        try:
+            import multiprocessing
+
+            with multiprocessing.Pool(
+                workers, initializer=_init_pair_worker, initargs=(labels,)
+            ) as pool:
+                chunks = pool.map(_pair_chunk, bounds)
+        except (ImportError, OSError, PermissionError):
+            # Restricted environments (no fork/sem support): the oracle
+            # must still answer, just sequentially.
+            return super().pairs()
+        return [
+            (keys[i], keys[j]) for chunk_pairs in chunks for i, j in chunk_pairs
+        ]
+
+    def describe(self) -> str:
+        suffix = ", prefilter=labels" if self.prefilter_labels else ""
+        return f"sharded_exact(workers={self.workers or 'auto'}{suffix})"
+
+
+class LSHCandidates:
+    """Banded MinHash candidate generation over pattern signatures.
+
+    Each pattern is shingled by :func:`pattern_tokens` (label set plus
+    trie spine prefixes) and signed with ``bands × rows`` MinHash values
+    from a seeded universal hash family; the signature is split into
+    ``bands`` bands of ``rows`` values, and two patterns are candidates
+    exactly when at least one band agrees.  For token-set Jaccard
+    similarity *s*, the collision probability is the classic
+    ``1 - (1 - s^rows)^bands`` S-curve: more rows sharpen the threshold,
+    more bands raise recall.  The default 16 × 2 keeps recall above 0.99
+    at Jaccard 0.5 while pruning the long dissimilar tail.
+
+    Equal patterns have equal signatures, so duplicates always collide —
+    LSH clustering degrades only on *near*-duplicate structure.  The
+    bucket tables are plain dict[set] structures maintained per
+    :meth:`add` / :meth:`discard`, so the generator rides along with
+    subscription churn at O(bands) per event.
+
+    The *default* shingles are structural, so candidate quality tracks
+    *structural* similarity.  The paper's metrics are extensional —
+    M3 scores two patterns by how much their **matching document sets**
+    overlap, and structurally alien patterns (``/nitf`` vs ``//*``) can
+    match exactly the same stream.  ``tokens`` swaps the shingle source:
+    pass a callable returning any hashable tokens per pattern — most
+    usefully the pattern's *synopsis matching-set sample ids* (see
+    ``benchmarks/bench_lsh.py``), under which band-collision probability
+    tracks the M3 similarity itself, because MinHash over matching-set
+    samples estimates exactly the Jaccard quantity M3 measures.
+
+    ``signature_fn`` swaps the MinHash for a caller-supplied signature
+    (length ``bands × rows``); :meth:`degenerate` uses it to build the
+    one-band, one-row constant-signature configuration under which every
+    pair collides — the config that provably reproduces exact
+    clustering, pinned by the property suite.
+
+    Signatures depend only on the configuration, never on the
+    population, so :meth:`spawn` shares the signature memo between a
+    template and all its spawns (each broker's generator reuses
+    signatures any other broker already computed).
+    """
+
+    def __init__(
+        self,
+        bands: int = 16,
+        rows: int = 2,
+        seed: int = 0,
+        tokens=None,
+        signature_fn=None,
+        _shared: Optional[tuple] = None,
+    ):
+        if bands < 1:
+            raise ValueError("bands must be >= 1")
+        if rows < 1:
+            raise ValueError("rows must be >= 1")
+        self.bands = bands
+        self.rows = rows
+        self.seed = seed
+        self.tokens = tokens
+        self.signature_fn = signature_fn
+        if _shared is None:
+            rng = random.Random(seed)
+            params = tuple(
+                (rng.randrange(1, _MERSENNE), rng.randrange(_MERSENNE))
+                for _ in range(bands * rows)
+            )
+            _shared = (params, {})
+        self._shared = _shared
+        self._params: Sequence[tuple[int, int]] = _shared[0]
+        self._signature_memo: dict[TreePattern, tuple[int, ...]] = _shared[1]
+        #: band bucket -> keys, with dict-as-ordered-set buckets so
+        #: ``pairs()`` is deterministic without requiring orderable keys.
+        self._buckets: dict[tuple[int, tuple[int, ...]], dict[Hashable, None]] = {}
+        #: key -> its band bucket ids, for O(bands) removal.
+        self._bucket_ids: dict[Hashable, tuple[tuple[int, tuple[int, ...]], ...]] = {}
+
+    @classmethod
+    def degenerate(cls) -> "LSHCandidates":
+        """The collide-everything configuration: one band, one row, and a
+        constant (identity) signature — every pair lands in one bucket,
+        so LSH-backed clustering equals exact clustering by construction.
+        """
+        return cls(bands=1, rows=1, signature_fn=lambda pattern: (0,))
+
+    def spawn(self) -> "LSHCandidates":
+        return LSHCandidates(
+            bands=self.bands,
+            rows=self.rows,
+            seed=self.seed,
+            tokens=self.tokens,
+            signature_fn=self.signature_fn,
+            _shared=self._shared,
+        )
+
+    # -- signatures ----------------------------------------------------------
+
+    def signature(self, pattern: TreePattern) -> tuple[int, ...]:
+        """The pattern's MinHash signature (memoised per distinct pattern)."""
+        cached = self._signature_memo.get(pattern)
+        if cached is not None:
+            return cached
+        if self.signature_fn is not None:
+            cached = tuple(self.signature_fn(pattern))
+            if len(cached) != self.bands * self.rows:
+                raise ValueError(
+                    f"signature_fn must return bands*rows={self.bands * self.rows} "
+                    f"values, got {len(cached)}"
+                )
+        else:
+            source = self.tokens if self.tokens is not None else pattern_tokens
+            token_hashes = [_token_hash(token) for token in source(pattern)]
+            if not token_hashes:
+                # A token-free pattern still needs a well-defined
+                # signature; the sentinel collides all such patterns.
+                token_hashes = [_token_hash(("no-tokens",))]
+            cached = tuple(
+                min((a * h + b) % _MERSENNE for h in token_hashes)
+                for a, b in self._params
+            )
+        self._signature_memo[pattern] = cached
+        return cached
+
+    def _band_ids(
+        self, pattern: TreePattern
+    ) -> list[tuple[int, tuple[int, ...]]]:
+        signature = self.signature(pattern)
+        rows = self.rows
+        return [
+            (band, signature[band * rows : (band + 1) * rows])
+            for band in range(self.bands)
+        ]
+
+    # -- population ----------------------------------------------------------
+
+    def add(self, key: Hashable, pattern: TreePattern) -> None:
+        if key in self._bucket_ids:
+            raise ValueError(f"duplicate candidate key {key!r}")
+        band_ids = tuple(self._band_ids(pattern))
+        self._bucket_ids[key] = band_ids
+        for band_id in band_ids:
+            self._buckets.setdefault(band_id, {})[key] = None
+
+    def discard(self, key: Hashable) -> bool:
+        band_ids = self._bucket_ids.pop(key, None)
+        if band_ids is None:
+            return False
+        for band_id in band_ids:
+            bucket = self._buckets[band_id]
+            del bucket[key]
+            if not bucket:
+                del self._buckets[band_id]
+        return True
+
+    # -- queries -------------------------------------------------------------
+
+    def is_candidate(self, p: TreePattern, q: TreePattern) -> bool:
+        if p == q:
+            return True
+        sig_p = self.signature(p)
+        sig_q = self.signature(q)
+        rows = self.rows
+        return any(
+            sig_p[band * rows : (band + 1) * rows]
+            == sig_q[band * rows : (band + 1) * rows]
+            for band in range(self.bands)
+        )
+
+    def candidates_of(self, pattern: TreePattern) -> set:
+        found: set = set()
+        for band_id in self._band_ids(pattern):
+            bucket = self._buckets.get(band_id)
+            if bucket:
+                found.update(bucket)
+        return found
+
+    def pairs(self) -> list[tuple]:
+        emitted: set = set()
+        out: list[tuple] = []
+        for bucket in self._buckets.values():
+            if len(bucket) < 2:
+                continue
+            members = list(bucket)
+            for i in range(len(members)):
+                for j in range(i + 1, len(members)):
+                    pair = (members[i], members[j])
+                    if pair not in emitted and (pair[1], pair[0]) not in emitted:
+                        emitted.add(pair)
+                        out.append(pair)
+        return out
+
+    def bucket_sizes(self) -> list[int]:
+        """Occupied-bucket sizes, for load diagnostics and benchmarks."""
+        return sorted((len(bucket) for bucket in self._buckets.values()), reverse=True)
+
+    def describe(self) -> str:
+        if self.signature_fn is not None:
+            return f"lsh(bands={self.bands}, rows={self.rows}, custom-signature)"
+        if self.tokens is not None:
+            return f"lsh(bands={self.bands}, rows={self.rows}, custom-tokens)"
+        return f"lsh(bands={self.bands}, rows={self.rows})"
+
+    def __len__(self) -> int:
+        return len(self._bucket_ids)
+
+    def __repr__(self) -> str:
+        return (
+            f"LSHCandidates(bands={self.bands}, rows={self.rows}, "
+            f"population={len(self._bucket_ids)}, buckets={len(self._buckets)})"
+        )
+
+
+def resolve_candidates(
+    spec: "CandidateGenerator | str | None", **overrides
+) -> Optional[CandidateGenerator]:
+    """Resolve a generator instance or string spelling to a generator.
+
+    ``None`` passes through (no candidate stage); ``"exact"``, ``"lsh"``
+    and ``"sharded"`` map to the generator classes with keyword
+    overrides forwarded; an instance passes through unchanged, rejecting
+    overrides — it already carries its configuration.
+    """
+    if spec is None:
+        if overrides:
+            raise ValueError("candidate overrides need a generator spelling")
+        return None
+    if isinstance(spec, str):
+        if spec == "exact":
+            return ExactCandidates(**overrides)
+        if spec == "lsh":
+            return LSHCandidates(**overrides)
+        if spec == "sharded":
+            return ShardedExactCandidates(**overrides)
+        raise ValueError(
+            f"unknown candidate generator {spec!r}; choose from "
+            "('exact', 'lsh', 'sharded') or pass a CandidateGenerator"
+        )
+    if overrides:
+        raise ValueError(
+            "candidate overrides only apply to string spellings; "
+            f"configure {type(spec).__name__} directly instead"
+        )
+    return spec
+
+
+def candidate_pairs(
+    patterns: Iterable[TreePattern], generator: CandidateGenerator
+) -> list[tuple[int, int]]:
+    """Candidate index pairs over *patterns* under a fresh spawn of
+    *generator* — the convenience entry benchmarks and offline builds
+    use to measure candidate-set size without touching the template's
+    population."""
+    fresh = generator.spawn()
+    for index, pattern in enumerate(patterns):
+        fresh.add(index, pattern)
+    return fresh.pairs()

@@ -27,9 +27,11 @@ as a thin positional view over the same machinery.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Optional, Protocol
 
+from repro.core.candidates import CandidateGenerator
 from repro.core.labels import is_tag
 from repro.core.pattern import TreePattern
 
@@ -150,12 +152,14 @@ class SimilarityEstimator:
         """
         if k < 1:
             raise ValueError("k must be at least 1")
-        scored = [
+        scored = (
             (index, self.similarity(pattern, candidate, metric))
             for index, candidate in enumerate(candidates)
-        ]
-        scored.sort(key=lambda pair: (-pair[1], pair[0]))
-        return scored[:k]
+        )
+        # A bounded heap instead of a full sort: k ≪ n queries pay
+        # O(n log k), with ties resolved exactly as the sort did
+        # (descending similarity, ascending index).
+        return heapq.nlargest(k, scored, key=lambda pair: (pair[1], -pair[0]))
 
     def matrix(
         self, patterns: list[TreePattern], metric: str = "M3"
@@ -182,6 +186,11 @@ class IndexStats:
     broken down per metric in ``ratio_pruned_by_metric`` — M1 counts
     *directed* pairs, because its bound depends on the conditioning side.
     Pruned versus evaluated is exactly the sparse-evaluation saving.
+    ``label_overlap_pruned`` counts the distinct pairs the opt-in
+    label-overlap heuristic (``prune_label_overlap=True``) answered 0
+    instead of probing; ``candidate_pruned`` the distinct pairs a
+    configured :class:`~repro.core.candidates.CandidateGenerator`
+    declared non-candidates, skipped before any selectivity work at all.
     ``memo_evicted`` counts memo entries dropped because their pattern
     left the live population (see :meth:`SimilarityIndex.compact`);
     ``memo_lru_evicted`` counts joint entries dropped by the optional
@@ -192,6 +201,8 @@ class IndexStats:
     joint_evaluated: int = 0
     joint_pruned: int = 0
     joint_ratio_pruned: int = 0
+    label_overlap_pruned: int = 0
+    candidate_pruned: int = 0
     selectivity_evaluated: int = 0
     adds: int = 0
     removes: int = 0
@@ -201,8 +212,17 @@ class IndexStats:
 
     @property
     def prune_ratio(self) -> float:
-        """Fraction of decided joint pairs either prefilter answered."""
-        pruned = self.joint_pruned + self.joint_ratio_pruned
+        """Fraction of decided joint pairs a prefilter answered.
+
+        Counts the joint-level prefilters (tag-disjointness, label
+        overlap, selectivity ratio); ``candidate_pruned`` pairs never
+        became joint decisions and are accounted separately.
+        """
+        pruned = (
+            self.joint_pruned
+            + self.joint_ratio_pruned
+            + self.label_overlap_pruned
+        )
         decided = self.joint_evaluated + pruned
         if decided == 0:
             return 0.0
@@ -274,6 +294,22 @@ class SimilarityIndex:
       simply recomputes if demanded again.  The O(n) selectivity and
       anchor memos are never capped — they are the cheap primitives the
       prefilters rely on.
+    * **label-overlap prefilter** (``prune_label_overlap``) — the
+      tag-disjointness prune generalised to ``//``-patterns: a pair
+      whose plain-tag label *sets* are disjoint (and both non-empty —
+      pure-wildcard patterns assert nothing about vocabulary) is
+      answered 0 without a provider call, counted in
+      ``stats.label_overlap_pruned``.  Unlike the root-anchor prune this
+      is a *heuristic*: two label-disjoint ``//``-patterns can share
+      matching documents, so the prune deliberately trades exactness for
+      probe count and is off by default.
+    * **candidate generation** (``candidates``) — a
+      :class:`~repro.core.candidates.CandidateGenerator` consulted
+      *before* any selectivity work: a non-candidate pair's similarity
+      is answered 0.0 outright (``stats.candidate_pruned``), which is
+      what makes LSH-backed community formation sublinear.  The index
+      keeps the generator's population in sync with its own under
+      :meth:`add` / :meth:`remove` churn, keyed by handle.
 
     The index implements the :class:`SelectivityProvider` protocol
     (memoising, pruning pass-through) so the M1/M2/M3 callables evaluate
@@ -296,6 +332,8 @@ class SimilarityIndex:
         evict_dead_memos: bool = False,
         prune_below: Optional[float] = None,
         memo_capacity: Optional[int] = None,
+        prune_label_overlap: bool = False,
+        candidates: Optional[CandidateGenerator] = None,
     ):
         if metric not in METRICS:
             raise ValueError(
@@ -319,6 +357,8 @@ class SimilarityIndex:
         self.prune_below = prune_below
         self.memo_capacity = memo_capacity
         self.evict_dead_memos = evict_dead_memos
+        self.prune_label_overlap = prune_label_overlap
+        self.candidates = candidates
         self.stats = IndexStats()
         self._metric_fn = METRICS[metric]
         self._population: dict[int, TreePattern] = {}
@@ -338,6 +378,11 @@ class SimilarityIndex:
         #: Root-anchor cache: frozenset of root tag labels for prunable
         #: (``//``-free, tag-anchored) patterns, None for unprunable ones.
         self._anchor_memo: dict[TreePattern, Optional[frozenset[str]]] = {}
+        #: Plain-tag label sets for the label-overlap prefilter.
+        self._label_memo: dict[TreePattern, frozenset[str]] = {}
+        #: Distinct pairs the candidate generator answered, keeping
+        #: ``stats.candidate_pruned`` a distinct-pair count.
+        self._candidate_pruned: set[frozenset[TreePattern]] = set()
         for pattern in patterns:
             self.add(pattern)
 
@@ -353,6 +398,8 @@ class SimilarityIndex:
         self._next_handle += 1
         self._population[handle] = pattern
         self._live_counts[pattern] = self._live_counts.get(pattern, 0) + 1
+        if self.candidates is not None:
+            self.candidates.add(handle, pattern)
         self.stats.adds += 1
         return handle
 
@@ -369,6 +416,8 @@ class SimilarityIndex:
             pattern = self._population.pop(handle)
         except KeyError:
             raise KeyError(f"unknown or already removed handle {handle}") from None
+        if self.candidates is not None:
+            self.candidates.discard(handle)
         self.stats.removes += 1
         remaining = self._live_counts.get(pattern, 0) - 1
         if remaining > 0:
@@ -398,6 +447,11 @@ class SimilarityIndex:
             for pattern in self._anchor_memo
             if pattern not in self._live_counts
         )
+        dead.update(
+            pattern
+            for pattern in self._label_memo
+            if pattern not in self._live_counts
+        )
         for key in self._joint_memo:
             for pattern in key:
                 if pattern not in self._live_counts:
@@ -413,6 +467,7 @@ class SimilarityIndex:
             if self._selectivity_memo.pop(pattern, None) is not None:
                 evicted += 1
             self._anchor_memo.pop(pattern, None)
+            self._label_memo.pop(pattern, None)
         stale = [
             key for key in self._joint_memo if not dead.isdisjoint(key)
         ]
@@ -421,6 +476,9 @@ class SimilarityIndex:
         evicted += len(stale)
         self._ratio_pruned = {
             key for key in self._ratio_pruned if dead.isdisjoint(key)
+        }
+        self._candidate_pruned = {
+            key for key in self._candidate_pruned if dead.isdisjoint(key)
         }
         self.stats.memo_evicted += evicted
         return evicted
@@ -502,12 +560,22 @@ class SimilarityIndex:
         self._anchor_memo[pattern] = anchors
         return anchors
 
+    def _labels(self, pattern: TreePattern) -> frozenset[str]:
+        """The pattern's plain tag labels, cached per distinct pattern."""
+        cached = self._label_memo.get(pattern)
+        if cached is None:
+            cached = pattern.tags()
+            self._label_memo[pattern] = cached
+        return cached
+
     def joint_selectivity(self, p: TreePattern, q: TreePattern) -> float:
         """``P(p ∧ q)``, computed once per unordered distinct pattern pair.
 
         Pairs of ``//``-free patterns whose root tag anchors are disjoint
         are answered 0 without a provider call: the document root would
-        have to carry two different tags at once.
+        have to carry two different tags at once.  With
+        ``prune_label_overlap=True``, pairs whose plain-tag label sets
+        are disjoint (both non-empty) are answered 0 heuristically too.
         """
         key = frozenset((p, q))
         cached = self._joint_memo.get(key)
@@ -526,6 +594,14 @@ class SimilarityIndex:
                 and anchors_p.isdisjoint(anchors_q)
             ):
                 self.stats.joint_pruned += 1
+                self._joint_memo[key] = 0.0
+                self._trim_joint_memo()
+                return 0.0
+        if self.prune_label_overlap and p != q:
+            labels_p = self._labels(p)
+            labels_q = self._labels(q)
+            if labels_p and labels_q and labels_p.isdisjoint(labels_q):
+                self.stats.label_overlap_pruned += 1
                 self._joint_memo[key] = 0.0
                 self._trim_joint_memo()
                 return 0.0
@@ -562,12 +638,24 @@ class SimilarityIndex:
     def _evaluate(self, p: TreePattern, q: TreePattern) -> float:
         """The configured metric on *p*, *q*, through the prefilters.
 
-        With ``prune_below`` set, a never-seen pair whose marginal bound
-        (:meth:`_marginal_bound`) already pins the metric below the
-        threshold is answered 0.0 without touching the joint memo or the
-        provider; an already-memoised pair keeps returning its exact
-        value.
+        A configured candidate generator is consulted first: a
+        non-candidate pair is answered 0.0 before any selectivity work
+        (``stats.candidate_pruned``).  With ``prune_below`` set, a
+        never-seen pair whose marginal bound (:meth:`_marginal_bound`)
+        already pins the metric below the threshold is answered 0.0
+        without touching the joint memo or the provider; an
+        already-memoised pair keeps returning its exact value.
         """
+        if (
+            self.candidates is not None
+            and p != q
+            and not self.candidates.is_candidate(p, q)
+        ):
+            key = frozenset((p, q))
+            if key not in self._candidate_pruned:
+                self._candidate_pruned.add(key)
+                self.stats.candidate_pruned += 1
+            return 0.0
         if self.prune_below is not None and p != q:
             key = frozenset((p, q))
             if key not in self._joint_memo:
@@ -624,13 +712,12 @@ class SimilarityIndex:
         handle order as tie-break."""
         if k < 1:
             raise ValueError("k must be at least 1")
-        scored = [
+        scored = (
             (other, score)
             for other, score in self.row(handle).items()
             if other != handle
-        ]
-        scored.sort(key=lambda pair: (-pair[1], pair[0]))
-        return scored[:k]
+        )
+        return heapq.nlargest(k, scored, key=lambda pair: (pair[1], -pair[0]))
 
     def neighbors(self, handle: int, threshold: float) -> list[tuple[int, float]]:
         """All live handles with similarity ``>= threshold`` to *handle*
@@ -775,13 +862,12 @@ class SimilarityMatrix:
         if k < 1:
             raise ValueError("k must be at least 1")
         index = self._normalize(index)
-        scored = [
+        scored = (
             (other, score)
             for other, score in enumerate(self.values[index])
             if other != index
-        ]
-        scored.sort(key=lambda pair: (-pair[1], pair[0]))
-        return scored[:k]
+        )
+        return heapq.nlargest(k, scored, key=lambda pair: (pair[1], -pair[0]))
 
     def neighbors(self, index: int, threshold: float) -> list[tuple[int, float]]:
         """All population members with similarity ``>= threshold`` to

@@ -6,7 +6,9 @@ Module map:
   :func:`leader_clustering` (online, greedy) and
   :func:`agglomerative_clustering` (offline, average-linkage with
   incremental linkage maintenance), both able to read a precomputed
-  :class:`~repro.core.similarity.SimilarityMatrix`;
+  :class:`~repro.core.similarity.SimilarityMatrix` and both gateable
+  by a :class:`~repro.core.candidates.CandidateGenerator`
+  (``candidates=``) so only colliding pairs are ever evaluated;
 * :mod:`repro.routing.broker` — the single-broker routing simulation:
   per-subscription / flooding / community strategies scored for delivery
   precision, recall and filtering cost;
@@ -46,8 +48,8 @@ Module map:
   legacy flag API;
 * :mod:`repro.routing.builder` — :class:`OverlayBuilder`, the fluent
   façade composing topology, membership, estimator provider,
-  advertisement policy, service/link models and scheduling into a ready
-  ``(BrokerOverlay, DeliveryEngine)`` pair;
+  advertisement policy, candidate generator, service/link models and
+  scheduling into a ready ``(BrokerOverlay, DeliveryEngine)`` pair;
 * :mod:`repro.routing.engine` — the discrete-event delivery engine:
   seeded, wall-clock-free simulation of the overlay under load, with
   per-broker service queues drained by a swappable

@@ -35,6 +35,7 @@ from __future__ import annotations
 
 from typing import Iterable, Optional
 
+from repro.core.candidates import CandidateGenerator, resolve_candidates
 from repro.core.pattern import TreePattern
 from repro.core.similarity import SelectivityProvider
 from repro.routing.engine import DeliveryEngine, LinkModel, ServiceModel
@@ -69,6 +70,7 @@ class OverlayBuilder:
         self._placements: list[tuple] = []
         self._advertisement = resolve_advertisement("per_subscription")
         self._provider: Optional[SelectivityProvider] = None
+        self._candidates: Optional[CandidateGenerator] = None
         self._service: Optional[ServiceModel] = None
         self._links: Optional[LinkModel] = None
         self._scheduling = resolve_scheduling("fifo")
@@ -125,6 +127,24 @@ class OverlayBuilder:
     def provider(self, provider: SelectivityProvider) -> "OverlayBuilder":
         """The selectivity provider similarity-based policies score with."""
         self._provider = provider
+        return self
+
+    def candidates(
+        self, generator: "CandidateGenerator | str | None"
+    ) -> "OverlayBuilder":
+        """Gate similarity evaluation through a candidate generator.
+
+        *generator* is a
+        :class:`~repro.core.candidates.CandidateGenerator` template — for
+        example :class:`~repro.core.candidates.LSHCandidates` — or one of
+        the string spellings (``"exact"``, ``"lsh"``, ``"sharded"``)
+        accepted by :func:`~repro.core.candidates.resolve_candidates`;
+        ``None`` (the default) clears the gate.  Only meaningful together
+        with a similarity-based advertisement policy: community formation
+        then consults the generator before paying for a selectivity
+        probe, which is what takes clustering past the all-pairs wall.
+        """
+        self._candidates = resolve_candidates(generator)
         return self
 
     def service(self, model: ServiceModel) -> "OverlayBuilder":
@@ -201,7 +221,9 @@ class OverlayBuilder:
                 overlay.attach_round_robin(placement[1])
             else:
                 overlay.attach(placement[1], placement[2])
-        overlay.advertise(self._advertisement, self._provider)
+        overlay.advertise(
+            self._advertisement, self._provider, candidates=self._candidates
+        )
         return overlay
 
     def build_engine(self, overlay: BrokerOverlay) -> DeliveryEngine:

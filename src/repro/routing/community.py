@@ -25,6 +25,18 @@ they mutate, paying only for pairs involving changed patterns.
 with its pattern population and reads the precomputed values directly;
 :func:`leader_clustering` stays lazy on purpose — it only ever needs
 O(n · #communities) of the n² pairs.
+
+Both also accept a ``candidates=`` template — a
+:class:`~repro.core.candidates.CandidateGenerator` such as
+:class:`~repro.core.candidates.LSHCandidates` — restricting which pairs
+are evaluated at all: leader clustering only compares a pattern against
+the community leaders colliding with it (the per-pattern cost drops from
+O(#communities) similarity evaluations to O(bands) bucket lookups plus
+the few collisions), and agglomerative clustering only evaluates
+candidate pairs, scoring the rest 0.  With
+:class:`~repro.core.candidates.ExactCandidates` the results are
+identical to the un-gated clusterings; with LSH they trade a measured
+amount of recall for sublinear candidate generation.
 """
 
 from __future__ import annotations
@@ -32,6 +44,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence
 
+from repro.core.candidates import CandidateGenerator
 from repro.core.pattern import TreePattern
 from repro.core.similarity import SimilarityIndex, SimilarityMatrix
 
@@ -41,15 +54,32 @@ SimilarityFn = Callable[[TreePattern, TreePattern], float]
 
 
 def _pairwise_values(
-    patterns: Sequence[TreePattern], similarity: SimilarityFn
+    patterns: Sequence[TreePattern],
+    similarity: SimilarityFn,
+    candidates: Optional[CandidateGenerator] = None,
 ) -> list[list[float]]:
     """The full symmetric similarity matrix over *patterns*.
 
     An aligned :class:`SimilarityMatrix` (same population, in order) hands
     over its cached values; an aligned :class:`SimilarityIndex` evaluates
     through its memo (only never-seen pairs reach the provider); any other
-    callable is evaluated once per unordered pair.
+    callable is evaluated once per unordered pair.  With a candidate
+    generator, only candidate pairs are evaluated — every other entry is
+    scored 0.0 without dispatching the similarity callable.
     """
+    if candidates is not None:
+        generator = candidates.spawn()
+        for index, pattern in enumerate(patterns):
+            generator.add(index, pattern)
+        n = len(patterns)
+        sims = [[0.0] * n for _ in range(n)]
+        for i in range(n):
+            sims[i][i] = 1.0
+        for i, j in generator.pairs():
+            value = similarity(patterns[i], patterns[j])
+            sims[i][j] = value
+            sims[j][i] = value
+        return sims
     if isinstance(similarity, SimilarityMatrix) and similarity.patterns == list(
         patterns
     ):
@@ -95,6 +125,7 @@ def leader_clustering(
     patterns: Sequence[TreePattern],
     similarity: SimilarityFn,
     threshold: float,
+    candidates: Optional[CandidateGenerator] = None,
 ) -> list[Community]:
     """Greedy threshold clustering of *patterns*.
 
@@ -103,19 +134,47 @@ def leader_clustering(
     otherwise it becomes the leader of a new community.  ``threshold=1.0``
     therefore yields (near-)equivalence classes and ``threshold=0.0`` a
     single community.
+
+    With a *candidates* template, only the leaders the generator reports
+    as candidates of the incoming pattern are compared — still in
+    community-creation order, so
+    :class:`~repro.core.candidates.ExactCandidates` (whose candidate set
+    is every leader) reproduces the un-gated clustering exactly, while
+    :class:`~repro.core.candidates.LSHCandidates` makes placement cost
+    independent of the total community count.  The template itself is
+    never mutated: a fresh spawn holds the leaders-only population.
     """
     if not 0.0 <= threshold <= 1.0:
         raise ValueError("threshold must be in [0, 1]")
     communities: list[Community] = []
+    if candidates is None:
+        for index, pattern in enumerate(patterns):
+            placed = False
+            for community in communities:
+                if similarity(patterns[community.leader], pattern) >= threshold:
+                    community.members.append(index)
+                    placed = True
+                    break
+            if not placed:
+                communities.append(Community(leader=index))
+        return communities
+    generator = candidates.spawn()
+    #: leader pattern-index -> its community, in creation order.  Keys
+    #: ascend with creation, so sorting candidate leader indices
+    #: reproduces the oracle's first-fit order.
+    by_leader: dict[int, Community] = {}
     for index, pattern in enumerate(patterns):
         placed = False
-        for community in communities:
-            if similarity(patterns[community.leader], pattern) >= threshold:
-                community.members.append(index)
+        for leader in sorted(generator.candidates_of(pattern)):
+            if similarity(patterns[leader], pattern) >= threshold:
+                by_leader[leader].members.append(index)
                 placed = True
                 break
         if not placed:
-            communities.append(Community(leader=index))
+            community = Community(leader=index)
+            communities.append(community)
+            by_leader[index] = community
+            generator.add(index, pattern)
     return communities
 
 
@@ -124,12 +183,16 @@ def agglomerative_clustering(
     similarity: SimilarityFn,
     n_communities: int,
     min_similarity: float = 0.0,
+    candidates: Optional[CandidateGenerator] = None,
 ) -> list[Community]:
     """Average-linkage agglomerative clustering down to *n_communities*.
 
     Merging stops early when the best average inter-cluster similarity
     drops below *min_similarity*.  The member most similar to the rest of
-    its community becomes the leader.
+    its community becomes the leader.  With a *candidates* template,
+    only candidate pairs are evaluated for the similarity matrix — the
+    rest score 0, so non-candidate clusters can only merge through
+    shared candidate mass.
 
     Average linkage is cached per cluster pair: after a merge, only the
     pairs involving the merged cluster are recomputed from the similarity
@@ -144,7 +207,7 @@ def agglomerative_clustering(
     if n == 0:
         return []
 
-    sims = _pairwise_values(patterns, similarity)
+    sims = _pairwise_values(patterns, similarity, candidates)
 
     # Active cluster uids in creation order (always ascending: merges keep
     # the earlier uid, deletions preserve order); ``members[uid]`` holds

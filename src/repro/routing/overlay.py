@@ -71,6 +71,7 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import Iterable, Optional, Union
 
+from repro.core.candidates import CandidateGenerator
 from repro.core.pattern import TreePattern
 from repro.core.similarity import SelectivityProvider, SimilarityIndex
 from repro.routing.policy import (
@@ -1074,6 +1075,7 @@ class BrokerOverlay:
         self,
         policy: AdvertisementSpec,
         provider: Optional[SelectivityProvider] = None,
+        candidates: "CandidateGenerator | str | None" = None,
         **overrides,
     ) -> None:
         """Install routing state for the whole overlay under *policy*.
@@ -1087,6 +1089,14 @@ class BrokerOverlay:
         :class:`~repro.core.similarity.SelectivityProvider` each broker's
         live index scores patterns with.
 
+        *candidates* — a
+        :class:`~repro.core.candidates.CandidateGenerator` template (or
+        the string spellings accepted by
+        :func:`~repro.core.candidates.resolve_candidates`) — gates which
+        pattern pairs the similarity machinery evaluates at all; it only
+        makes sense for similarity-based policies and replaces whatever
+        generator the policy was constructed with.
+
         Every broker aggregates its local subscriptions through the
         policy and floods the resulting advertisements hop-by-hop with
         covering pruning.  The policy, provider and per-broker indexes
@@ -1095,6 +1105,13 @@ class BrokerOverlay:
         incrementally instead of rebuilding it.
         """
         policy = resolve_advertisement(policy, **overrides)
+        if candidates is not None:
+            if not policy.uses_similarity:
+                raise ValueError(
+                    f"{type(policy).__name__} does not evaluate pattern "
+                    "similarity; a candidate generator has nothing to gate"
+                )
+            policy = policy.with_candidates(candidates)
         if policy.uses_similarity and provider is None:
             raise ValueError(
                 f"{type(policy).__name__} clusters over pattern similarity "

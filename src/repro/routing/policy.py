@@ -44,8 +44,10 @@ keep working unchanged.
 
 from __future__ import annotations
 
+import copy
 from typing import Optional, Protocol, Sequence, Union
 
+from repro.core.candidates import CandidateGenerator, resolve_candidates
 from repro.core.pattern import TreePattern
 from repro.core.similarity import SelectivityProvider, SimilarityIndex
 from repro.routing.community import agglomerative_clustering, leader_clustering
@@ -160,6 +162,15 @@ class CommunityPolicy(AdvertisementPolicy):
     instead of thresholding them, so the bound never applies there.
     Synopsis estimators whose joint estimates may break the
     ``min(P(p), P(q))`` bound should pass ``ratio_prefilter=False``.
+
+    ``candidates`` restricts which pattern pairs are evaluated at all: a
+    :class:`~repro.core.candidates.CandidateGenerator` template (or the
+    string spellings ``"exact"`` / ``"lsh"`` / ``"sharded"``) is spawned
+    per broker — one population inside the broker's similarity index,
+    one leaders-only population inside each clustering pass — so
+    LSH-backed community formation stays sublinear in the broker's
+    subscription count.  ``None`` keeps the historical all-pairs
+    behaviour.
     """
 
     uses_similarity = True
@@ -171,6 +182,7 @@ class CommunityPolicy(AdvertisementPolicy):
         metric: str = "M3",
         elect_by_selectivity: bool = True,
         ratio_prefilter: bool = True,
+        candidates: "CandidateGenerator | str | None" = None,
     ):
         if not 0.0 <= threshold <= 1.0:
             raise ValueError("threshold must be in [0, 1]")
@@ -181,12 +193,28 @@ class CommunityPolicy(AdvertisementPolicy):
         self.metric = metric
         self.elect_by_selectivity = elect_by_selectivity
         self.ratio_prefilter = ratio_prefilter
+        self.candidates = resolve_candidates(candidates)
 
     def mode_label(self) -> str:
-        label = f"community(threshold={self.threshold})"
+        parts = [f"threshold={self.threshold}"]
         if self.linkage != "leader":
-            label = f"community(threshold={self.threshold}, linkage={self.linkage})"
-        return label
+            parts.append(f"linkage={self.linkage}")
+        if self.candidates is not None:
+            parts.append(f"candidates={self.candidates.describe()}")
+        return f"community({', '.join(parts)})"
+
+    def with_candidates(
+        self, candidates: "CandidateGenerator | str | None"
+    ) -> "CommunityPolicy":
+        """A copy of this policy with its candidate template replaced.
+
+        The overlay and builder use this to thread a deployment-level
+        generator through without mutating a policy instance that may be
+        shared across sweeps.
+        """
+        clone = copy.copy(self)
+        clone.candidates = resolve_candidates(candidates)
+        return clone
 
     def make_index(self, provider: SelectivityProvider) -> SimilarityIndex:
         prune = (
@@ -194,7 +222,14 @@ class CommunityPolicy(AdvertisementPolicy):
             if self.ratio_prefilter and self.linkage == "leader"
             else None
         )
-        return SimilarityIndex(provider, metric=self.metric, prune_below=prune)
+        return SimilarityIndex(
+            provider,
+            metric=self.metric,
+            prune_below=prune,
+            candidates=(
+                self.candidates.spawn() if self.candidates is not None else None
+            ),
+        )
 
     def _cluster(
         self,
@@ -203,9 +238,15 @@ class CommunityPolicy(AdvertisementPolicy):
     ):
         if self.linkage == "average":
             return agglomerative_clustering(
-                patterns, index, 1, min_similarity=self.threshold
+                patterns,
+                index,
+                1,
+                min_similarity=self.threshold,
+                candidates=self.candidates,
             )
-        return leader_clustering(patterns, index, self.threshold)
+        return leader_clustering(
+            patterns, index, self.threshold, candidates=self.candidates
+        )
 
     def aggregate(
         self,
@@ -255,6 +296,7 @@ class HybridPolicy(CommunityPolicy):
         metric: str = "M3",
         elect_by_selectivity: bool = True,
         ratio_prefilter: bool = True,
+        candidates: "CandidateGenerator | str | None" = None,
     ):
         super().__init__(
             threshold,
@@ -262,16 +304,20 @@ class HybridPolicy(CommunityPolicy):
             metric=metric,
             elect_by_selectivity=elect_by_selectivity,
             ratio_prefilter=ratio_prefilter,
+            candidates=candidates,
         )
         if aggregate_above < 0:
             raise ValueError("aggregate_above must be >= 0")
         self.aggregate_above = aggregate_above
 
     def mode_label(self) -> str:
-        return (
-            f"hybrid(threshold={self.threshold}, "
-            f"aggregate_above={self.aggregate_above})"
-        )
+        parts = [
+            f"threshold={self.threshold}",
+            f"aggregate_above={self.aggregate_above}",
+        ]
+        if self.candidates is not None:
+            parts.append(f"candidates={self.candidates.describe()}")
+        return f"hybrid({', '.join(parts)})"
 
     def aggregate(
         self,

@@ -1,0 +1,453 @@
+"""The candidate-generation subsystem: exact oracle, sharded exact, LSH.
+
+Covers the generator contract (population lifecycle, symmetry,
+duplicate-key rejection), the label-overlap prefilter semantics (empty
+label sets are never pruned), the sharded oracle's output equality with
+the sequential one, the LSH bucket-table maintenance under churn, and
+the integration points: ``SimilarityIndex(candidates=...)`` accounting,
+the ``prune_label_overlap`` heuristic, and the heap-based ``top_k``.
+"""
+
+import pytest
+
+from repro.core.candidates import (
+    ExactCandidates,
+    LSHCandidates,
+    ShardedExactCandidates,
+    candidate_pairs,
+    pattern_tokens,
+    resolve_candidates,
+)
+from repro.core.pattern_parser import parse_xpath
+from repro.core.similarity import (
+    SimilarityEstimator,
+    SimilarityIndex,
+    SimilarityMatrix,
+)
+from repro.xmltree.corpus import DocumentCorpus
+from tests.test_similarity import CountingProvider
+
+P = parse_xpath
+
+PATTERNS = [P("/a/b"), P("/a/c/e"), P("//d/e"), P("/a/b[c]"), P("//*")]
+
+
+@pytest.fixture()
+def corpus(figure2_documents):
+    return DocumentCorpus(figure2_documents)
+
+
+class TestExactCandidates:
+    def test_every_pair_is_a_candidate(self):
+        generator = ExactCandidates()
+        for key, pattern in enumerate(PATTERNS):
+            generator.add(key, pattern)
+        assert len(generator) == len(PATTERNS)
+        n = len(PATTERNS)
+        assert generator.pairs() == [
+            (i, j) for i in range(n) for j in range(i + 1, n)
+        ]
+        assert generator.candidates_of(P("/z")) == set(range(n))
+        assert generator.is_candidate(P("/a"), P("/z"))
+
+    def test_pairs_follow_insertion_order(self):
+        generator = ExactCandidates()
+        generator.add("z", P("/a"))
+        generator.add("a", P("/b"))
+        generator.add("m", P("/c"))
+        assert generator.pairs() == [("z", "a"), ("z", "m"), ("a", "m")]
+
+    def test_duplicate_key_rejected(self):
+        generator = ExactCandidates()
+        generator.add(1, P("/a"))
+        with pytest.raises(ValueError):
+            generator.add(1, P("/b"))
+
+    def test_discard(self):
+        generator = ExactCandidates()
+        generator.add(1, P("/a"))
+        assert generator.discard(1) is True
+        assert generator.discard(1) is False
+        assert len(generator) == 0
+
+    def test_spawn_is_empty_with_same_config(self):
+        template = ExactCandidates(prefilter_labels=True)
+        template.add(1, P("/a"))
+        fresh = template.spawn()
+        assert len(fresh) == 0
+        assert fresh.prefilter_labels is True
+
+    def test_label_prefilter_drops_disjoint_vocabularies(self):
+        generator = ExactCandidates(prefilter_labels=True)
+        generator.add("ab", P("//a/b"))
+        generator.add("cd", P("//c/d"))
+        generator.add("bx", P("//b"))
+        assert generator.pairs() == [("ab", "bx")]
+        assert generator.candidates_of(P("//d")) == {"cd"}
+        assert not generator.is_candidate(P("//a"), P("//c"))
+
+    def test_pure_wildcard_patterns_are_never_prefiltered(self):
+        generator = ExactCandidates(prefilter_labels=True)
+        generator.add("star", P("//*"))
+        generator.add("cd", P("//c/d"))
+        assert generator.pairs() == [("star", "cd")]
+        assert generator.is_candidate(P("//*"), P("//c/d"))
+
+    def test_equal_patterns_always_candidates(self):
+        generator = ExactCandidates(prefilter_labels=True)
+        assert generator.is_candidate(P("//a"), P("//a"))
+
+    def test_describe(self):
+        assert ExactCandidates().describe() == "exact"
+        assert "prefilter" in ExactCandidates(prefilter_labels=True).describe()
+
+
+class TestShardedExactCandidates:
+    def assert_matches_sequential(self, patterns, **kwargs):
+        sharded = ShardedExactCandidates(
+            workers=2, min_parallel=2, **kwargs
+        )
+        sequential = ExactCandidates(
+            prefilter_labels=sharded.prefilter_labels
+        )
+        for key, pattern in enumerate(patterns):
+            sharded.add(key, pattern)
+            sequential.add(key, pattern)
+        assert sharded.pairs() == sequential.pairs()
+
+    def test_matches_sequential_with_prefilter(self):
+        self.assert_matches_sequential(PATTERNS, prefilter_labels=True)
+
+    def test_matches_sequential_without_prefilter(self):
+        self.assert_matches_sequential(PATTERNS, prefilter_labels=False)
+
+    def test_small_population_falls_back(self):
+        generator = ShardedExactCandidates(workers=2, min_parallel=10_000)
+        for key, pattern in enumerate(PATTERNS):
+            generator.add(key, pattern)
+        # Below min_parallel the sequential loop answers; output is the
+        # oracle's either way.
+        assert generator.pairs() == ExactCandidates(
+            prefilter_labels=True
+        ).pairs() or len(generator.pairs()) > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ShardedExactCandidates(workers=0)
+        with pytest.raises(ValueError):
+            ShardedExactCandidates(min_parallel=1)
+
+    def test_describe(self):
+        assert "sharded" in ShardedExactCandidates(workers=2).describe()
+        assert "auto" in ShardedExactCandidates().describe()
+
+
+class TestLSHCandidates:
+    def test_signatures_are_deterministic_across_instances(self):
+        first = LSHCandidates(bands=8, rows=3, seed=4)
+        second = LSHCandidates(bands=8, rows=3, seed=4)
+        for pattern in PATTERNS:
+            assert first.signature(pattern) == second.signature(pattern)
+            assert len(first.signature(pattern)) == 24
+
+    def test_different_seeds_differ(self):
+        a = LSHCandidates(seed=0).signature(P("/a/b/c"))
+        b = LSHCandidates(seed=1).signature(P("/a/b/c"))
+        assert a != b
+
+    def test_equal_patterns_always_collide(self):
+        generator = LSHCandidates(bands=4, rows=4)
+        assert generator.is_candidate(P("/a/b"), P("/a/b"))
+
+    def test_population_maintenance_under_churn(self):
+        generator = LSHCandidates(bands=8, rows=2)
+        generator.add("x", P("/a/b"))
+        generator.add("y", P("/a/b"))
+        generator.add("z", P("//q/r/s"))
+        # Identical patterns share every band bucket.
+        assert "y" in generator.candidates_of(P("/a/b"))
+        assert ("x", "y") in generator.pairs() or ("y", "x") in generator.pairs()
+        assert generator.discard("y") is True
+        assert generator.discard("y") is False
+        assert "y" not in generator.candidates_of(P("/a/b"))
+        assert len(generator) == 2
+        # Buckets hold no retired keys.
+        assert all(
+            "y" not in bucket for bucket in generator._buckets.values()
+        )
+
+    def test_duplicate_key_rejected(self):
+        generator = LSHCandidates()
+        generator.add(1, P("/a"))
+        with pytest.raises(ValueError):
+            generator.add(1, P("/b"))
+
+    def test_candidates_of_agrees_with_is_candidate(self):
+        generator = LSHCandidates(bands=6, rows=2, seed=2)
+        population = {key: pattern for key, pattern in enumerate(PATTERNS)}
+        for key, pattern in population.items():
+            generator.add(key, pattern)
+        for probe in PATTERNS + [P("//x"), P("/a/b/c/d")]:
+            reported = generator.candidates_of(probe)
+            truth = {
+                key
+                for key, pattern in population.items()
+                if generator.is_candidate(probe, pattern)
+            }
+            # candidates_of is bucket-driven: it may miss the p == q
+            # shortcut for patterns outside the population but must agree
+            # for members.
+            assert reported == {
+                key
+                for key in truth
+                if any(
+                    band_id in generator._bucket_ids[key]
+                    for band_id in generator._band_ids(probe)
+                )
+            }
+
+    def test_pairs_deduplicated_and_sound(self):
+        generator = LSHCandidates(bands=6, rows=1, seed=3)
+        population = {key: pattern for key, pattern in enumerate(PATTERNS)}
+        for key, pattern in population.items():
+            generator.add(key, pattern)
+        pairs = generator.pairs()
+        assert len(pairs) == len({frozenset(pair) for pair in pairs})
+        for i, j in pairs:
+            assert generator.is_candidate(population[i], population[j])
+
+    def test_spawn_shares_signature_memo(self):
+        template = LSHCandidates(bands=8, rows=2, seed=7)
+        clone = template.spawn()
+        assert clone._signature_memo is template._signature_memo
+        template.signature(P("/a/b"))
+        assert P("/a/b") in clone._signature_memo
+        assert len(clone) == 0
+
+    def test_degenerate_config_collides_everything(self):
+        generator = LSHCandidates.degenerate()
+        for key, pattern in enumerate(PATTERNS):
+            generator.add(key, pattern)
+        n = len(PATTERNS)
+        assert sorted(map(sorted, generator.pairs())) == [
+            [i, j] for i in range(n) for j in range(i + 1, n)
+        ]
+        assert generator.is_candidate(P("/a"), P("//zz"))
+
+    def test_signature_fn_length_validated(self):
+        generator = LSHCandidates(bands=2, rows=2, signature_fn=lambda p: (0,))
+        with pytest.raises(ValueError):
+            generator.signature(P("/a"))
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            LSHCandidates(bands=0)
+        with pytest.raises(ValueError):
+            LSHCandidates(rows=0)
+
+    def test_bucket_sizes_and_describe(self):
+        generator = LSHCandidates(bands=4, rows=2)
+        generator.add(1, P("/a/b"))
+        generator.add(2, P("/a/b"))
+        sizes = generator.bucket_sizes()
+        assert sizes and sizes[0] == 2
+        assert generator.describe() == "lsh(bands=4, rows=2)"
+        assert "custom" in LSHCandidates.degenerate().describe()
+
+    def test_tokens_mix_labels_and_spines(self):
+        tokens = pattern_tokens(P("/a/b[c]"))
+        kinds = {token[0] for token in tokens}
+        assert kinds == {"label", "spine"}
+
+    def test_custom_token_source(self):
+        # Shingle by tag set only: /a/b and //b//a share both tokens, so
+        # they collide in every band; /c shares none, so in no band.
+        generator = LSHCandidates(
+            bands=4, rows=2, tokens=lambda p: sorted(p.tags())
+        )
+        assert generator.is_candidate(P("/a/b"), P("//b//a"))
+        assert not generator.is_candidate(P("/a/b"), P("/c"))
+        spawned = generator.spawn()
+        assert spawned.tokens is generator.tokens
+        assert spawned._signature_memo is generator._signature_memo
+        assert "custom-tokens" in generator.describe()
+
+    def test_token_free_pattern_gets_sentinel_signature(self):
+        generator = LSHCandidates(bands=2, rows=2, tokens=lambda p: [])
+        assert generator.signature(P("/a")) == generator.signature(P("/b"))
+        assert generator.is_candidate(P("/a"), P("/b"))
+
+
+class TestResolveCandidates:
+    def test_none_passes_through(self):
+        assert resolve_candidates(None) is None
+
+    def test_string_spellings(self):
+        assert isinstance(resolve_candidates("exact"), ExactCandidates)
+        assert isinstance(resolve_candidates("lsh", bands=4), LSHCandidates)
+        assert isinstance(
+            resolve_candidates("sharded"), ShardedExactCandidates
+        )
+        assert resolve_candidates("lsh", bands=4).bands == 4
+
+    def test_instance_passes_through(self):
+        generator = LSHCandidates()
+        assert resolve_candidates(generator) is generator
+
+    def test_rejections(self):
+        with pytest.raises(ValueError):
+            resolve_candidates("fuzzy")
+        with pytest.raises(ValueError):
+            resolve_candidates(LSHCandidates(), bands=4)
+        with pytest.raises(ValueError):
+            resolve_candidates(None, bands=4)
+
+    def test_candidate_pairs_convenience(self):
+        template = ExactCandidates()
+        template.add("pre", P("/zz"))
+        pairs = candidate_pairs(PATTERNS[:3], template)
+        assert pairs == [(0, 1), (0, 2), (1, 2)]
+        # The template's own population is untouched.
+        assert len(template) == 1
+
+
+class TestIndexCandidateGate:
+    class NothingCollides:
+        """A generator under which no distinct pair is a candidate."""
+
+        def spawn(self):
+            return type(self)()
+
+        def add(self, key, pattern):
+            pass
+
+        def discard(self, key):
+            return False
+
+        def is_candidate(self, p, q):
+            return p == q
+
+        def candidates_of(self, pattern):
+            return set()
+
+        def pairs(self):
+            return []
+
+        def describe(self):
+            return "nothing"
+
+        def __len__(self):
+            return 0
+
+    def test_non_candidate_pair_skips_provider(self, corpus):
+        counting = CountingProvider(corpus)
+        index = SimilarityIndex(counting, candidates=self.NothingCollides())
+        index.add(P("//b"))
+        index.add(P("//e"))
+        for handle in index.handles():
+            index.row(handle)
+        assert counting.joint_calls == {}
+        assert index.stats.candidate_pruned == 1
+        # Distinct-pair semantics: re-evaluating does not recount.
+        for handle in index.handles():
+            index.row(handle)
+        assert index.stats.candidate_pruned == 1
+
+    def test_population_stays_in_sync(self, corpus):
+        generator = LSHCandidates(bands=4, rows=2)
+        index = SimilarityIndex(corpus, candidates=generator)
+        first = index.add(P("//b"))
+        index.add(P("//e"))
+        assert len(generator) == 2
+        index.remove(first)
+        assert len(generator) == 1
+
+    def test_exact_candidates_change_nothing(self, corpus):
+        patterns = [P("//b"), P("//e"), P("/a/d")]
+        plain = SimilarityIndex(corpus, patterns)
+        gated = SimilarityIndex(
+            corpus, patterns, candidates=ExactCandidates()
+        )
+        for p, g in zip(plain.handles(), gated.handles()):
+            assert plain.row(p) == gated.row(g)
+        assert gated.stats.candidate_pruned == 0
+
+    def test_compact_keeps_accounting_consistent(self, corpus):
+        index = SimilarityIndex(
+            corpus, candidates=self.NothingCollides()
+        )
+        first = index.add(P("//b"))
+        index.add(P("//e"))
+        for handle in index.handles():
+            index.row(handle)
+        assert index.stats.candidate_pruned == 1
+        index.remove(first)
+        index.compact()
+        # The dead pattern's pruned-pair record is dropped; a fresh pair
+        # with a new pattern counts again.
+        index.add(P("/a/d"))
+        for handle in index.handles():
+            index.row(handle)
+        assert index.stats.candidate_pruned == 2
+
+
+class TestLabelOverlapPrune:
+    def test_disjoint_descendant_patterns_pruned(self, corpus):
+        counting = CountingProvider(corpus)
+        index = SimilarityIndex(counting, prune_label_overlap=True)
+        assert index.joint_selectivity(P("//b"), P("//e")) == 0.0
+        assert index.stats.label_overlap_pruned == 1
+        assert counting.joint_calls == {}
+
+    def test_wildcard_pattern_never_pruned(self, corpus):
+        counting = CountingProvider(corpus)
+        index = SimilarityIndex(counting, prune_label_overlap=True)
+        index.joint_selectivity(P("//*"), P("//e"))
+        assert index.stats.label_overlap_pruned == 0
+        assert len(counting.joint_calls) == 1
+
+    def test_off_by_default(self, corpus):
+        counting = CountingProvider(corpus)
+        index = SimilarityIndex(counting)
+        index.joint_selectivity(P("//b"), P("//zz"))
+        assert index.stats.label_overlap_pruned == 0
+        assert len(counting.joint_calls) == 1
+
+    def test_prune_ratio_folds_in_label_prunes(self, corpus):
+        index = SimilarityIndex(corpus, prune_label_overlap=True)
+        index.joint_selectivity(P("//b"), P("//e"))
+        assert index.stats.prune_ratio == 1.0
+
+
+class TestHeapTopK:
+    def baseline(self, scored, k):
+        ordered = sorted(scored, key=lambda pair: (-pair[1], pair[0]))
+        return ordered[:k]
+
+    def test_index_top_k_matches_full_sort(self, corpus):
+        patterns = [P("//b"), P("//e"), P("/a/d"), P("/a/c"), P("//m")]
+        index = SimilarityIndex(corpus, patterns)
+        anchor = index.handles()[0]
+        row = index.row(anchor)
+        scored = [(h, v) for h, v in row.items() if h != anchor]
+        for k in (1, 2, len(patterns) + 5):
+            assert index.top_k(anchor, k) == self.baseline(scored, k)
+
+    def test_estimator_top_k_matches_full_sort(self, corpus):
+        estimator = SimilarityEstimator(corpus)
+        candidates = [P("//e"), P("/a/d"), P("/a/c"), P("//m")]
+        scored = [
+            (index, estimator.similarity(P("//b"), candidate))
+            for index, candidate in enumerate(candidates)
+        ]
+        assert estimator.top_k(P("//b"), candidates, k=3) == self.baseline(
+            scored, 3
+        )
+
+    def test_matrix_top_k_matches_full_sort(self, corpus):
+        patterns = [P("//b"), P("//e"), P("/a/d"), P("//m")]
+        matrix = SimilarityMatrix(corpus, patterns)
+        scored = [
+            (j, matrix.values[0][j]) for j in range(len(patterns)) if j != 0
+        ]
+        assert matrix.top_k(0, 2) == self.baseline(scored, 2)

@@ -1,0 +1,196 @@
+"""Property suite pinning the candidate subsystem to the exact oracle.
+
+The headline guarantees of the LSH candidate-generation PR:
+
+* the **degenerate** LSH configuration (one band, one row, constant
+  signature — every pair collides) reproduces exact clustering
+  bit-for-bit, for both leader and agglomerative linkage;
+* :class:`~repro.core.candidates.ExactCandidates`-gated clustering is
+  identical to the un-gated historical code path;
+* :class:`~repro.core.candidates.LSHCandidates` maintained **under
+  churn** (any interleaving of adds and removes) ends in exactly the
+  state of a fresh build over the survivors;
+* the sharded exact oracle emits exactly the sequential oracle's pairs.
+
+Similarity here is label-set Jaccard — deterministic, cheap, and enough
+to exercise every tie-break the clusterings make.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.candidates import (
+    ExactCandidates,
+    LSHCandidates,
+    ShardedExactCandidates,
+)
+from repro.routing.community import agglomerative_clustering, leader_clustering
+from tests.strategies import property_max_examples, tree_patterns
+
+
+def label_jaccard(p, q) -> float:
+    """Deterministic toy similarity: Jaccard over plain-tag label sets."""
+    tags_p, tags_q = p.tags(), q.tags()
+    if not tags_p and not tags_q:
+        return 1.0
+    union = tags_p | tags_q
+    return len(tags_p & tags_q) / len(union)
+
+
+def shape(communities):
+    return [
+        (community.leader, sorted(community.members))
+        for community in communities
+    ]
+
+
+pattern_lists = st.lists(tree_patterns(), min_size=0, max_size=10)
+
+
+class TestDegenerateLshEqualsExact:
+    @settings(max_examples=property_max_examples(40), deadline=None)
+    @given(
+        patterns=pattern_lists,
+        threshold=st.sampled_from((0.0, 0.3, 0.5, 0.8, 1.0)),
+    )
+    def test_leader_clustering(self, patterns, threshold):
+        exact = leader_clustering(patterns, label_jaccard, threshold)
+        degenerate = leader_clustering(
+            patterns,
+            label_jaccard,
+            threshold,
+            candidates=LSHCandidates.degenerate(),
+        )
+        assert shape(degenerate) == shape(exact)
+
+    @settings(max_examples=property_max_examples(25), deadline=None)
+    @given(
+        patterns=pattern_lists,
+        n_communities=st.integers(min_value=1, max_value=4),
+        min_similarity=st.sampled_from((0.0, 0.4)),
+    )
+    def test_agglomerative_clustering(
+        self, patterns, n_communities, min_similarity
+    ):
+        exact = agglomerative_clustering(
+            patterns, label_jaccard, n_communities, min_similarity
+        )
+        degenerate = agglomerative_clustering(
+            patterns,
+            label_jaccard,
+            n_communities,
+            min_similarity,
+            candidates=LSHCandidates.degenerate(),
+        )
+        assert shape(degenerate) == shape(exact)
+
+
+class TestExactGateIsIdentity:
+    @settings(max_examples=property_max_examples(40), deadline=None)
+    @given(
+        patterns=pattern_lists,
+        threshold=st.sampled_from((0.0, 0.3, 0.5, 0.8, 1.0)),
+    )
+    def test_leader_clustering(self, patterns, threshold):
+        ungated = leader_clustering(patterns, label_jaccard, threshold)
+        gated = leader_clustering(
+            patterns, label_jaccard, threshold, candidates=ExactCandidates()
+        )
+        assert shape(gated) == shape(ungated)
+
+    @settings(max_examples=property_max_examples(25), deadline=None)
+    @given(
+        patterns=pattern_lists,
+        n_communities=st.integers(min_value=1, max_value=4),
+    )
+    def test_agglomerative_clustering(self, patterns, n_communities):
+        ungated = agglomerative_clustering(
+            patterns, label_jaccard, n_communities
+        )
+        gated = agglomerative_clustering(
+            patterns,
+            label_jaccard,
+            n_communities,
+            candidates=ExactCandidates(),
+        )
+        assert shape(gated) == shape(ungated)
+
+
+class TestLshChurnEqualsRebuild:
+    @settings(max_examples=property_max_examples(40), deadline=None)
+    @given(
+        patterns=st.lists(tree_patterns(), min_size=1, max_size=12),
+        removals=st.sets(st.integers(min_value=0, max_value=11)),
+        data=st.data(),
+    )
+    def test_interleaved_churn(self, patterns, removals, data):
+        template = LSHCandidates(bands=6, rows=2, seed=1)
+        churned = template.spawn()
+        # Interleave: every pattern is added; a chosen subset is removed
+        # at a random later point (possibly after further adds).
+        pending = []
+        for key, pattern in enumerate(patterns):
+            churned.add(key, pattern)
+            if key in removals:
+                pending.append(key)
+            while pending and data.draw(st.booleans()):
+                churned.discard(pending.pop(0))
+        for key in pending:
+            churned.discard(key)
+
+        survivors = [
+            (key, pattern)
+            for key, pattern in enumerate(patterns)
+            if key not in removals
+        ]
+        fresh = template.spawn()
+        for key, pattern in survivors:
+            fresh.add(key, pattern)
+
+        assert len(churned) == len(fresh)
+        assert churned._buckets == fresh._buckets
+        assert set(map(frozenset, churned.pairs())) == set(
+            map(frozenset, fresh.pairs())
+        )
+        for _, pattern in survivors:
+            assert churned.candidates_of(pattern) == fresh.candidates_of(
+                pattern
+            )
+
+    @settings(max_examples=property_max_examples(25), deadline=None)
+    @given(patterns=st.lists(tree_patterns(), min_size=1, max_size=8))
+    def test_drain_and_refill(self, patterns):
+        generator = LSHCandidates(bands=4, rows=2, seed=3)
+        for key, pattern in enumerate(patterns):
+            generator.add(key, pattern)
+        for key in range(len(patterns)):
+            assert generator.discard(key) is True
+        assert len(generator) == 0
+        assert generator._buckets == {}
+        assert generator.pairs() == []
+        # The drained generator accepts the population again unchanged.
+        for key, pattern in enumerate(patterns):
+            generator.add(key, pattern)
+        fresh = generator.spawn()
+        for key, pattern in enumerate(patterns):
+            fresh.add(key, pattern)
+        assert generator._buckets == fresh._buckets
+
+
+class TestShardedEqualsSequential:
+    @settings(max_examples=property_max_examples(15), deadline=None)
+    @given(
+        patterns=st.lists(tree_patterns(), min_size=0, max_size=12),
+        prefilter=st.booleans(),
+    )
+    def test_pairs_identical(self, patterns, prefilter):
+        sharded = ShardedExactCandidates(
+            workers=2, prefilter_labels=prefilter, min_parallel=2
+        )
+        sequential = ExactCandidates(prefilter_labels=prefilter)
+        for key, pattern in enumerate(patterns):
+            sharded.add(key, pattern)
+            sequential.add(key, pattern)
+        assert sharded.pairs() == sequential.pairs()
