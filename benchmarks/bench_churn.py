@@ -41,6 +41,8 @@ Also runnable standalone for a quick smoke check (used by CI)::
 
 from __future__ import annotations
 
+import argparse
+
 import random
 
 from common import (
@@ -48,6 +50,7 @@ from common import (
     TOPOLOGY_SEED,
     build_overlay,
     overlay_argument_parser,
+    run_with_profile,
     prepare_quick,
     prepare_smoke,
 )
@@ -386,6 +389,10 @@ def test_churn(benchmark, nitf_quick):
 
 def main() -> None:
     args = overlay_argument_parser(__doc__.splitlines()[0]).parse_args()
+    run_with_profile(args, lambda: _run(args))
+
+
+def _run(args: argparse.Namespace) -> None:
 
     if args.smoke:
         prepared = prepare_smoke(args.dtd)

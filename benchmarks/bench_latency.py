@@ -38,8 +38,11 @@ Also runnable standalone for a quick smoke check (used by CI)::
 
 from __future__ import annotations
 
+import argparse
+
 from common import (
     overlay_argument_parser,
+    run_with_profile,
     overlay_builder,
     prepare_quick,
     prepare_smoke,
@@ -372,6 +375,10 @@ def test_latency(benchmark, nitf_quick):
 
 def main() -> None:
     args = overlay_argument_parser(__doc__.splitlines()[0]).parse_args()
+    run_with_profile(args, lambda: _run(args))
+
+
+def _run(args: argparse.Namespace) -> None:
 
     if args.smoke:
         prepared = prepare_smoke(args.dtd)

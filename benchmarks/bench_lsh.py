@@ -40,10 +40,12 @@ as a step output::
 
 from __future__ import annotations
 
+import argparse
+
 import time
 from collections import Counter
 
-from common import overlay_argument_parser
+from common import overlay_argument_parser, run_with_profile
 from repro.core.candidates import LSHCandidates
 from repro.core.selectivity import SelectivityEstimator
 from repro.core.similarity import m3_joint_over_union
@@ -314,6 +316,10 @@ def default_cell(rows: list[SizeRow]):
 
 def main() -> None:
     args = overlay_argument_parser(__doc__.splitlines()[0]).parse_args()
+    run_with_profile(args, lambda: _run(args))
+
+
+def _run(args: argparse.Namespace) -> None:
     sizes = SMOKE_SIZES if args.smoke else SIZES
     rows = run_sweep(sizes=sizes)
     print(render(rows))

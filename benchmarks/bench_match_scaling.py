@@ -31,9 +31,11 @@ as a step output::
 
 from __future__ import annotations
 
+import argparse
+
 import time
 
-from common import overlay_argument_parser
+from common import overlay_argument_parser, run_with_profile
 from repro.dtd.builtin import nitf_dtd
 from repro.generators.docgen import DocumentGenerator
 from repro.generators.querygen import PatternGenerator
@@ -166,6 +168,10 @@ def test_match_scaling(benchmark):
 
 def main() -> None:
     args = overlay_argument_parser(__doc__.splitlines()[0]).parse_args()
+    run_with_profile(args, lambda: _run(args))
+
+
+def _run(args: argparse.Namespace) -> None:
     rows = run_sweep(sizes=SMOKE_SIZES if args.smoke else SIZES)
     print(render(rows))
     check_acceptance(rows)

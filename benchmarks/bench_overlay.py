@@ -19,9 +19,12 @@ Also runnable standalone for a quick smoke check (used by CI)::
 
 from __future__ import annotations
 
+import argparse
+
 from common import (
     TOPOLOGY,
     overlay_argument_parser,
+    run_with_profile,
     overlay_builder,
     prepare_quick,
     prepare_smoke,
@@ -127,6 +130,10 @@ def test_overlay_routing(benchmark, nitf_quick):
 
 def main() -> None:
     args = overlay_argument_parser(__doc__.splitlines()[0]).parse_args()
+    run_with_profile(args, lambda: _run(args))
+
+
+def _run(args: argparse.Namespace) -> None:
 
     if args.smoke:
         rows = run_sweep(

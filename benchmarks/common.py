@@ -16,6 +16,8 @@ resolves its advertisement / scheduling policy object through it.
 from __future__ import annotations
 
 import argparse
+import cProfile
+import pstats
 
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.harness import PreparedExperiment, prepare
@@ -36,7 +38,31 @@ def overlay_argument_parser(description: str) -> argparse.ArgumentParser:
         help="tiny workload: a fast end-to-end sanity run for CI",
     )
     parser.add_argument("--dtd", default="nitf", choices=("nitf", "xcbl"))
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="run under cProfile and print the top-20 cumulative hot spots",
+    )
     return parser
+
+
+def run_with_profile(args: argparse.Namespace, fn):
+    """Run *fn()* — under cProfile when ``--profile`` was passed.
+
+    Every benchmark main routes through this so the profiling surface is
+    uniform across the family: hot spots print as a top-20
+    cumulative-time table after the benchmark's own output.
+    """
+    if not getattr(args, "profile", False):
+        return fn()
+    profiler = cProfile.Profile()
+    result = profiler.runcall(fn)
+    stats = pstats.Stats(profiler)
+    stats.sort_stats("cumulative")
+    print()
+    print("profile: top 20 by cumulative time")
+    stats.print_stats(20)
+    return result
 
 
 def prepare_quick(dtd: str = "nitf") -> PreparedExperiment:

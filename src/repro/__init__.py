@@ -37,6 +37,7 @@ from repro.core import (
 from repro.routing import (
     BrokerId,
     BrokerOverlay,
+    BatchServiceModel,
     CommunityPolicy,
     DeadlineScheduling,
     DeliveryEngine,
@@ -82,6 +83,7 @@ __all__ = [
     "HybridPolicy",
     "DeliveryEngine",
     "ServiceModel",
+    "BatchServiceModel",
     "LinkModel",
     "FifoScheduling",
     "PriorityScheduling",

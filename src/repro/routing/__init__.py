@@ -18,12 +18,16 @@ Module map:
   advertisements are remembered and resurrected by
   ``RoutingTable.remove_pattern`` when their cover leaves); matching
   runs on a merged :class:`~repro.routing.trie.PatternTrie` by default,
-  with the per-pattern linear scan retained as the oracle;
+  with the per-pattern linear scan retained as the oracle, and batched
+  (``destinations_for_batch``) so one memo pool is shared across a
+  queue drain;
 * :mod:`repro.routing.trie` — :class:`PatternTrie`, the merged pattern
   trie: every active pattern of a broker shares one degree-sorted
   structure, so one document traversal yields all matching destinations
   with sublinear trie operations, maintained incrementally under
-  covering churn and topology surgery;
+  covering churn and topology surgery; ``match_batch`` shares one
+  cross-document memo pool keyed on interned skeleton keys so repeated
+  document structure in a batch is matched once;
 * :mod:`repro.routing.overlay` — the multi-broker overlay: chain / star /
   random-tree topologies, hop-by-hop advertisement with covering pruning,
   reverse-path document routing, per-broker cost accounting, the
@@ -54,7 +58,9 @@ Module map:
   seeded, wall-clock-free simulation of the overlay under load, with
   per-broker service queues drained by a swappable
   :class:`SchedulingPolicy` (:class:`ServiceModel` maps match operations
-  to service time), per-link forwarding latencies (:class:`LinkModel`)
+  to service time; :class:`BatchServiceModel` drains several queued
+  documents per interval under a measured non-affine cost curve),
+  per-link forwarding latencies (:class:`LinkModel`)
   and :class:`LatencyStats` reporting latency percentiles — overall and
   per subscriber class — queue-depth peaks and throughput — it replays
   the same ``BrokerOverlay.process_at`` steps as the synchronous path,
@@ -79,6 +85,7 @@ from repro.routing.community import (
     leader_clustering,
 )
 from repro.routing.engine import (
+    BatchServiceModel,
     DeliveryEngine,
     LinkModel,
     ServiceModel,
@@ -106,8 +113,8 @@ from repro.routing.overlay import (
     OverlayStats,
     SubscriptionId,
 )
-from repro.routing.table import RoutingTable, TableEntry
-from repro.routing.trie import PatternTrie, TrieMatch
+from repro.routing.table import RoutingTable, TableBatchMatch, TableEntry
+from repro.routing.trie import BatchMatch, PatternTrie, TrieMatch
 
 __all__ = [
     "Community",
@@ -119,8 +126,10 @@ __all__ = [
     "InclusionNode",
     "RoutingTable",
     "TableEntry",
+    "TableBatchMatch",
     "PatternTrie",
     "TrieMatch",
+    "BatchMatch",
     "BrokerId",
     "BrokerNode",
     "BrokerOverlay",
@@ -131,6 +140,7 @@ __all__ = [
     "DeliveryEngine",
     "TopologyEvent",
     "ServiceModel",
+    "BatchServiceModel",
     "LinkModel",
     "LatencyStats",
     "ClassLatency",

@@ -170,6 +170,14 @@ class LatencyStats:
     #: tables, per-pattern evaluations under the ``"linear"`` oracle.
     match_operations: int = 0
     forwards: int = 0
+    #: Service intervals the engine ran.  Equal to
+    #: ``serviced_documents`` under the one-document-at-a-time models;
+    #: smaller when a :class:`~repro.routing.engine.BatchServiceModel`
+    #: drains several queued documents per interval.
+    service_batches: int = 0
+    #: (broker, document) services across the run — every document
+    #: visit that reached a service interval, batched or not.
+    serviced_documents: int = 0
     #: Per subscriber class: the latency digest of its deliveries —
     #: populated by the engine whenever publishes carry priority classes
     #: (a run without classes reports everything under class 0).
@@ -193,6 +201,13 @@ class LatencyStats:
     def peak_queue_depth(self) -> int:
         """The deepest queue any broker reached during the run."""
         return max(self.queue_depth_peaks.values(), default=0)
+
+    @property
+    def mean_batch_size(self) -> float:
+        """Documents serviced per service interval (1.0 unbatched)."""
+        if self.service_batches <= 0:
+            return 0.0
+        return self.serviced_documents / self.service_batches
 
     @property
     def utilization(self) -> dict[int, float]:

@@ -148,7 +148,13 @@ class OverlayBuilder:
         return self
 
     def service(self, model: ServiceModel) -> "OverlayBuilder":
-        """The broker service-time model (engine default when unset)."""
+        """The broker service-time model (engine default when unset).
+
+        Passing a :class:`~repro.routing.engine.BatchServiceModel`
+        switches the engine to batched queue drains: idle brokers pull
+        up to ``max_batch`` queued documents per service interval and
+        match them through one shared memo pool.
+        """
         self._service = model
         return self
 

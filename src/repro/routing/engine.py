@@ -47,10 +47,26 @@ in-service work restarts there, copies already on the wire are
 re-targeted — so no publication loses deliveries to topology churn
 (delivery sets deduplicate per publish).
 
-Remaining extension points: subclass :class:`ServiceModel` for non-affine
-service times (e.g. batching at saturated brokers), subclass
-:class:`LinkModel` for heterogeneous or load-dependent links, and
-implement :class:`~repro.routing.policy.SchedulingPolicy` for bespoke
+Batching at saturated brokers is first-class, not an extension point:
+constructing the engine with a :class:`BatchServiceModel` switches every
+broker to *batched queue drains* — when a broker frees up, the
+scheduling policy picks up to ``max_batch`` queued documents (one
+``select`` call per document, so priority/deadline disciplines shape the
+batch exactly as they shape the one-at-a-time schedule) and the whole
+batch is filtered in one
+:meth:`~repro.routing.overlay.BrokerOverlay.process_batch_at` pass over
+a shared trie memo pool.  The service interval then costs
+``base + per_doc·documents + per_match·operations`` where *operations*
+is the **measured** memo-amortised batch count — the non-affine
+service curve is observed from the matching layer, never modelled.
+Under the default affine :class:`ServiceModel` the engine's schedule is
+unchanged, event for event.
+
+Remaining extension points: subclass :class:`ServiceModel` /
+:class:`BatchServiceModel` for other service-time shapes (e.g.
+load-dependent coefficients), subclass :class:`LinkModel` for
+heterogeneous or load-dependent links, and implement
+:class:`~repro.routing.policy.SchedulingPolicy` for bespoke
 disciplines.
 
 >>> # engine = DeliveryEngine(overlay, scheduling=PriorityScheduling())
@@ -77,7 +93,13 @@ from repro.routing.policy import (
 from repro.xmltree.corpus import DocumentCorpus
 from repro.xmltree.tree import XMLTree
 
-__all__ = ["ServiceModel", "LinkModel", "DeliveryEngine", "TopologyEvent"]
+__all__ = [
+    "ServiceModel",
+    "BatchServiceModel",
+    "LinkModel",
+    "DeliveryEngine",
+    "TopologyEvent",
+]
 
 
 @dataclass(frozen=True)
@@ -107,6 +129,55 @@ class ServiceModel:
     def service_time(self, match_operations: int) -> float:
         """Simulated time to service one document at one broker."""
         return self.base + self.per_match * match_operations
+
+
+@dataclass(frozen=True)
+class BatchServiceModel(ServiceModel):
+    """Batched broker service: one interval drains a whole batch.
+
+    Handing an engine this model (instead of the affine
+    :class:`ServiceModel`) enables batched queue drains: a freed broker
+    services up to ``max_batch`` scheduling-policy-selected documents in
+    one interval of
+
+    ``base + per_doc * documents + per_match * match_operations``
+
+    ``base`` is paid once per *drain* (the amortisation batching buys),
+    ``per_doc`` once per document (parsing, delivery bookkeeping), and
+    ``match_operations`` is the **measured** op count of the shared-pool
+    :meth:`~repro.routing.trie.PatternTrie.match_batch` pass — memo hits
+    across the batch's documents are free, so the per-document service
+    time is non-affine in batch size exactly as far as the documents
+    actually share structure, not as far as a curve assumes they do.
+    """
+
+    per_doc: float = 0.05
+    #: Most documents one drain may service; 1 degrades to unbatched
+    #: drains (still paying ``per_doc``, still matched via the batch
+    #: pipeline).
+    max_batch: int = 8
+
+    def __post_init__(self) -> None:
+        if self.base < 0.0 or self.per_match < 0.0 or self.per_doc < 0.0:
+            raise ValueError("service-time coefficients must be >= 0")
+        if self.base <= 0.0 and self.per_match <= 0.0 and self.per_doc <= 0.0:
+            raise ValueError("service time must be positive")
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+
+    def service_time(self, match_operations: int) -> float:
+        """One document serviced alone — a batch of one."""
+        return self.service_time_batch(match_operations, 1)
+
+    def service_time_batch(
+        self, match_operations: int, documents: int
+    ) -> float:
+        """Simulated time to service *documents* jobs in one interval."""
+        return (
+            self.base
+            + self.per_doc * documents
+            + self.per_match * match_operations
+        )
 
 
 class LinkModel:
@@ -199,6 +270,20 @@ class _Job:
     deadline: Optional[float] = None
 
 
+@dataclass
+class _Batch:
+    """One in-service queue drain: the jobs and their filtering steps.
+
+    The completion payload of a batched service interval (only
+    :class:`BatchServiceModel` engines create these).  Jobs and steps
+    are aligned; deliveries and forwards apply per job at completion,
+    exactly as an unbatched job's single step would.
+    """
+
+    jobs: list[_Job]
+    steps: list[BrokerStep]
+
+
 class DeliveryEngine:
     """Deterministic discrete-event simulator of overlay delivery.
 
@@ -225,6 +310,10 @@ class DeliveryEngine:
             )
         self.overlay = overlay
         self.service = service or ServiceModel()
+        #: Batched queue drains activate only under a
+        #: :class:`BatchServiceModel`; the default affine path replays
+        #: event for event as it always has.
+        self._batching = isinstance(self.service, BatchServiceModel)
         self.links = links or LinkModel()
         self.scheduling: SchedulingPolicy = resolve_scheduling(
             scheduling if scheduling is not None else "fifo"
@@ -249,7 +338,7 @@ class DeliveryEngine:
                 int,
                 str,
                 int,
-                Union[_Job, TopologyEvent, None],
+                Union[_Job, _Batch, TopologyEvent, None],
                 Optional[BrokerStep],
             ]
         ] = []
@@ -275,6 +364,8 @@ class DeliveryEngine:
         self._documents = 0
         self._match_operations = 0
         self._forwards = 0
+        self._service_batches = 0
+        self._serviced_documents = 0
 
     # ------------------------------------------------------------------
     # workload injection
@@ -510,6 +601,10 @@ class DeliveryEngine:
             time, seq, kind, broker_id, payload, step = entry
             if isinstance(payload, _Job) and payload.origin == retiring:
                 payload.origin = target
+            elif isinstance(payload, _Batch):
+                for job in payload.jobs:
+                    if job.origin == retiring:
+                        job.origin = target
             if kind == _TOPOLOGY or broker_id != retiring:
                 retained.append(entry)
             elif kind == _ARRIVAL:
@@ -517,10 +612,14 @@ class DeliveryEngine:
                     (time, seq, _ARRIVAL, target, payload, None)
                 )
             else:
-                # The document in service: the work is abandoned where
-                # it stood and the service restarts at the merge target.
+                # The document (or whole batch) in service: the work is
+                # abandoned where it stood and the service restarts at
+                # the merge target.
                 self._busy_time[retiring] -= time - now
-                reinject.append(payload)
+                if isinstance(payload, _Batch):
+                    reinject.extend(payload.jobs)
+                else:
+                    reinject.append(payload)
         self._events = retained
         heapq.heapify(self._events)
         for queue in self._queues.values():
@@ -562,7 +661,7 @@ class DeliveryEngine:
         time: float,
         kind: str,
         broker_id: int,
-        job: Union[_Job, TopologyEvent],
+        job: Union[_Job, _Batch, TopologyEvent],
         step: Optional[BrokerStep] = None,
     ) -> None:
         self._sequence += 1
@@ -592,14 +691,54 @@ class DeliveryEngine:
         del queue[choice]
         return job
 
+    def _next_batch(self, broker_id: int, now: float) -> list[_Job]:
+        """Drain up to ``max_batch`` jobs for one batched service
+        interval, one :meth:`_next_job` policy selection per job — the
+        scheduling discipline shapes the batch exactly as it shapes the
+        one-at-a-time schedule."""
+        limit = self.service.max_batch if self._batching else 1
+        jobs: list[_Job] = []
+        while len(jobs) < limit:
+            job = self._next_job(broker_id, now)
+            if job is None:
+                break
+            jobs.append(job)
+        return jobs
+
     def _start_service(self, broker_id: int, job: _Job, now: float) -> None:
         self._busy[broker_id] = True
         self._queue_delays.append(now - job.arrived_at)
+        self._serviced_documents += 1
+        self._service_batches += 1
         step = self.overlay.process_at(broker_id, job.document, job.origin)
         self._match_operations += step.match_operations
         duration = self.service.service_time(step.match_operations)
         self._busy_time[broker_id] += duration
         self._schedule(now + duration, _COMPLETE, broker_id, job, step)
+
+    def _start_batch(
+        self, broker_id: int, jobs: list[_Job], now: float
+    ) -> None:
+        """Service *jobs* in one batched interval: one shared-pool
+        filtering pass, one completion event, a duration read off the
+        measured batch op count."""
+        self._busy[broker_id] = True
+        for job in jobs:
+            self._queue_delays.append(now - job.arrived_at)
+        self._serviced_documents += len(jobs)
+        self._service_batches += 1
+        steps = self.overlay.process_batch_at(
+            broker_id,
+            [job.document for job in jobs],
+            [job.origin for job in jobs],
+        )
+        operations = sum(step.match_operations for step in steps)
+        self._match_operations += operations
+        duration = self.service.service_time_batch(operations, len(jobs))
+        self._busy_time[broker_id] += duration
+        self._schedule(
+            now + duration, _COMPLETE, broker_id, _Batch(jobs, steps)
+        )
 
     def _on_arrival(self, broker_id: int, job: _Job, now: float) -> None:
         self._ensure_broker(broker_id)
@@ -611,12 +750,16 @@ class DeliveryEngine:
             self._depth_peaks[broker_id] = depth
         if self._busy[broker_id]:
             self._queues[broker_id].append(job)
+        elif self._batching:
+            self._start_batch(broker_id, [job], now)
         else:
             self._start_service(broker_id, job, now)
 
-    def _on_complete(
+    def _deliver_and_forward(
         self, broker_id: int, job: _Job, step: BrokerStep, now: float
     ) -> None:
+        """Apply one job's completed filtering step: local deliveries
+        and forwarded copies."""
         delivered = self._delivered[job.doc_index]
         for subscriber_id in sorted(step.deliveries):
             if subscriber_id in delivered:
@@ -648,10 +791,29 @@ class DeliveryEngine:
                 destination,
                 forwarded,
             )
+
+    def _finish_service(self, broker_id: int, now: float) -> None:
+        """Free the broker and start its next service interval."""
         self._busy[broker_id] = False
-        pending = self._next_job(broker_id, now)
-        if pending is not None:
-            self._start_service(broker_id, pending, now)
+        pending = self._next_batch(broker_id, now)
+        if pending:
+            if self._batching:
+                self._start_batch(broker_id, pending, now)
+            else:
+                self._start_service(broker_id, pending[0], now)
+
+    def _on_complete(
+        self, broker_id: int, job: _Job, step: BrokerStep, now: float
+    ) -> None:
+        self._deliver_and_forward(broker_id, job, step, now)
+        self._finish_service(broker_id, now)
+
+    def _on_complete_batch(
+        self, broker_id: int, batch: _Batch, now: float
+    ) -> None:
+        for job, step in zip(batch.jobs, batch.steps):
+            self._deliver_and_forward(broker_id, job, step, now)
+        self._finish_service(broker_id, now)
 
     def run(self) -> LatencyStats:
         """Process every pending event and report the timing outcome.
@@ -666,6 +828,8 @@ class DeliveryEngine:
                 self._on_topology(job, time)
             elif kind == _ARRIVAL:
                 self._on_arrival(broker_id, job, time)
+            elif isinstance(job, _Batch):
+                self._on_complete_batch(broker_id, job, time)
             else:
                 assert step is not None
                 self._on_complete(broker_id, job, step, time)
@@ -708,6 +872,8 @@ class DeliveryEngine:
             busy_time=dict(self._busy_time),
             match_operations=self._match_operations,
             forwards=self._forwards,
+            service_batches=self._service_batches,
+            serviced_documents=self._serviced_documents,
             latency_by_class={
                 priority_class: ClassLatency.of(samples)
                 for priority_class, samples in sorted(

@@ -69,7 +69,7 @@ from __future__ import annotations
 import random
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Iterable, Optional, Union
+from typing import Iterable, Optional, Sequence, Union
 
 from repro.core.candidates import CandidateGenerator
 from repro.core.pattern import TreePattern
@@ -1214,6 +1214,62 @@ class BrokerOverlay:
             forwards=tuple(forwards),
             match_operations=operations,
         )
+
+    def process_batch_at(
+        self,
+        broker_id: int,
+        documents: Sequence[XMLTree],
+        arrived_from: Optional[Sequence[Optional[int]]] = None,
+    ) -> list[BrokerStep]:
+        """One broker-local filtering pass over a whole queue drain.
+
+        The batched counterpart of :meth:`process_at`: every document of
+        the drain is matched through one shared trie memo pool (see
+        :meth:`RoutingTable.destinations_for_batch`), so structure
+        repeated across the batch is filtered once, and each document
+        still gets its own :class:`BrokerStep` — per-document deliveries,
+        table-order forwards and *attributed* match operations — equal to
+        what :meth:`process_at` would have produced.  ``arrived_from``
+        carries one origin link per document (the documents of one drain
+        may have arrived over different links); ``None`` means every
+        document was published locally.
+        """
+        if broker_id not in self.brokers:
+            raise ValueError(f"no broker {broker_id}")
+        node = self.brokers[broker_id]
+        documents = list(documents)
+        if arrived_from is None:
+            origins: list[Optional[int]] = [None] * len(documents)
+        else:
+            origins = list(arrived_from)
+            if len(origins) != len(documents):
+                raise ValueError(
+                    f"{len(documents)} documents but {len(origins)} origins"
+                )
+        excludes = [
+            () if origin is None else ((_FORWARD, origin),)
+            for origin in origins
+        ]
+        batch = node.table.destinations_for_batch(documents, excludes)
+        steps: list[BrokerStep] = []
+        for destinations, operations in zip(
+            batch.destinations, batch.operations
+        ):
+            delivered: set[int] = set()
+            forwards: list[int] = []
+            for kind, payload in destinations:
+                if kind == _DELIVER:
+                    delivered.update(payload)
+                else:
+                    forwards.append(payload)
+            steps.append(
+                BrokerStep(
+                    deliveries=frozenset(delivered),
+                    forwards=tuple(forwards),
+                    match_operations=operations,
+                )
+            )
+        return steps
 
     def route(
         self, document: XMLTree, publish_at: int = 0

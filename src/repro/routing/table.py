@@ -47,7 +47,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
-from typing import Hashable, Iterable, Iterator, Optional
+from typing import Hashable, Iterable, Iterator, Optional, Sequence
 
 from repro.core.containment import contains
 from repro.core.pattern import TreePattern
@@ -55,7 +55,7 @@ from repro.routing.trie import PatternTrie
 from repro.xmltree.matcher import CompiledPattern, PatternMatcher
 from repro.xmltree.tree import XMLTree
 
-__all__ = ["TableEntry", "RoutingTable"]
+__all__ = ["TableEntry", "RoutingTable", "TableBatchMatch"]
 
 Destination = Hashable
 
@@ -67,6 +67,33 @@ class TableEntry:
 
     pattern: TreePattern
     destination: Destination
+
+
+@dataclass
+class TableBatchMatch:
+    """Outcome of one :meth:`RoutingTable.destinations_for_batch` call.
+
+    ``destinations`` / ``operations`` are aligned with the input batch:
+    one table-order destination list and one attributed operation count
+    per document.  ``memo_hits`` / ``memo_misses`` report the shared
+    trie pool's amortisation (both zero in linear mode, which has no
+    cross-document sharing).
+    """
+
+    destinations: list[list[Destination]]
+    operations: list[int]
+    memo_hits: int = 0
+    memo_misses: int = 0
+
+    @property
+    def total_operations(self) -> int:
+        return sum(self.operations)
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of trie-pool lookups answered without recomputation."""
+        lookups = self.memo_hits + self.memo_misses
+        return self.memo_hits / lookups if lookups else 0.0
 
 
 class RoutingTable:
@@ -98,6 +125,14 @@ class RoutingTable:
             Destination, dict[TreePattern, list[tuple[TreePattern, bool]]]
         ] = {}
         self._matchers: dict[TreePattern, PatternMatcher] = {}
+        #: Destination → insertion rank, mirroring ``_by_destination``'s
+        #: key order exactly (a renamed destination re-enters at the
+        #: end, like a dict pop + reinsert).  Lets trie-mode
+        #: ``destinations_for`` order its matches in
+        #: O(|matched| log |matched|) instead of scanning every
+        #: destination per call.
+        self._dest_rank: dict[Destination, int] = {}
+        self._next_rank = 0
         #: The merged matching structure over every *active* entry.
         self._trie = PatternTrie()
         #: Per pattern: how many destinations hold it active — the
@@ -156,7 +191,11 @@ class RoutingTable:
         instance: True for a fresh advertisement (public :meth:`add`),
         or the instance's original flag when a restoration re-admits it.
         """
-        patterns = self._by_destination.setdefault(destination, [])
+        patterns = self._by_destination.get(destination)
+        if patterns is None:
+            patterns = self._by_destination[destination] = []
+            self._dest_rank[destination] = self._next_rank
+            self._next_rank += 1
         for existing in patterns:
             if contains(existing, pattern):
                 self.covered_inserts += 1
@@ -322,6 +361,7 @@ class RoutingTable:
         if not self._by_destination.get(destination):
             self._by_destination.pop(destination, None)
             self._absorbed.pop(destination, None)
+            self._dest_rank.pop(destination, None)
         return True, restored
 
     def remove_destination(self, destination: Destination) -> list[TreePattern]:
@@ -338,6 +378,7 @@ class RoutingTable:
         to a retiring neighbour).
         """
         self._absorbed.pop(destination, None)
+        self._dest_rank.pop(destination, None)
         removed = list(self._by_destination.pop(destination, ()))
         for pattern in removed:
             self._deactivate(pattern, destination)
@@ -365,6 +406,11 @@ class RoutingTable:
                 f"cannot rename destination onto existing entries: {new!r}"
             )
         self._by_destination[new] = self._by_destination.pop(old)
+        # The pop + reinsert moved the entries to the end of the table's
+        # iteration order; the rank index mirrors that exactly.
+        self._dest_rank.pop(old, None)
+        self._dest_rank[new] = self._next_rank
+        self._next_rank += 1
         if old in self._absorbed:
             self._absorbed[new] = self._absorbed.pop(old)
         self._trie.rename_destination(old, new, self._by_destination[new])
@@ -472,6 +518,8 @@ class RoutingTable:
         self._by_destination.clear()
         self._absorbed.clear()
         self._matchers.clear()
+        self._dest_rank.clear()
+        self._next_rank = 0
         self._trie.clear()
         self._active_counts.clear()
         self.match_operations = 0
@@ -522,13 +570,7 @@ class RoutingTable:
         if mode == "trie":
             result = self._trie.match(document)
             operations = result.operations
-            if result.destinations:
-                found = [
-                    destination
-                    for destination in self._by_destination
-                    if destination in result.destinations
-                    and destination not in skip
-                ]
+            found = self._ordered(result.destinations, skip)
         else:
             operations = 0
             for destination, patterns in self._by_destination.items():
@@ -541,6 +583,79 @@ class RoutingTable:
                         break
         self.match_operations += operations
         return found, operations
+
+    def _ordered(
+        self, matched: set, skip: set[Destination]
+    ) -> list[Destination]:
+        """*matched* in table order (first-advertised first).
+
+        Sorted on the maintained insertion-rank index — every matched
+        destination is active, hence ranked — so ordering costs
+        O(|matched| log |matched|), not a scan of every destination.
+        """
+        if not matched:
+            return []
+        rank = self._dest_rank
+        return sorted(
+            (
+                destination
+                for destination in matched
+                if destination not in skip
+            ),
+            key=rank.__getitem__,
+        )
+
+    def destinations_for_batch(
+        self,
+        documents: Sequence[XMLTree],
+        excludes: Optional[Sequence[Iterable[Destination]]] = None,
+        matching: Optional[str] = None,
+    ) -> TableBatchMatch:
+        """Destinations per document of a batch, filtered in one pass.
+
+        In trie mode the whole batch shares one
+        :meth:`~repro.routing.trie.PatternTrie.match_batch` memo pool, so
+        constraint satisfactions, aliveness tests and whole-document
+        outcomes repeated across the batch are paid once — the batch's
+        total operations are always ≤ the sum of per-document
+        :meth:`destinations_for` costs.  Linear mode evaluates document
+        by document (the oracle has no cross-document sharing).  Both
+        keep every per-document contract of :meth:`destinations_for`:
+        table-order determinism and per-document ``excludes`` (one
+        iterable per document — jobs drained from one queue may have
+        arrived over different links).
+        """
+        documents = list(documents)
+        if excludes is None:
+            skips: list[set[Destination]] = [set() for _ in documents]
+        else:
+            skips = [set(exclude) for exclude in excludes]
+            if len(skips) != len(documents):
+                raise ValueError(
+                    f"{len(documents)} documents but {len(skips)} excludes"
+                )
+        mode = self.matching if matching is None else matching
+        per_document: list[list[Destination]] = []
+        operations: list[int] = []
+        if mode == "trie":
+            batch = self._trie.match_batch(documents)
+            for result, skip in zip(batch.results, skips):
+                per_document.append(self._ordered(result.destinations, skip))
+                operations.append(result.operations)
+            self.match_operations += batch.operations
+            return TableBatchMatch(
+                per_document,
+                operations,
+                memo_hits=batch.memo_hits,
+                memo_misses=batch.memo_misses,
+            )
+        for document, skip in zip(documents, skips):
+            found, spent = self.destinations_for(
+                document, exclude=skip, matching=mode
+            )
+            per_document.append(found)
+            operations.append(spent)
+        return TableBatchMatch(per_document, operations)
 
     # ------------------------------------------------------------------
     # introspection

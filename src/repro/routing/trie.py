@@ -66,6 +66,28 @@ non-matching pattern therefore collapses into its shared prefix.  This
 count is the filtering-cost unit
 :class:`~repro.routing.table.RoutingTable` reports in trie mode.
 
+Batched matching
+----------------
+
+``match_batch`` evaluates a whole document batch against one shared
+memo pool (:class:`_BatchMemo`), amortising constraint work *across
+documents* the way hash-consing amortises it across patterns.  The key
+is structural: every document node gets a **skeleton key** — the
+interned canonical form of its subtree with identical sibling subtrees
+deduplicated (sound, because matching quantifies document children
+only existentially) — and branch satisfaction is memoised on
+``(constraint id, skeleton key)`` instead of ``(constraint id, node
+position)``.  Structurally identical subtrees across the batch (common
+under the Zipfian generators) therefore hit the memo instead of being
+re-traversed; aliveness tests share per-tag-set entries, gates share
+per-root-key entries, and a document whose whole skeleton repeats
+costs zero trie operations.  Skeleton-key construction is document
+bookkeeping (like the label index), not trie work, so it is never
+counted as a trie operation — batched operations are guaranteed ≤ the
+sum of the per-document counts.  ``match`` is the batch machinery at
+batch size one (a fresh pool per call), so the two paths cannot
+drift.
+
 Incremental-maintenance invariants
 ----------------------------------
 
@@ -97,7 +119,7 @@ from repro.core.labels import DESCENDANT, WILDCARD, is_tag
 from repro.core.pattern import PatternNode, TreePattern
 from repro.xmltree.tree import XMLTree
 
-__all__ = ["PatternTrie", "TrieMatch"]
+__all__ = ["PatternTrie", "TrieMatch", "BatchMatch"]
 
 Destination = Hashable
 
@@ -277,45 +299,127 @@ class _Entry:
         self.destinations = destinations
 
 
+class _BatchMemo:
+    """The shared evaluation pool of one batch (or one ``match`` call).
+
+    Everything keyed here is a pure function of *document structure*
+    (skeleton keys, tag-set keys) and *trie constraints* (hash-consed
+    node ids), so entries are sound across every document of the batch.
+    ``stride`` is the trie's node-id horizon at pool creation; combined
+    with the densely interned skeleton/tag-set keys it packs every memo
+    key into one int.  A pool must not outlive a trie mutation — the
+    matching entry points create one per call, so they never do.
+    """
+
+    __slots__ = (
+        "stride",
+        "skeleton_keys",
+        "tag_keys",
+        "memo",
+        "gate_cache",
+        "alive",
+        "alive_req",
+        "results",
+        "hits",
+        "misses",
+    )
+
+    def __init__(self, stride: int):
+        self.stride = stride
+        #: Interner: dedup-canonical ``(label, child skeleton keys)`` →
+        #: dense skeleton key.
+        self.skeleton_keys: dict[tuple, int] = {}
+        #: Interner: document tag set → dense key.
+        self.tag_keys: dict[frozenset, int] = {}
+        #: ``skeleton_key * stride + constraint id`` → branch satisfied.
+        self.memo: dict[int, bool] = {}
+        #: ``root skeleton key * stride + gate id`` → gate satisfied.
+        self.gate_cache: dict[int, bool] = {}
+        #: ``tag-set key * stride + constraint id`` → constraint alive.
+        self.alive: dict[int, bool] = {}
+        #: ``(required tags, tag-set key)`` → subtrie alive.
+        self.alive_req: dict[tuple[frozenset, int], bool] = {}
+        #: Root skeleton key → the whole document's match outcome.
+        self.results: dict[int, tuple[frozenset, frozenset]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def tag_key(self, tag_set: frozenset) -> int:
+        key = self.tag_keys.get(tag_set)
+        if key is None:
+            key = len(self.tag_keys)
+            self.tag_keys[tag_set] = key
+        return key
+
+
 class _MatchState:
-    """Per-document evaluation state: memo tables and the op counter."""
+    """Per-document evaluation state over a shared :class:`_BatchMemo`.
+
+    Holds what is genuinely per document — the tree, its skeleton keys,
+    the label/child indexes and the op counter — while every memo table
+    lives in the pool and is shared across the batch.
+    """
 
     __slots__ = (
         "tree",
         "n",
         "tag_set",
-        "memo",
-        "gate_cache",
-        "alive",
-        "alive_req",
+        "pool",
+        "skel",
+        "root_key",
+        "tags_key",
         "ops",
         "_by_label",
         "_kids_by_label",
     )
 
-    def __init__(self, tree: XMLTree):
+    def __init__(self, tree: XMLTree, pool: _BatchMemo):
         self.tree = tree
         self.n = len(tree.labels)
         self.tag_set = tree.tag_set
-        self.memo: dict[int, bool] = {}
-        self.gate_cache: dict[int, bool] = {}
-        #: Per hash-consed subtree: does the document hold every tag the
-        #: subtree requires?  Computed once per subtree per document, so
-        #: an unsatisfiable constraint costs one operation total.
-        self.alive: dict[int, bool] = {}
-        #: Per distinct required-tag set: computed once per document
-        #: (spine nodes across the trie share requirement sets heavily).
-        self.alive_req: dict[frozenset, bool] = {}
+        self.pool = pool
+        self.tags_key = pool.tag_key(self.tag_set)
+        # Skeleton keys, bottom-up: the builder appends parents before
+        # children, so a reverse scan sees every child before its
+        # parent.  Identical sibling subtrees intern to one key —
+        # matching only ever quantifies document children existentially,
+        # so the deduplication never changes satisfaction.  This is
+        # document bookkeeping (like the label index), not trie work:
+        # it is deliberately not counted as trie operations.
+        skeleton_keys = pool.skeleton_keys
+        children = tree.children
+        labels = tree.labels
+        skel = [0] * self.n
+        for position in reversed(range(self.n)):
+            kids = children[position]
+            shape = (
+                labels[position],
+                tuple(sorted({skel[kid] for kid in kids})) if kids else (),
+            )
+            key = skeleton_keys.get(shape)
+            if key is None:
+                key = len(skeleton_keys)
+                skeleton_keys[shape] = key
+            skel[position] = key
+        self.skel = skel
+        self.root_key = skel[tree.root]
         self.ops = 0
         self._by_label: dict[str, list[int]] | None = None
         self._kids_by_label: dict[tuple[int, str], list[int]] | None = None
 
     def is_alive(self, node: "_BranchNode") -> bool:
-        alive = self.alive.get(node.node_id)
+        """Does the document hold every tag *node* requires?  One memo
+        entry per (constraint, document tag set) across the batch."""
+        pool = self.pool
+        key = self.tags_key * pool.stride + node.node_id
+        alive = pool.alive.get(key)
         if alive is None:
+            pool.misses += 1
             self.ops += 1
             alive = node.tags <= self.tag_set
-            self.alive[node.node_id] = alive
+            pool.alive[key] = alive
+        else:
+            pool.hits += 1
         return alive
 
     def label_index(self) -> dict[str, list[int]]:
@@ -348,6 +452,31 @@ class TrieMatch:
     destinations: set
     patterns: set
     operations: int
+
+
+@dataclass
+class BatchMatch:
+    """Result of one shared-pool traversal over a document batch.
+
+    ``results`` holds one :class:`TrieMatch` per input document, in
+    order; each carries the operations *attributed* to that document
+    (memo-amortised work is paid by the first document that needs it),
+    so ``operations == sum(r.operations for r in results)``.  ``memo_hits``
+    / ``memo_misses`` split the pool lookups into amortised answers and
+    cold computations — the hit rate is the batch's structural-sharing
+    measure.
+    """
+
+    results: list[TrieMatch]
+    operations: int
+    memo_hits: int
+    memo_misses: int
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of pool lookups answered without recomputation."""
+        lookups = self.memo_hits + self.memo_misses
+        return self.memo_hits / lookups if lookups else 0.0
 
 
 class PatternTrie:
@@ -514,14 +643,54 @@ class PatternTrie:
 
     def match(self, tree: XMLTree) -> TrieMatch:
         """One traversal: every matching pattern and destination, plus the
-        trie operations spent."""
-        destinations: set = set()
-        patterns: set[TreePattern] = set()
+        trie operations spent.
+
+        Routed through the batch machinery at batch size one (a fresh
+        memo pool per call), so the single-document and batched paths
+        share every line of evaluation code and cannot drift.
+        """
+        return self.match_batch((tree,)).results[0]
+
+    def match_batch(self, trees: Iterable[XMLTree]) -> BatchMatch:
+        """Match every document of a batch through one shared memo pool.
+
+        Branch/gate satisfaction, aliveness tests and whole-document
+        outcomes are memoised across the batch on skeleton keys (see
+        the module docstring), so structurally repeated work is paid
+        once: batched operations are always ≤ the sum of per-document
+        ``match`` costs, with equality exactly when the batch shares no
+        structure.  The trie must not be mutated while a batch is being
+        evaluated (the pool is private to the call, so this only
+        excludes mutation from within the iterable).
+        """
+        results: list[TrieMatch] = []
         if not self._entries:
-            return TrieMatch(destinations, patterns, 0)
-        state = _MatchState(tree)
-        self._visit_children(self._root, (), state, destinations, patterns)
-        return TrieMatch(destinations, patterns, state.ops)
+            for _ in trees:
+                results.append(TrieMatch(set(), set(), 0))
+            return BatchMatch(results, 0, 0, 0)
+        pool = _BatchMemo(max(1, self._next_node_id))
+        total = 0
+        for tree in trees:
+            state = _MatchState(tree, pool)
+            cached = pool.results.get(state.root_key)
+            if cached is not None:
+                pool.hits += 1
+                destinations, patterns = cached
+                results.append(TrieMatch(set(destinations), set(patterns), 0))
+                continue
+            pool.misses += 1
+            destinations = set()
+            patterns: set[TreePattern] = set()
+            self._visit_children(
+                self._root, (), state, destinations, patterns
+            )
+            pool.results[state.root_key] = (
+                frozenset(destinations),
+                frozenset(patterns),
+            )
+            total += state.ops
+            results.append(TrieMatch(destinations, patterns, state.ops))
+        return BatchMatch(results, total, pool.hits, pool.misses)
 
     def _visit_children(
         self,
@@ -550,17 +719,24 @@ class PatternTrie:
                 and order[stop].label == label
             ):
                 stop += 1
-            # One op per distinct requirement set kills every subtrie
-            # whose required tags the document lacks — before any
-            # candidate scan is paid.
+            # One op per distinct (requirement set, document tag set)
+            # across the whole batch kills every subtrie whose required
+            # tags the document lacks — before any candidate scan is
+            # paid.
             members: list[_SpineNode] = []
-            alive_req = state.alive_req
+            pool = state.pool
+            alive_req = pool.alive_req
+            tags_key = state.tags_key
             for member in order[index:stop]:
-                alive = alive_req.get(member.req_tags)
+                req_key = (member.req_tags, tags_key)
+                alive = alive_req.get(req_key)
                 if alive is None:
+                    pool.misses += 1
                     state.ops += 1
                     alive = member.req_tags <= state.tag_set
-                    alive_req[member.req_tags] = alive
+                    alive_req[req_key] = alive
+                else:
+                    pool.hits += 1
                 if alive:
                     members.append(member)
             if not members:
@@ -672,14 +848,22 @@ class PatternTrie:
 
     def _branch_sat(self, node: _BranchNode, t: int, state: _MatchState) -> bool:
         """(T, t) ⊨ Subtree(node) — the exact :class:`PatternMatcher`
-        semantics, memoised globally across every pattern in the trie."""
-        key = node.node_id * state.n + t
-        memo = state.memo
+        semantics, memoised on the document node's skeleton key: shared
+        across every pattern in the trie *and* every structurally equal
+        subtree in the batch.  The cycle-safe placeholder below stays
+        sound under key sharing because a strict document descendant has
+        a strictly smaller dedup-canonical height than its ancestor, so
+        the two can never intern to the same skeleton key."""
+        pool = state.pool
+        key = state.skel[t] * pool.stride + node.node_id
+        memo = pool.memo
         cached = memo.get(key)
         if cached is not None:
+            pool.hits += 1
             return cached
         if not state.is_alive(node):
             return False
+        pool.misses += 1
         state.ops += 1
         tree = state.tree
         label = node.label
@@ -709,13 +893,20 @@ class PatternTrie:
         return result
 
     def _gate_sat(self, gate: _BranchNode, state: _MatchState) -> bool:
-        """Root semantics for a non-spine root child, cached per document."""
-        cached = state.gate_cache.get(gate.node_id)
+        """Root semantics for a non-spine root child, cached per root
+        skeleton key — a gate reads the whole document, and documents
+        with equal root keys are structurally indistinguishable to it."""
+        pool = state.pool
+        key = state.root_key * pool.stride + gate.node_id
+        gate_cache = pool.gate_cache
+        cached = gate_cache.get(key)
         if cached is not None:
+            pool.hits += 1
             return cached
         if not state.is_alive(gate):
-            state.gate_cache[gate.node_id] = False
+            gate_cache[key] = False
             return False
+        pool.misses += 1
         state.ops += 1
         tree = state.tree
         label = gate.label
@@ -742,7 +933,7 @@ class PatternTrie:
                 result = all(
                     self._branch_sat(ku, root, state) for ku in gate.children
                 )
-        state.gate_cache[gate.node_id] = result
+        gate_cache[key] = result
         return result
 
     # ------------------------------------------------------------------

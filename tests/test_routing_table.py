@@ -569,3 +569,43 @@ class TestPruneMatcherRegression:
         assert table._active_counts == expected
         table.remove_destination("link-2")
         assert table._active_counts == {parse_xpath("/a"): 1}
+
+
+class TestTrieModeOrdering:
+    def legacy_order(self, table, matched):
+        """The pre-index ordering contract: a full table scan."""
+        return [d for d in table._by_destination if d in matched]
+
+    def test_rank_index_reproduces_table_scan_order(self, document):
+        table = RoutingTable()
+        # Interleave adds so matched destinations are not sorted by name.
+        table.add(parse_xpath("//e"), "link-9")
+        table.add(parse_xpath("/a/b"), "link-2")
+        table.add(parse_xpath("/a"), "link-5")
+        table.add(parse_xpath("/a/d"), "link-0")
+        found, _ = table.destinations_for(document)
+        assert found == self.legacy_order(table, set(found))
+        assert found == ["link-9", "link-2", "link-5", "link-0"]
+
+    def test_order_pinned_across_churn(self, document):
+        table = RoutingTable()
+        for name in ("link-3", "link-1", "link-4", "link-2"):
+            table.add(parse_xpath("//e"), name)
+        table.remove_destination("link-1")
+        table.add(parse_xpath("//e"), "link-1")  # re-admitted: goes last
+        table.rename_destination("link-4", "link-9")  # rename: moves last
+        table.remove_pattern(parse_xpath("//e"), "link-2")
+        table.add(parse_xpath("/a"), "link-2")  # emptied, re-admitted last
+        found, _ = table.destinations_for(document)
+        assert found == self.legacy_order(table, set(found))
+        assert found == ["link-3", "link-1", "link-9", "link-2"]
+
+    def test_rank_index_mirrors_destination_keys(self, document):
+        table = RoutingTable()
+        for name in ("b", "a", "c"):
+            table.add(parse_xpath("//e"), name)
+        table.rename_destination("b", "z")
+        table.remove_destination("a")
+        assert sorted(table._dest_rank) == sorted(table._by_destination)
+        ranked = sorted(table._dest_rank, key=table._dest_rank.__getitem__)
+        assert ranked == list(table._by_destination)
