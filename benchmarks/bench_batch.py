@@ -203,7 +203,7 @@ def check_acceptance(rows: list[BatchPoint]) -> None:
         cells.setdefault((point.corpus, point.size), []).append(point)
     for (corpus, size), points in cells.items():
         points.sort(key=lambda p: p.batch)
-        for previous, current in zip(points, points[1:]):
+        for previous, current in zip(points, points[1:], strict=False):
             assert current.ops <= previous.ops, (
                 f"ops grew with batch size at {corpus}/{size}: "
                 f"batch {previous.batch} -> {current.batch} cost "

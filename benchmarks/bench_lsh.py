@@ -136,7 +136,7 @@ def pair_confusion(exact: list[int], lsh: list[int]):
     def pair_count(counter) -> int:
         return sum(v * (v - 1) // 2 for v in counter.values())
 
-    true_positive = pair_count(Counter(zip(exact, lsh)))
+    true_positive = pair_count(Counter(zip(exact, lsh, strict=True)))
     exact_pairs = pair_count(Counter(exact))
     lsh_pairs = pair_count(Counter(lsh))
     precision = true_positive / lsh_pairs if lsh_pairs else 1.0

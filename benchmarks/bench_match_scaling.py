@@ -142,7 +142,7 @@ def check_acceptance(rows: list[ScalePoint]) -> None:
                 f"trie wall-clock not below linear at {point.size}: "
                 f"{point.trie_seconds:.3f}s vs {point.linear_seconds:.3f}s"
             )
-    for previous, current in zip(rows, rows[1:]):
+    for previous, current in zip(rows, rows[1:], strict=False):
         size_growth = current.size / previous.size
         ops_growth = current.trie_ops / previous.trie_ops
         margin = GROWTH_MARGIN if size_growth >= 10 else 1.0

@@ -104,7 +104,7 @@ def test_joint_selectivity_latency(benchmark, documents, patterns):
     for doc in documents:
         synopsis.insert_document(doc)
     estimator = SelectivityEstimator(synopsis)
-    pairs = list(zip(patterns[:10], patterns[10:20]))
+    pairs = list(zip(patterns[:10], patterns[10:20], strict=True))
 
     def run():
         estimator.clear_cache()

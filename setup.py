@@ -1,9 +1,22 @@
-"""Setup shim for environments without the `wheel` package.
+"""Setup entry point for the repro package.
 
-`pip install -e . --no-use-pep517` uses this legacy entry point; all real
-metadata lives in pyproject.toml.
+Kept as plain setup.py (no pyproject.toml) so `pip install -e .
+--no-use-pep517` works in environments without the `wheel` package.
+`package_data` ships the PEP 561 `py.typed` marker so downstream type
+checkers see the package's inline annotations.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro",
+    version="0.9.0",
+    description=(
+        "Reproduction of semantic multicast for content-based XML "
+        "pub/sub routing (Chand, Felber & Garofalakis, ICDE 2007)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    package_data={"repro": ["py.typed"]},
+    python_requires=">=3.10",
+)

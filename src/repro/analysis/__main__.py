@@ -1,0 +1,102 @@
+"""The reprolint command line: ``python -m repro.analysis [paths...]``.
+
+Exit codes: 0 clean, 1 violations found, 2 the analysis itself failed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.analysis.engine import (
+    AnalysisError,
+    Rule,
+    render_json,
+    run_analysis,
+)
+from repro.analysis.rules import default_rules
+
+
+def _select_rules(spec: str | None) -> Sequence[Rule]:
+    """The default rules, filtered by a comma-separated code list."""
+    rules = default_rules()
+    if spec is None:
+        return rules
+    wanted = {code.strip().upper() for code in spec.split(",") if code.strip()}
+    known = {rule.code for rule in rules}
+    unknown = wanted - known
+    if unknown:
+        raise AnalysisError(
+            f"unknown rule code(s): {', '.join(sorted(unknown))}; "
+            f"known: {', '.join(sorted(known))}"
+        )
+    return [rule for rule in rules if rule.code in wanted]
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Run reprolint over the given paths; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description=(
+            "reprolint: check the project's determinism/purity invariants "
+            "(seeded randomness, no wall clock, stable hashes, ordered "
+            "iteration, frozen models, engine isolation, export and "
+            "docstring hygiene) at the source level"
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to analyse (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("human", "json"),
+        default="human",
+        help="output format (default: human)",
+    )
+    parser.add_argument(
+        "--rules",
+        default=None,
+        metavar="CODES",
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--root",
+        default=".",
+        help="directory repo-relative rule scopes anchor on (default: .)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        rules = _select_rules(args.rules)
+        if args.list_rules:
+            for rule in rules:
+                print(f"{rule.code} {rule.name}: {rule.description}")
+            return 0
+        report = run_analysis(
+            [Path(p) for p in args.paths],
+            rules,
+            root=Path(args.root),
+            check_unused=args.rules is None,
+        )
+    except AnalysisError as exc:
+        print(f"reprolint: error: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(render_json(report))
+    else:
+        print(report.render())
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

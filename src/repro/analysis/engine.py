@@ -1,0 +1,398 @@
+"""The reprolint analysis engine: files, suppressions, reports.
+
+The engine is deliberately boring: it walks Python files, parses each one
+once, hands the parse to every applicable :class:`Rule`, and folds the
+rule verdicts together with the file's suppression comments into an
+:class:`AnalysisReport`.  All policy about *what* constitutes a violation
+lives in the rules (:mod:`repro.analysis.rules`); all policy about *how*
+violations are silenced, counted and serialised lives here — so a new
+rule never needs to reimplement suppression or output handling.
+
+Suppression syntax
+------------------
+
+A violation is silenced by a comment carrying the rule code **and a
+written justification** (the ``--`` separator is mandatory)::
+
+    value = time.perf_counter()  # reprolint: disable=RL002 -- harness timing only
+
+A comment on its own line covers the next line, so multi-line statements
+can be suppressed from above::
+
+    # reprolint: disable=RL004 -- verdict is order-insensitive (set build)
+    for item in pending_set:
+        ...
+
+A whole file opts out of a rule with ``disable-file``::
+
+    # reprolint: disable-file=RL002 -- this module *measures* wall-clock
+
+Suppressions are themselves checked: a suppression without a
+justification raises :data:`CODE_BAD_SUPPRESSION` (and does not
+suppress), and a suppression that never matched a violation raises
+:data:`CODE_UNUSED_SUPPRESSION` — so stale pragmas cannot accumulate.
+
+Exit-code contract (used by ``python -m repro.analysis`` and CI):
+
+* ``0`` — no active violations (suppressed ones are fine);
+* ``1`` — at least one active violation;
+* ``2`` — the analysis itself failed (unreadable file, syntax error,
+  unknown rule name).
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import json
+import re
+import tokenize
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Iterable, Iterator, Protocol, Sequence
+
+__all__ = [
+    "CODE_BAD_SUPPRESSION",
+    "CODE_UNUSED_SUPPRESSION",
+    "AnalysisError",
+    "AnalysisReport",
+    "Rule",
+    "SourceFile",
+    "Suppression",
+    "Violation",
+    "iter_python_files",
+    "render_json",
+    "run_analysis",
+]
+
+#: Meta-code for a suppression comment missing its justification string.
+CODE_BAD_SUPPRESSION = "RL100"
+
+#: Meta-code for a suppression that silenced nothing.
+CODE_UNUSED_SUPPRESSION = "RL101"
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*reprolint:\s*(?P<kind>disable-file|disable)\s*=\s*"
+    r"(?P<codes>[A-Z]+\d+(?:\s*,\s*[A-Z]+\d+)*)"
+    r"(?:\s*--\s*(?P<why>.*\S))?\s*$"
+)
+
+
+class AnalysisError(Exception):
+    """The analysis itself could not run (exit code 2, not a finding)."""
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One finding: a rule, a location, and a human-readable message."""
+
+    rule: str
+    message: str
+    path: str
+    line: int
+    suppressed: bool = False
+    justification: str | None = None
+
+    def to_json(self) -> dict[str, object]:
+        """The JSON-serialisable form consumed by ``--format=json``."""
+        payload: dict[str, object] = {
+            "rule": self.rule,
+            "message": self.message,
+            "path": self.path,
+            "line": self.line,
+            "suppressed": self.suppressed,
+        }
+        if self.justification is not None:
+            payload["justification"] = self.justification
+        return payload
+
+    @classmethod
+    def from_json(cls, payload: dict[str, object]) -> "Violation":
+        """Rebuild a violation from its :meth:`to_json` form."""
+        return cls(
+            rule=str(payload["rule"]),
+            message=str(payload["message"]),
+            path=str(payload["path"]),
+            line=int(payload["line"]),  # type: ignore[arg-type]
+            suppressed=bool(payload.get("suppressed", False)),
+            justification=(
+                None
+                if payload.get("justification") is None
+                else str(payload["justification"])
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One parsed ``# reprolint: disable[-file]=...`` comment."""
+
+    codes: tuple[str, ...]
+    justification: str
+    line: int
+    file_level: bool
+    #: Source lines this suppression covers (empty for file-level).
+    covered_lines: tuple[int, ...] = ()
+
+    def covers(self, code: str, line: int) -> bool:
+        """Whether this suppression silences *code* reported at *line*."""
+        if code not in self.codes:
+            return False
+        return self.file_level or line in self.covered_lines
+
+
+class SourceFile:
+    """One parsed Python file: text, AST, and suppression comments."""
+
+    def __init__(self, path: Path, root: Path) -> None:
+        self.path = path
+        try:
+            self.relpath = path.resolve().relative_to(root.resolve()).as_posix()
+        except ValueError:
+            self.relpath = path.as_posix()
+        try:
+            self.text = path.read_text(encoding="utf-8")
+        except OSError as exc:
+            raise AnalysisError(f"{path}: unreadable: {exc}") from exc
+        try:
+            self.tree = ast.parse(self.text, filename=str(path))
+        except SyntaxError as exc:
+            raise AnalysisError(f"{path}:{exc.lineno}: syntax error: {exc.msg}") from exc
+        self.lines = self.text.splitlines()
+        self.suppressions, self.malformed = _parse_suppressions(self.text)
+        self._parents: dict[ast.AST, ast.AST] | None = None
+
+    def parent_map(self) -> dict[ast.AST, ast.AST]:
+        """Child → parent links for the file's AST, built on first use."""
+        if self._parents is None:
+            self._parents = {
+                child: parent
+                for parent in ast.walk(self.tree)
+                for child in ast.iter_child_nodes(parent)
+            }
+        return self._parents
+
+    def violation(self, rule: str, message: str, line: int) -> Violation:
+        """A violation of *rule* at *line* of this file."""
+        return Violation(rule=rule, message=message, path=self.relpath, line=line)
+
+
+def _parse_suppressions(
+    text: str,
+) -> tuple[list[Suppression], list[tuple[int, str]]]:
+    """All reprolint comments in *text*, plus malformed ones.
+
+    Returns ``(suppressions, malformed)`` where *malformed* holds
+    ``(line, reason)`` pairs for pragmas without a justification.
+    """
+    suppressions: list[Suppression] = []
+    malformed: list[tuple[int, str]] = []
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(text).readline))
+    except (tokenize.TokenError, IndentationError):  # pragma: no cover
+        return suppressions, malformed
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        if "reprolint:" not in token.string:
+            continue
+        match = _SUPPRESS_RE.search(token.string)
+        row = token.start[0]
+        if match is None:
+            malformed.append((row, "malformed reprolint pragma"))
+            continue
+        codes = tuple(
+            code.strip() for code in match.group("codes").split(",") if code.strip()
+        )
+        justification = (match.group("why") or "").strip()
+        if not justification:
+            malformed.append((row, "suppression is missing its justification"))
+            continue
+        file_level = match.group("kind") == "disable-file"
+        own_line = token.line[: token.start[1]].strip() == ""
+        covered = () if file_level else ((row, row + 1) if own_line else (row,))
+        suppressions.append(
+            Suppression(
+                codes=codes,
+                justification=justification,
+                line=row,
+                file_level=file_level,
+                covered_lines=covered,
+            )
+        )
+    return suppressions, malformed
+
+
+class Rule(Protocol):
+    """The pluggable rule contract reprolint drives.
+
+    A rule owns a stable ``code`` (``"RL001"``), a short ``name``, a
+    one-line ``description``, a path predicate :meth:`applies_to`, and a
+    :meth:`check` generator producing :class:`Violation` instances for
+    one parsed file.  Rules never see suppressions — the engine applies
+    those uniformly afterwards.
+    """
+
+    code: str
+    name: str
+    description: str
+
+    def applies_to(self, relpath: str) -> bool:
+        """Whether this rule runs on the file at repo-relative *relpath*."""
+        ...
+
+    def check(self, source: SourceFile) -> Iterator[Violation]:
+        """Yield every violation of this rule found in *source*."""
+        ...
+
+
+@dataclass
+class AnalysisReport:
+    """The outcome of one reprolint run over a set of files."""
+
+    violations: list[Violation] = field(default_factory=list)
+    suppressed: list[Violation] = field(default_factory=list)
+    files_checked: int = 0
+    rule_codes: tuple[str, ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        """True when no active violations remain."""
+        return not self.violations
+
+    def to_json(self) -> dict[str, object]:
+        """The JSON-serialisable form consumed by ``--format=json``."""
+        by_rule: dict[str, int] = {}
+        for violation in self.violations:
+            by_rule[violation.rule] = by_rule.get(violation.rule, 0) + 1
+        return {
+            "version": 1,
+            "ok": self.ok,
+            "files_checked": self.files_checked,
+            "rules": list(self.rule_codes),
+            "violations": [v.to_json() for v in self.violations],
+            "suppressed": [v.to_json() for v in self.suppressed],
+            "summary": {"total": len(self.violations), "by_rule": by_rule},
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict[str, object]) -> "AnalysisReport":
+        """Rebuild a report from its :meth:`to_json` form."""
+        return cls(
+            violations=[
+                Violation.from_json(entry)  # type: ignore[arg-type]
+                for entry in payload.get("violations", [])  # type: ignore[union-attr]
+            ],
+            suppressed=[
+                Violation.from_json(entry)  # type: ignore[arg-type]
+                for entry in payload.get("suppressed", [])  # type: ignore[union-attr]
+            ],
+            files_checked=int(payload.get("files_checked", 0)),  # type: ignore[arg-type]
+            rule_codes=tuple(payload.get("rules", ())),  # type: ignore[arg-type]
+        )
+
+    def render(self) -> str:
+        """The human-readable report (one ``path:line: CODE message`` each)."""
+        lines = [
+            f"{v.path}:{v.line}: {v.rule} {v.message}" for v in self.violations
+        ]
+        lines.append(
+            f"reprolint: {len(self.violations)} violation(s), "
+            f"{len(self.suppressed)} suppressed, "
+            f"{self.files_checked} file(s) checked"
+        )
+        return "\n".join(lines)
+
+
+def iter_python_files(paths: Sequence[Path]) -> Iterator[Path]:
+    """Every ``*.py`` file under *paths*, sorted, skipping hidden dirs."""
+    seen: set[Path] = set()
+    for path in paths:
+        if not path.exists():
+            raise AnalysisError(f"{path}: no such file or directory")
+        if path.is_file():
+            candidates: Iterable[Path] = [path] if path.suffix == ".py" else []
+        else:
+            candidates = sorted(path.rglob("*.py"))
+        for candidate in candidates:
+            if any(
+                part.startswith(".") or part == "__pycache__"
+                for part in candidate.parts
+            ):
+                continue
+            resolved = candidate.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                yield candidate
+
+
+def run_analysis(
+    paths: Sequence[Path],
+    rules: Sequence[Rule],
+    root: Path | None = None,
+    check_unused: bool = True,
+) -> AnalysisReport:
+    """Run *rules* over every Python file under *paths*.
+
+    *root* anchors the repo-relative paths rules scope on (defaults to
+    the current directory).  With *check_unused* (the default), stale
+    suppressions are reported as :data:`CODE_UNUSED_SUPPRESSION`
+    violations; pass False when running a filtered rule subset, where a
+    suppression for an unselected rule would look stale.
+    """
+    root = root or Path.cwd()
+    report = AnalysisReport(rule_codes=tuple(rule.code for rule in rules))
+    for path in iter_python_files(paths):
+        source = SourceFile(path, root)
+        report.files_checked += 1
+        for line, reason in source.malformed:
+            report.violations.append(
+                source.violation(CODE_BAD_SUPPRESSION, reason, line)
+            )
+        used: set[int] = set()
+        emitted: set[Violation] = set()
+        for rule in rules:
+            if not rule.applies_to(source.relpath):
+                continue
+            for violation in rule.check(source):
+                if violation in emitted:
+                    continue
+                emitted.add(violation)
+                match = next(
+                    (
+                        s
+                        for s in source.suppressions
+                        if s.covers(violation.rule, violation.line)
+                    ),
+                    None,
+                )
+                if match is None:
+                    report.violations.append(violation)
+                else:
+                    used.add(match.line)
+                    report.suppressed.append(
+                        replace(
+                            violation,
+                            suppressed=True,
+                            justification=match.justification,
+                        )
+                    )
+        if check_unused:
+            for suppression in source.suppressions:
+                if suppression.line not in used:
+                    report.violations.append(
+                        source.violation(
+                            CODE_UNUSED_SUPPRESSION,
+                            "suppression silenced nothing: "
+                            f"disable={','.join(suppression.codes)}",
+                            suppression.line,
+                        )
+                    )
+    report.violations.sort(key=lambda v: (v.path, v.line, v.rule))
+    report.suppressed.sort(key=lambda v: (v.path, v.line, v.rule))
+    return report
+
+
+def render_json(report: AnalysisReport) -> str:
+    """The report as deterministic, round-trippable JSON text."""
+    return json.dumps(report.to_json(), indent=2, sort_keys=True)

@@ -43,7 +43,7 @@ from __future__ import annotations
 
 import random
 from hashlib import blake2b
-from typing import Hashable, Iterable, Optional, Protocol, Sequence
+from typing import Callable, Hashable, Iterable, Optional, Protocol, Sequence
 
 from repro.core.pattern import TreePattern
 
@@ -65,7 +65,7 @@ _TOKEN_HASHES: dict = {}
 _LABEL_SETS: dict[TreePattern, frozenset[str]] = {}
 
 
-def _token_hash(token) -> int:
+def _token_hash(token: tuple) -> int:
     """A stable (process- and seed-independent) 64-bit hash of one token.
 
     Python's builtin ``hash`` is salted per process for strings, which
@@ -176,20 +176,23 @@ class ExactCandidates:
     an *empty* label set (pure wildcards) is never pruned.
     """
 
-    def __init__(self, prefilter_labels: bool = False):
+    def __init__(self, prefilter_labels: bool = False) -> None:
         self.prefilter_labels = prefilter_labels
         #: key -> pattern, insertion-ordered: ``pairs()`` follows it.
         self._patterns: dict[Hashable, TreePattern] = {}
 
     def spawn(self) -> "ExactCandidates":
+        """A fresh, empty generator with the same configuration."""
         return ExactCandidates(prefilter_labels=self.prefilter_labels)
 
     def add(self, key: Hashable, pattern: TreePattern) -> None:
+        """Register *pattern* under *key*; keys must be unique."""
         if key in self._patterns:
             raise ValueError(f"duplicate candidate key {key!r}")
         self._patterns[key] = pattern
 
     def discard(self, key: Hashable) -> bool:
+        """Remove *key* if present; returns whether it was registered."""
         return self._patterns.pop(key, None) is not None
 
     def _labels_overlap(self, p: TreePattern, q: TreePattern) -> bool:
@@ -200,11 +203,13 @@ class ExactCandidates:
         return not labels_p or not labels_q or not labels_p.isdisjoint(labels_q)
 
     def is_candidate(self, p: TreePattern, q: TreePattern) -> bool:
+        """Whether the pair survives the (optional) label prefilter."""
         if not self.prefilter_labels or p == q:
             return True
         return self._labels_overlap(p, q)
 
     def candidates_of(self, pattern: TreePattern) -> set:
+        """Keys of every registered pattern that pairs with *pattern*."""
         if not self.prefilter_labels:
             return set(self._patterns)
         return {
@@ -214,6 +219,7 @@ class ExactCandidates:
         }
 
     def pairs(self) -> list[tuple]:
+        """Every unordered candidate pair, in insertion order."""
         keys = list(self._patterns)
         if not self.prefilter_labels:
             return [
@@ -230,6 +236,7 @@ class ExactCandidates:
         ]
 
     def describe(self) -> str:
+        """Short configuration label for benchmark output."""
         if self.prefilter_labels:
             return "exact(prefilter=labels)"
         return "exact"
@@ -287,7 +294,7 @@ class ShardedExactCandidates(ExactCandidates):
         workers: Optional[int] = None,
         prefilter_labels: bool = True,
         min_parallel: int = 2048,
-    ):
+    ) -> None:
         super().__init__(prefilter_labels=prefilter_labels)
         if workers is not None and workers < 1:
             raise ValueError("workers must be >= 1")
@@ -297,6 +304,7 @@ class ShardedExactCandidates(ExactCandidates):
         self.min_parallel = min_parallel
 
     def spawn(self) -> "ShardedExactCandidates":
+        """A fresh, empty generator with the same configuration."""
         return ShardedExactCandidates(
             workers=self.workers,
             prefilter_labels=self.prefilter_labels,
@@ -311,6 +319,8 @@ class ShardedExactCandidates(ExactCandidates):
         return max(1, min(8, os.cpu_count() or 1))
 
     def pairs(self) -> list[tuple]:
+        """Every unordered candidate pair, sharded across worker processes
+        above the ``min_parallel`` population threshold."""
         keys = list(self._patterns)
         n = len(keys)
         workers = self._resolved_workers()
@@ -341,6 +351,7 @@ class ShardedExactCandidates(ExactCandidates):
         ]
 
     def describe(self) -> str:
+        """Short configuration label for benchmark output."""
         suffix = ", prefilter=labels" if self.prefilter_labels else ""
         return f"sharded_exact(workers={self.workers or 'auto'}{suffix})"
 
@@ -392,10 +403,10 @@ class LSHCandidates:
         bands: int = 16,
         rows: int = 2,
         seed: int = 0,
-        tokens=None,
-        signature_fn=None,
+        tokens: Optional[Callable[[TreePattern], Iterable[tuple]]] = None,
+        signature_fn: Optional[Callable[[TreePattern], Sequence[int]]] = None,
         _shared: Optional[tuple] = None,
-    ):
+    ) -> None:
         if bands < 1:
             raise ValueError("bands must be >= 1")
         if rows < 1:
@@ -430,6 +441,7 @@ class LSHCandidates:
         return cls(bands=1, rows=1, signature_fn=lambda pattern: (0,))
 
     def spawn(self) -> "LSHCandidates":
+        """A fresh, empty generator sharing hash parameters and memo."""
         return LSHCandidates(
             bands=self.bands,
             rows=self.rows,
@@ -480,6 +492,7 @@ class LSHCandidates:
     # -- population ----------------------------------------------------------
 
     def add(self, key: Hashable, pattern: TreePattern) -> None:
+        """Insert *pattern* into its band buckets; keys must be unique."""
         if key in self._bucket_ids:
             raise ValueError(f"duplicate candidate key {key!r}")
         band_ids = tuple(self._band_ids(pattern))
@@ -488,6 +501,7 @@ class LSHCandidates:
             self._buckets.setdefault(band_id, {})[key] = None
 
     def discard(self, key: Hashable) -> bool:
+        """Remove *key* from its buckets; returns whether it was present."""
         band_ids = self._bucket_ids.pop(key, None)
         if band_ids is None:
             return False
@@ -501,6 +515,7 @@ class LSHCandidates:
     # -- queries -------------------------------------------------------------
 
     def is_candidate(self, p: TreePattern, q: TreePattern) -> bool:
+        """Whether at least one signature band of *p* and *q* agrees."""
         if p == q:
             return True
         sig_p = self.signature(p)
@@ -513,6 +528,7 @@ class LSHCandidates:
         )
 
     def candidates_of(self, pattern: TreePattern) -> set:
+        """Keys sharing at least one band bucket with *pattern*."""
         found: set = set()
         for band_id in self._band_ids(pattern):
             bucket = self._buckets.get(band_id)
@@ -521,6 +537,7 @@ class LSHCandidates:
         return found
 
     def pairs(self) -> list[tuple]:
+        """Every colliding pair, deduplicated across buckets."""
         emitted: set = set()
         out: list[tuple] = []
         for bucket in self._buckets.values():
@@ -540,6 +557,7 @@ class LSHCandidates:
         return sorted((len(bucket) for bucket in self._buckets.values()), reverse=True)
 
     def describe(self) -> str:
+        """Short configuration label for benchmark output."""
         if self.signature_fn is not None:
             return f"lsh(bands={self.bands}, rows={self.rows}, custom-signature)"
         if self.tokens is not None:
@@ -557,7 +575,7 @@ class LSHCandidates:
 
 
 def resolve_candidates(
-    spec: "CandidateGenerator | str | None", **overrides
+    spec: "CandidateGenerator | str | None", **overrides: object
 ) -> Optional[CandidateGenerator]:
     """Resolve a generator instance or string spelling to a generator.
 

@@ -38,6 +38,9 @@ def _label_subsumes(container_label: str, contained_label: str) -> bool:
 def _embeds(p_node: PatternNode, q_node: PatternNode, memo: dict) -> bool:
     """Is there a homomorphism of ``Subtree(p_node)`` into
     ``Subtree(q_node)`` anchored at q_node?"""
+    # Per-call embedding memo: keys die with this call, never persist or
+    # cross a process, and the verdict is id-independent.
+    # reprolint: disable=RL003 -- transient per-call memo key, never persisted
     key = (id(p_node), id(q_node))
     cached = memo.get(key)
     if cached is not None:

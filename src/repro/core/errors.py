@@ -61,7 +61,7 @@ def average_relative_error(
     total = 0.0
     used = 0
     skipped = 0
-    for truth, estimate in zip(exact, estimated):
+    for truth, estimate in zip(exact, estimated, strict=True):
         if truth == 0.0:
             skipped += 1
             continue
@@ -80,6 +80,7 @@ def root_mean_square_error(
     if not exact:
         return ErrorSummary(value=0.0, used=0)
     total = sum(
-        (estimate - truth) ** 2 for truth, estimate in zip(exact, estimated)
+        (estimate - truth) ** 2
+        for truth, estimate in zip(exact, estimated, strict=True)
     )
     return ErrorSummary(value=math.sqrt(total / len(exact)), used=len(exact))

@@ -41,7 +41,7 @@ class PatternNode:
 
     __slots__ = ("label", "children", "_hash")
 
-    def __init__(self, label: str, children: tuple["PatternNode", ...] = ()):
+    def __init__(self, label: str, children: tuple["PatternNode", ...] = ()) -> None:
         validate_label(label)
         if label == DESCENDANT:
             if len(children) != 1:
@@ -126,7 +126,7 @@ class TreePattern:
 
     __slots__ = ("root_children", "_hash")
 
-    def __init__(self, children: tuple[PatternNode, ...] | list[PatternNode]):
+    def __init__(self, children: tuple[PatternNode, ...] | list[PatternNode]) -> None:
         children = tuple(children)
         if not children:
             raise PatternError("a tree pattern needs at least one constraint")

@@ -31,7 +31,7 @@ class XPathSyntaxError(PatternError):
 class _Parser:
     """Recursive-descent parser over a pattern expression string."""
 
-    def __init__(self, text: str):
+    def __init__(self, text: str) -> None:
         self.text = text
         self.pos = 0
 

@@ -60,7 +60,7 @@ class SelectivityEstimator:
     0.5
     """
 
-    def __init__(self, synopsis: DocumentSynopsis):
+    def __init__(self, synopsis: DocumentSynopsis) -> None:
         self.synopsis = synopsis
         self._selectivity_cache: dict[TreePattern, float] = {}
 
@@ -139,6 +139,9 @@ class SelectivityEstimator:
     ) -> SampleView:
         if not label_below(label.tag, cp.labels[u]):
             return SampleView.empty(self.synopsis.hasher)
+        # Per-call memo over interned LabelTree nodes; keys die with this
+        # traversal and the view is id-independent.
+        # reprolint: disable=RL003 -- transient per-call memo key, never persisted
         key = (node.node_id, id(label), u)
         cached = memo.get(key)
         if cached is not None:
@@ -217,6 +220,9 @@ class SelectivityEstimator:
     ) -> float:
         if not label_below(label.tag, cp.labels[u]):
             return 0.0
+        # Per-call memo over interned LabelTree nodes; keys die with this
+        # traversal and the count is id-independent.
+        # reprolint: disable=RL003 -- transient per-call memo key, never persisted
         key = (node.node_id, id(label), u)
         cached = memo.get(key)
         if cached is not None:

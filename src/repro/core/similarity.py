@@ -51,9 +51,13 @@ __all__ = [
 class SelectivityProvider(Protocol):
     """Anything that can score patterns: estimators and ground truth alike."""
 
-    def selectivity(self, pattern: TreePattern) -> float: ...
+    def selectivity(self, pattern: TreePattern) -> float:
+        """``P(p)`` — probability a stream document matches *pattern*."""
+        ...
 
-    def joint_selectivity(self, p: TreePattern, q: TreePattern) -> float: ...
+    def joint_selectivity(self, p: TreePattern, q: TreePattern) -> float:
+        """``P(p ∧ q)`` — probability a document matches both patterns."""
+        ...
 
 
 def _clamp(value: float) -> float:
@@ -122,7 +126,7 @@ class SimilarityEstimator:
     >>> # SimilarityEstimator(est).similarity(p, q, metric="M3")
     """
 
-    def __init__(self, provider: SelectivityProvider):
+    def __init__(self, provider: SelectivityProvider) -> None:
         self.provider = provider
 
     def similarity(
@@ -334,7 +338,7 @@ class SimilarityIndex:
         memo_capacity: Optional[int] = None,
         prune_label_overlap: bool = False,
         candidates: Optional[CandidateGenerator] = None,
-    ):
+    ) -> None:
         if metric not in METRICS:
             raise ValueError(
                 f"unknown metric {metric!r}; choose from {sorted(METRICS)}"
@@ -658,19 +662,21 @@ class SimilarityIndex:
             return 0.0
         if self.prune_below is not None and p != q:
             key = frozenset((p, q))
-            if key not in self._joint_memo:
-                if self._marginal_bound(p, q) < self.prune_below:
-                    # M1's bound is direction-dependent, so its distinct
-                    # accounting is too.
-                    pruned_key = (p, q) if self.metric == "M1" else key
-                    if pruned_key not in self._ratio_pruned:
-                        self._ratio_pruned.add(pruned_key)
-                        self.stats.joint_ratio_pruned += 1
-                        by_metric = self.stats.ratio_pruned_by_metric
-                        by_metric[self.metric] = (
-                            by_metric.get(self.metric, 0) + 1
-                        )
-                    return 0.0
+            if (
+                key not in self._joint_memo
+                and self._marginal_bound(p, q) < self.prune_below
+            ):
+                # M1's bound is direction-dependent, so its distinct
+                # accounting is too.
+                pruned_key = (p, q) if self.metric == "M1" else key
+                if pruned_key not in self._ratio_pruned:
+                    self._ratio_pruned.add(pruned_key)
+                    self.stats.joint_ratio_pruned += 1
+                    by_metric = self.stats.ratio_pruned_by_metric
+                    by_metric[self.metric] = (
+                        by_metric.get(self.metric, 0) + 1
+                    )
+                return 0.0
         return self._metric_fn(self, p, q)
 
     def similarity(
@@ -787,7 +793,7 @@ class SimilarityMatrix:
         patterns: list[TreePattern],
         metric: str = "M3",
         prune_disjoint: bool = False,
-    ):
+    ) -> None:
         self._index = SimilarityIndex(
             provider, patterns, metric=metric, prune_disjoint=prune_disjoint
         )

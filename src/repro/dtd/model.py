@@ -30,10 +30,12 @@ class Occurs(enum.Enum):
 
     @property
     def min_count(self) -> int:
+        """Minimum number of occurrences the operator admits."""
         return 1 if self in (Occurs.ONE, Occurs.PLUS) else 0
 
     @property
     def unbounded(self) -> bool:
+        """Whether the operator admits arbitrarily many occurrences."""
         return self in (Occurs.STAR, Occurs.PLUS)
 
 

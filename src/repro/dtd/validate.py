@@ -46,6 +46,7 @@ class ValidationReport:
 
     @property
     def valid(self) -> bool:
+        """Whether the document produced no validation errors."""
         return not self.errors
 
     def __bool__(self) -> bool:

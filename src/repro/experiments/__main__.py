@@ -13,6 +13,8 @@ smoke test.
 
 from __future__ import annotations
 
+# reprolint: disable-file=RL002 -- the CLI prints wall-clock elapsed time per
+# regenerated figure as a progress measurement; it never feeds results.
 import argparse
 import pathlib
 import sys
@@ -30,6 +32,7 @@ _SCALES = {
 
 
 def main(argv: list[str] | None = None) -> int:
+    """CLI entry point: regenerate the requested figures, return exit code."""
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
         description="Regenerate the paper's figures as text tables.",

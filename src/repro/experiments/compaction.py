@@ -41,6 +41,7 @@ class CompactionResult:
 
     @property
     def percent(self) -> float:
+        """The compaction ratio as a percentage."""
         return 100.0 * self.ratio
 
     def __str__(self) -> str:

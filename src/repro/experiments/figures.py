@@ -60,6 +60,7 @@ class Series:
     ys: list[float] = field(default_factory=list)
 
     def add(self, x: float, y: float) -> None:
+        """Append one data point to the curve."""
         self.xs.append(x)
         self.ys.append(y)
 
@@ -75,6 +76,7 @@ class FigureResult:
     series: list[Series] = field(default_factory=list)
 
     def series_by_label(self, label: str) -> Series:
+        """The curve named *label* (KeyError if absent)."""
         for candidate in self.series:
             if candidate.label == label:
                 return candidate
@@ -82,6 +84,7 @@ class FigureResult:
 
     @property
     def labels(self) -> list[str]:
+        """Curve labels in figure order."""
         return [series.label for series in self.series]
 
 

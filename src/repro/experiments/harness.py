@@ -11,6 +11,9 @@ Figures 4, 5, 6, 7, 8 and 9 reuse each other's sweeps.
 
 from __future__ import annotations
 
+# reprolint: disable-file=RL002 -- the harness *reports* wall-clock build and
+# evaluation durations as measurements; they never feed simulated time or
+# any routing decision.
 import random
 import time
 from dataclasses import dataclass
@@ -88,6 +91,7 @@ class EvaluationResult:
 
     @property
     def label(self) -> str:
+        """Human-readable configuration label used in figure legends."""
         suffix = f", alpha={self.alpha}" if self.alpha is not None else ""
         return f"{self.mode}(capacity={self.capacity}{suffix})"
 

@@ -31,7 +31,7 @@ def render_figure(figure: FigureResult) -> str:
     """
     xs: list[float] = sorted({x for series in figure.series for x in series.xs})
     by_series: list[dict[float, float]] = [
-        dict(zip(series.xs, series.ys)) for series in figure.series
+        dict(zip(series.xs, series.ys, strict=True)) for series in figure.series
     ]
 
     header = [figure.xlabel] + [series.label for series in figure.series]
@@ -67,7 +67,7 @@ def figure_to_csv(figure: FigureResult) -> str:
     out = io.StringIO()
     out.write("series,x,y\n")
     for series in figure.series:
-        for x, y in zip(series.xs, series.ys):
+        for x, y in zip(series.xs, series.ys, strict=True):
             out.write(f"{series.label},{x},{y}\n")
     return out.getvalue()
 

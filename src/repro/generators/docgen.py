@@ -99,11 +99,14 @@ class DocumentGenerator:
             return index
         if element.content is not None:
             self._emit_particle(builder, element.content, index, depth)
-        if element.has_pcdata and self.config.include_values:
-            if self._node_budget > 0:
-                value = self._value_for(name)
-                self._node_budget -= 1
-                builder.add(value, index)
+        if (
+            element.has_pcdata
+            and self.config.include_values
+            and self._node_budget > 0
+        ):
+            value = self._value_for(name)
+            self._node_budget -= 1
+            builder.add(value, index)
         return index
 
     def _emit_particle(

@@ -50,7 +50,9 @@ class ZipfSampler:
             raise ValueError("theta must be non-negative")
         self.n = n
         self.theta = theta
-        self._rng = rng or random.Random()
+        # No ambient randomness: a sampler constructed without an rng is
+        # deterministic, not OS-seeded, so every workload is replayable.
+        self._rng = rng if rng is not None else random.Random(0)
         self._cumulative = _cumulative_weights(n, theta)
 
     def sample(self) -> int:

@@ -227,7 +227,7 @@ class RoutingSimulator:
         self,
         corpus: DocumentCorpus,
         subscriptions: Sequence[TreePattern],
-    ):
+    ) -> None:
         self.corpus = corpus
         self.subscriptions = list(subscriptions)
         # Exact interest sets; corpus memoises the match sets.

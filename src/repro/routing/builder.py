@@ -115,7 +115,7 @@ class OverlayBuilder:
     # ------------------------------------------------------------------
 
     def advertisement(
-        self, policy: AdvertisementSpec, **overrides
+        self, policy: AdvertisementSpec, **overrides: object
     ) -> "OverlayBuilder":
         """The advertisement policy (instance or legacy string spelling).
 
@@ -163,7 +163,7 @@ class OverlayBuilder:
         self._links = model
         return self
 
-    def scheduling(self, policy: SchedulingSpec, **overrides) -> "OverlayBuilder":
+    def scheduling(self, policy: SchedulingSpec, **overrides: object) -> "OverlayBuilder":
         """The queueing discipline (instance or legacy string spelling).
 
         Defaults to :class:`~repro.routing.policy.FifoScheduling`.

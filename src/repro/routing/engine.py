@@ -180,31 +180,33 @@ class BatchServiceModel(ServiceModel):
         )
 
 
+@dataclass(frozen=True)
 class LinkModel:
     """Per-link forwarding latency between neighbouring brokers.
 
     A constant ``default`` latency, optionally overridden per undirected
     edge: ``LinkModel(1.0, {(0, 1): 5.0})`` makes the 0—1 link five times
-    slower in both directions.
+    slower in both directions.  Frozen like every engine model: replay
+    determinism rests on timing models never drifting between runs.
     """
 
-    def __init__(
-        self,
-        default: float = 1.0,
-        overrides: Optional[dict[tuple[int, int], float]] = None,
-    ):
-        if default < 0.0:
+    default: float = 1.0
+    overrides: Optional[dict[tuple[int, int], float]] = None
+
+    def __post_init__(self) -> None:
+        if self.default < 0.0:
             raise ValueError("link latency must be >= 0")
-        self.default = default
-        self._overrides: dict[tuple[int, int], float] = {}
-        for (a, b), value in (overrides or {}).items():
+        normalised: dict[tuple[int, int], float] = {}
+        for (a, b), value in (self.overrides or {}).items():
             if value < 0.0:
                 raise ValueError("link latency must be >= 0")
-            self._overrides[(a, b) if a <= b else (b, a)] = value
+            normalised[(a, b) if a <= b else (b, a)] = value
+        object.__setattr__(self, "overrides", normalised)
 
     def latency(self, a: int, b: int) -> float:
         """Forwarding latency of the undirected link *a*—*b*."""
-        return self._overrides.get((a, b) if a <= b else (b, a), self.default)
+        assert self.overrides is not None  # normalised in __post_init__
+        return self.overrides.get((a, b) if a <= b else (b, a), self.default)
 
 
 #: Event kinds; arrivals sort before same-instant completions only through
@@ -301,7 +303,7 @@ class DeliveryEngine:
         links: Optional[LinkModel] = None,
         scheduling: Optional[SchedulingSpec] = None,
         allow_topology_churn: bool = False,
-    ):
+    ) -> None:
         if overlay.mode is None:
             raise ValueError(
                 "no routing state: call advertise() (or the legacy "
@@ -811,7 +813,7 @@ class DeliveryEngine:
     def _on_complete_batch(
         self, broker_id: int, batch: _Batch, now: float
     ) -> None:
-        for job, step in zip(batch.jobs, batch.steps):
+        for job, step in zip(batch.jobs, batch.steps, strict=True):
             self._deliver_and_forward(broker_id, job, step, now)
         self._finish_service(broker_id, now)
 

@@ -18,12 +18,13 @@ against similarity-based communities.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Iterator, Sequence
 
 from repro.core.containment import contains
 from repro.core.pattern import TreePattern
 from repro.routing.broker import RoutingStats
 from repro.xmltree.corpus import DocumentCorpus
+from repro.xmltree.tree import XMLTree
 from repro.xmltree.matcher import PatternMatcher
 
 __all__ = ["InclusionForest", "InclusionNode"]
@@ -36,7 +37,8 @@ class InclusionNode:
     index: int
     children: list["InclusionNode"] = field(default_factory=list)
 
-    def iter_subtree(self):
+    def iter_subtree(self) -> Iterator["InclusionNode"]:
+        """Yield this node and every covered descendant, preorder."""
         yield self
         for child in self.children:
             yield from child.iter_subtree()
@@ -52,7 +54,7 @@ class InclusionForest:
     correctness.
     """
 
-    def __init__(self, subscriptions: Sequence[TreePattern]):
+    def __init__(self, subscriptions: Sequence[TreePattern]) -> None:
         self.subscriptions = list(subscriptions)
         self.roots: list[InclusionNode] = []
         for index, pattern in enumerate(self.subscriptions):
@@ -115,7 +117,7 @@ class InclusionForest:
         deliveries = 0
         match_operations = 0
 
-        def visit(node: InclusionNode, document) -> None:
+        def visit(node: InclusionNode, document: XMLTree) -> None:
             nonlocal deliveries, match_operations
             match_operations += 1
             if matchers[node.index].matches(document):

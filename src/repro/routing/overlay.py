@@ -154,6 +154,7 @@ class BrokerNode:
     handles: dict[int, int] = field(default_factory=dict)
 
     def degree(self) -> int:
+        """Number of overlay neighbours."""
         return len(self.neighbors)
 
     def __repr__(self) -> str:
@@ -247,7 +248,7 @@ class BrokerOverlay:
         n_brokers: int,
         edges: list[tuple[int, int]],
         matching: str = "trie",
-    ):
+    ) -> None:
         if n_brokers < 1:
             raise ValueError("need at least one broker")
         #: Matching mode every broker table uses: ``"trie"`` (merged
@@ -1057,7 +1058,7 @@ class BrokerOverlay:
                 surplus_fresh[entry] -= 1
                 unmatched.append(entry)
         withdrawn = [advertised for advertised, _ in departed]
-        for advertised, members in departed:
+        for _advertised, members in departed:
             node.table.remove_destination((_DELIVER, members))
         for advertised, members in unmatched:
             node.table.add(advertised, (_DELIVER, members))
@@ -1076,7 +1077,7 @@ class BrokerOverlay:
         policy: AdvertisementSpec,
         provider: Optional[SelectivityProvider] = None,
         candidates: "CandidateGenerator | str | None" = None,
-        **overrides,
+        **overrides: object,
     ) -> None:
         """Install routing state for the whole overlay under *policy*.
 
@@ -1253,7 +1254,7 @@ class BrokerOverlay:
         batch = node.table.destinations_for_batch(documents, excludes)
         steps: list[BrokerStep] = []
         for destinations, operations in zip(
-            batch.destinations, batch.operations
+            batch.destinations, batch.operations, strict=True
         ):
             delivered: set[int] = set()
             forwards: list[int] = []

@@ -44,13 +44,17 @@ keep working unchanged.
 
 from __future__ import annotations
 
-import copy
+from dataclasses import dataclass, replace
 from typing import Optional, Protocol, Sequence, Union
 
 from repro.core.candidates import CandidateGenerator, resolve_candidates
 from repro.core.pattern import TreePattern
 from repro.core.similarity import SelectivityProvider, SimilarityIndex
-from repro.routing.community import agglomerative_clustering, leader_clustering
+from repro.routing.community import (
+    Community,
+    agglomerative_clustering,
+    leader_clustering,
+)
 
 __all__ = [
     "AdvertisementPolicy",
@@ -123,10 +127,12 @@ class AdvertisementPolicy:
         return f"{type(self).__name__}()"
 
 
+@dataclass(frozen=True)
 class PerSubscriptionPolicy(AdvertisementPolicy):
     """Advertise every subscription individually (the exact baseline)."""
 
     def mode_label(self) -> str:
+        """The ``BrokerOverlay.mode`` string advertised state reports."""
         return "per_subscription"
 
     def aggregate(
@@ -135,9 +141,14 @@ class PerSubscriptionPolicy(AdvertisementPolicy):
         patterns: Sequence[TreePattern],
         index: Optional[SimilarityIndex],
     ) -> list[Aggregate]:
-        return [(pattern, (member,)) for member, pattern in zip(members, patterns)]
+        """One advertisement per subscription, in home order."""
+        return [
+            (pattern, (member,))
+            for member, pattern in zip(members, patterns, strict=True)
+        ]
 
 
+@dataclass(frozen=True)
 class CommunityPolicy(AdvertisementPolicy):
     """Advertise one pattern per semantic community.
 
@@ -175,32 +186,36 @@ class CommunityPolicy(AdvertisementPolicy):
 
     uses_similarity = True
 
-    def __init__(
-        self,
-        threshold: float,
-        linkage: str = "leader",
-        metric: str = "M3",
-        elect_by_selectivity: bool = True,
-        ratio_prefilter: bool = True,
-        candidates: "CandidateGenerator | str | None" = None,
-    ):
-        if not 0.0 <= threshold <= 1.0:
+    threshold: float
+    linkage: str = "leader"
+    metric: str = "M3"
+    elect_by_selectivity: bool = True
+    ratio_prefilter: bool = True
+    candidates: "CandidateGenerator | str | None" = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.threshold <= 1.0:
             raise ValueError("threshold must be in [0, 1]")
-        if linkage not in LINKAGES:
-            raise ValueError(f"unknown linkage {linkage!r}; choose from {LINKAGES}")
-        self.threshold = threshold
-        self.linkage = linkage
-        self.metric = metric
-        self.elect_by_selectivity = elect_by_selectivity
-        self.ratio_prefilter = ratio_prefilter
-        self.candidates = resolve_candidates(candidates)
+        if self.linkage not in LINKAGES:
+            raise ValueError(
+                f"unknown linkage {self.linkage!r}; choose from {LINKAGES}"
+            )
+        object.__setattr__(self, "candidates", resolve_candidates(self.candidates))
+
+    @property
+    def _generator(self) -> Optional[CandidateGenerator]:
+        """The candidate template, narrowed past ``__post_init__``."""
+        candidates = self.candidates
+        assert not isinstance(candidates, str), "normalised in __post_init__"
+        return candidates
 
     def mode_label(self) -> str:
+        """The ``BrokerOverlay.mode`` string advertised state reports."""
         parts = [f"threshold={self.threshold}"]
         if self.linkage != "leader":
             parts.append(f"linkage={self.linkage}")
-        if self.candidates is not None:
-            parts.append(f"candidates={self.candidates.describe()}")
+        if self._generator is not None:
+            parts.append(f"candidates={self._generator.describe()}")
         return f"community({', '.join(parts)})"
 
     def with_candidates(
@@ -212,40 +227,38 @@ class CommunityPolicy(AdvertisementPolicy):
         generator through without mutating a policy instance that may be
         shared across sweeps.
         """
-        clone = copy.copy(self)
-        clone.candidates = resolve_candidates(candidates)
-        return clone
+        return replace(self, candidates=resolve_candidates(candidates))
 
     def make_index(self, provider: SelectivityProvider) -> SimilarityIndex:
+        """A fresh per-broker similarity index under this policy's knobs."""
         prune = (
             self.threshold
             if self.ratio_prefilter and self.linkage == "leader"
             else None
         )
+        generator = self._generator
         return SimilarityIndex(
             provider,
             metric=self.metric,
             prune_below=prune,
-            candidates=(
-                self.candidates.spawn() if self.candidates is not None else None
-            ),
+            candidates=(generator.spawn() if generator is not None else None),
         )
 
     def _cluster(
         self,
         patterns: Sequence[TreePattern],
         index: SimilarityIndex,
-    ):
+    ) -> list[Community]:
         if self.linkage == "average":
             return agglomerative_clustering(
                 patterns,
                 index,
                 1,
                 min_similarity=self.threshold,
-                candidates=self.candidates,
+                candidates=self._generator,
             )
         return leader_clustering(
-            patterns, index, self.threshold, candidates=self.candidates
+            patterns, index, self.threshold, candidates=self._generator
         )
 
     def aggregate(
@@ -254,6 +267,7 @@ class CommunityPolicy(AdvertisementPolicy):
         patterns: Sequence[TreePattern],
         index: Optional[SimilarityIndex],
     ) -> list[Aggregate]:
+        """One advertisement per community over the broker's live index."""
         assert index is not None, "community aggregation needs a live index"
         aggregated: list[Aggregate] = []
         for community in self._cluster(patterns, index):
@@ -274,6 +288,7 @@ class CommunityPolicy(AdvertisementPolicy):
         )
 
 
+@dataclass(frozen=True)
 class HybridPolicy(CommunityPolicy):
     """Aggregate only where aggregation pays.
 
@@ -286,37 +301,27 @@ class HybridPolicy(CommunityPolicy):
     event, so a broker crossing the cutoff in either direction flips
     regime automatically (the overlay's diff turns the flip into the
     minimal advertisement traffic).
+
+    Frozen like its base: policies are held across sweeps and replays.
+    ``aggregate_above`` is keyword-only in practice — it sits after the
+    inherited defaulted fields.
     """
 
-    def __init__(
-        self,
-        threshold: float,
-        aggregate_above: int = 8,
-        linkage: str = "leader",
-        metric: str = "M3",
-        elect_by_selectivity: bool = True,
-        ratio_prefilter: bool = True,
-        candidates: "CandidateGenerator | str | None" = None,
-    ):
-        super().__init__(
-            threshold,
-            linkage=linkage,
-            metric=metric,
-            elect_by_selectivity=elect_by_selectivity,
-            ratio_prefilter=ratio_prefilter,
-            candidates=candidates,
-        )
-        if aggregate_above < 0:
+    aggregate_above: int = 8
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.aggregate_above < 0:
             raise ValueError("aggregate_above must be >= 0")
-        self.aggregate_above = aggregate_above
 
     def mode_label(self) -> str:
+        """The ``BrokerOverlay.mode`` string advertised state reports."""
         parts = [
             f"threshold={self.threshold}",
             f"aggregate_above={self.aggregate_above}",
         ]
-        if self.candidates is not None:
-            parts.append(f"candidates={self.candidates.describe()}")
+        if self._generator is not None:
+            parts.append(f"candidates={self._generator.describe()}")
         return f"hybrid({', '.join(parts)})"
 
     def aggregate(
@@ -325,8 +330,12 @@ class HybridPolicy(CommunityPolicy):
         patterns: Sequence[TreePattern],
         index: Optional[SimilarityIndex],
     ) -> list[Aggregate]:
+        """Per-subscription under the cutoff, community aggregation above."""
         if len(members) <= self.aggregate_above:
-            return [(pattern, (member,)) for member, pattern in zip(members, patterns)]
+            return [
+                (pattern, (member,))
+                for member, pattern in zip(members, patterns, strict=True)
+            ]
         return super().aggregate(members, patterns, index)
 
     def __repr__(self) -> str:
@@ -340,7 +349,7 @@ class HybridPolicy(CommunityPolicy):
 AdvertisementSpec = Union[AdvertisementPolicy, str]
 
 
-def resolve_advertisement(spec: AdvertisementSpec, **overrides) -> AdvertisementPolicy:
+def resolve_advertisement(spec: AdvertisementSpec, **overrides: object) -> AdvertisementPolicy:
     """Resolve a policy instance or legacy string spelling to a policy.
 
     ``"per_subscription"`` maps to :class:`PerSubscriptionPolicy`,
@@ -412,13 +421,16 @@ class SchedulingPolicy:
         return f"{type(self).__name__}()"
 
 
+@dataclass(frozen=True)
 class FifoScheduling(SchedulingPolicy):
     """First come, first served — the engine's historical discipline."""
 
     def select(self, queue: Sequence[QueuedJob], now: float) -> int:
+        """Always the head of the queue (oldest arrival)."""
         return 0
 
 
+@dataclass(frozen=True)
 class PriorityScheduling(SchedulingPolicy):
     """Strict priority by subscriber-class weight, FIFO within a class.
 
@@ -429,14 +441,18 @@ class PriorityScheduling(SchedulingPolicy):
     makes the policy a drop-in FIFO when every job carries one class.
     """
 
-    def __init__(self, weights: Optional[dict[int, float]] = None):
-        self.weights = dict(weights or {})
+    weights: Optional[dict[int, float]] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "weights", dict(self.weights or {}))
 
     def weight(self, priority_class: int) -> float:
         """The scheduling weight of one subscriber class."""
+        assert self.weights is not None  # normalised in __post_init__
         return self.weights.get(priority_class, float(priority_class))
 
     def select(self, queue: Sequence[QueuedJob], now: float) -> int:
+        """The queue position carrying the highest class weight."""
         # enumerate, not indexing: the engine queues are deques, where
         # positional access is O(position).
         best = 0
@@ -452,6 +468,7 @@ class PriorityScheduling(SchedulingPolicy):
         return f"{type(self).__name__}(weights={self.weights})"
 
 
+@dataclass(frozen=True)
 class DeadlineScheduling(SchedulingPolicy):
     """Earliest deadline first.
 
@@ -460,10 +477,11 @@ class DeadlineScheduling(SchedulingPolicy):
     deadline-carrying job and keep arrival order among themselves.
     """
 
-    def __init__(self, default_slack: float = float("inf")):
-        if default_slack < 0.0:
+    default_slack: float = float("inf")
+
+    def __post_init__(self) -> None:
+        if self.default_slack < 0.0:
             raise ValueError("default_slack must be >= 0")
-        self.default_slack = default_slack
 
     def _deadline(self, job: QueuedJob) -> float:
         if job.deadline is not None:
@@ -471,6 +489,7 @@ class DeadlineScheduling(SchedulingPolicy):
         return job.published_at + self.default_slack
 
     def select(self, queue: Sequence[QueuedJob], now: float) -> int:
+        """The queue position with the earliest effective deadline."""
         best = 0
         best_deadline: Optional[float] = None
         for position, job in enumerate(queue):
@@ -494,7 +513,7 @@ _SCHEDULING_NAMES = {
 }
 
 
-def resolve_scheduling(spec: SchedulingSpec, **overrides) -> SchedulingPolicy:
+def resolve_scheduling(spec: SchedulingSpec, **overrides: object) -> SchedulingPolicy:
     """Resolve a policy instance or string spelling to a scheduling policy.
 
     ``"fifo"``, ``"priority"`` and ``"deadline"`` map to their policy

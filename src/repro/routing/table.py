@@ -87,6 +87,7 @@ class TableBatchMatch:
 
     @property
     def total_operations(self) -> int:
+        """Match operations summed over all documents."""
         return sum(self.operations)
 
     @property
@@ -639,7 +640,7 @@ class RoutingTable:
         operations: list[int] = []
         if mode == "trie":
             batch = self._trie.match_batch(documents)
-            for result, skip in zip(batch.results, skips):
+            for result, skip in zip(batch.results, skips, strict=True):
                 per_document.append(self._ordered(result.destinations, skip))
                 operations.append(result.operations)
             self.match_operations += batch.operations
@@ -649,7 +650,7 @@ class RoutingTable:
                 memo_hits=batch.memo_hits,
                 memo_misses=batch.memo_misses,
             )
-        for document, skip in zip(documents, skips):
+        for document, skip in zip(documents, skips, strict=True):
             found, spent = self.destinations_for(
                 document, exclude=skip, matching=mode
             )

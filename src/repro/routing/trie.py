@@ -200,7 +200,7 @@ class _BranchNode:
         degree: int,
         tags: frozenset,
         node_id: int,
-    ):
+    ) -> None:
         self.label = label
         self.children = children
         self.key = key
@@ -244,7 +244,7 @@ class _SpineNode:
         branches: tuple[_BranchNode, ...],
         child_key: tuple,
         parent: "_SpineNode | None",
-    ):
+    ) -> None:
         self.axis = axis
         self.label = label
         self.branches = branches
@@ -288,7 +288,7 @@ class _Entry:
         gate_key: tuple,
         gates: tuple[_BranchNode, ...],
         destinations: set,
-    ):
+    ) -> None:
         self.pattern = pattern
         self.node = node
         self.gate_key = gate_key
@@ -324,7 +324,7 @@ class _BatchMemo:
         "misses",
     )
 
-    def __init__(self, stride: int):
+    def __init__(self, stride: int) -> None:
         self.stride = stride
         #: Interner: dedup-canonical ``(label, child skeleton keys)`` →
         #: dense skeleton key.
@@ -373,7 +373,7 @@ class _MatchState:
         "_kids_by_label",
     )
 
-    def __init__(self, tree: XMLTree, pool: _BatchMemo):
+    def __init__(self, tree: XMLTree, pool: _BatchMemo) -> None:
         self.tree = tree
         self.n = len(tree.labels)
         self.tag_set = tree.tag_set
@@ -993,10 +993,14 @@ class PatternTrie:
                 entries_seen[entry.pattern] = entry
                 walk: _SpineNode | None = node
                 while walk is not None and walk is not self._root:
+                    # check() is an in-process diagnostic audit; ids index
+                    # live nodes for one pass.
+                    # reprolint: disable=RL003 -- one-pass in-process audit keys
                     spine_refs[id(walk)] = spine_refs.get(id(walk), 0) + 1
                     walk = walk.parent
         assert entries_seen == self._entries, "entry index out of sync"
         for node in reachable:
+            # reprolint: disable=RL003 -- same one-pass diagnostic audit.
             assert node.refs == spine_refs.get(id(node), 0), (
                 "spine refcount drifted"
             )

@@ -39,6 +39,7 @@ class CounterSummary:
         self.count = min(self.count, other.count)
 
     def copy(self) -> "CounterSummary":
+        """An independent copy of this summary."""
         return CounterSummary(self.count)
 
     def __repr__(self) -> str:

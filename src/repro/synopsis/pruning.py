@@ -163,7 +163,7 @@ def _candidate_merge_pairs(
                     score = node_pair_similarity(synopsis, first, second)
                     pairs.append((score, first, second))
         else:
-            for first, second in zip(members, members[1:]):
+            for first, second in zip(members, members[1:], strict=False):
                 score = node_pair_similarity(synopsis, first, second)
                 pairs.append((score, first, second))
     return pairs
@@ -188,7 +188,7 @@ def merge_same_label(
 
     consumed: set[int] = set()
     merges = 0
-    for score, first, second in pairs:
+    for _score, first, second in pairs:
         if max_merges is not None and merges >= max_merges:
             break
         if first.node_id in consumed or second.node_id in consumed:

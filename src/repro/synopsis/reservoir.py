@@ -40,7 +40,9 @@ class DocumentReservoir:
         if size < 1:
             raise ValueError("reservoir size must be positive")
         self.size = size
-        self._rng = rng or random.Random()
+        # No ambient randomness: a reservoir constructed without an rng
+        # samples deterministically, so synopses rebuild bit-identically.
+        self._rng = rng if rng is not None else random.Random(0)
         self._seen = 0
         self._members: list[int] = []
 

@@ -66,6 +66,7 @@ class WindowedSynopsis:
 
     @property
     def half_window(self) -> int:
+        """Documents per generation (the rotation period)."""
         return self.window // 2
 
     def insert_document(self, tree: XMLTree) -> int:

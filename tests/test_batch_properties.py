@@ -205,7 +205,7 @@ class TestBatchedEngineEquivalence:
         wanted = {
             index: frozenset(
                 subscription
-                for subscription, pattern in zip(subscriptions, patterns)
+                for subscription, pattern in zip(subscriptions, patterns, strict=True)
                 if document.doc_id in corpus.match_set(pattern)
             )
             for index, document in enumerate(corpus.documents)

@@ -368,7 +368,7 @@ class TestIndexCandidateGate:
         gated = SimilarityIndex(
             corpus, patterns, candidates=ExactCandidates()
         )
-        for p, g in zip(plain.handles(), gated.handles()):
+        for p, g in zip(plain.handles(), gated.handles(), strict=True):
             assert plain.row(p) == gated.row(g)
         assert gated.stats.candidate_pruned == 0
 

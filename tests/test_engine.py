@@ -1,5 +1,7 @@
 """The discrete-event delivery engine: models, scheduling, and stats."""
 
+from dataclasses import dataclass
+
 import pytest
 
 from repro.core.pattern_parser import parse_xpath
@@ -315,6 +317,7 @@ class TestSchedulingPolicies:
             engine.publish_corpus(corpus, rate=1.0, deadline_slack=-1.0)
 
     def test_malformed_policy_selection_rejected(self, single_broker):
+        @dataclass(frozen=True)
         class Broken(SchedulingPolicy):
             def select(self, queue, now):
                 return len(queue)

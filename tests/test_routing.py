@@ -163,7 +163,10 @@ def _reference_agglomerative(patterns, similarity, n_communities,
 
     communities = []
     for members in clusters:
-        leader = max(members, key=lambda i: sum(sims[i][j] for j in members))
+        leader = max(
+            members,
+            key=lambda i, members=members: sum(sims[i][j] for j in members),
+        )
         communities.append(Community(leader=leader, members=list(members)))
     return communities
 

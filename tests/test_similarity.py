@@ -262,7 +262,7 @@ class TestMetricProperties:
     @given(corpora(), tree_patterns(), tree_patterns())
     def test_bounds_and_symmetry(self, docs, p, q):
         corpus = DocumentCorpus(docs)
-        for name, metric in METRICS.items():
+        for metric in METRICS.values():
             value = metric(corpus, p, q)
             assert 0.0 <= value <= 1.0
         assert m2_mean_conditional(corpus, p, q) == pytest.approx(

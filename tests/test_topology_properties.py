@@ -260,13 +260,13 @@ class TestMidSimulationChurn:
         ]
         subscriptions = [
             overlay.attach(home, pattern)
-            for home, pattern in zip(homes, patterns)
+            for home, pattern in zip(homes, patterns, strict=True)
         ]
         overlay.advertise_subscriptions()
         wanted = {
             index: frozenset(
                 subscription
-                for subscription, pattern in zip(subscriptions, patterns)
+                for subscription, pattern in zip(subscriptions, patterns, strict=True)
                 if document.doc_id in corpus.match_set(pattern)
             )
             for index, document in enumerate(corpus.documents)
