@@ -38,6 +38,7 @@ from repro.routing import (
     BrokerId,
     BrokerOverlay,
     BatchServiceModel,
+    ClosedLoopSource,
     CommunityPolicy,
     DeadlineScheduling,
     DeliveryEngine,
@@ -50,9 +51,12 @@ from repro.routing import (
     PatternTrie,
     PerSubscriptionPolicy,
     PriorityScheduling,
+    QueuePolicy,
     RoutingTable,
     ServiceModel,
+    SourceReport,
     TopologyEvent,
+    WeightedFairScheduling,
 )
 from repro.synopsis import DocumentSynopsis, compress_to_ratio, measure
 from repro.xmltree import PatternMatcher, XMLTree, matches, parse_xml, skeleton
@@ -88,6 +92,10 @@ __all__ = [
     "FifoScheduling",
     "PriorityScheduling",
     "DeadlineScheduling",
+    "WeightedFairScheduling",
+    "QueuePolicy",
+    "ClosedLoopSource",
+    "SourceReport",
     "LatencyStats",
     "average_relative_error",
     "root_mean_square_error",

@@ -486,19 +486,24 @@ class FrozenModelRule(ScopedRule):
     code = "RL005"
     name = "frozen-model"
     description = (
-        "ServiceModel/LinkModel and advertisement/scheduling policy "
-        "subclasses must be @dataclass(frozen=True)"
+        "ServiceModel/LinkModel/QueuePolicy/ClosedLoopSource and "
+        "advertisement/scheduling policy subclasses must be "
+        "@dataclass(frozen=True)"
     )
     scope = ("src/repro", "tests/", "benchmarks/", "examples/")
 
-    #: Nominal roots whose subclasses (and own definitions, for the two
+    #: Nominal roots whose subclasses (and own definitions, for the
     #: model classes) must be frozen dataclasses.
-    _MODEL_NAMES = frozenset({"ServiceModel", "LinkModel"})
+    _MODEL_NAMES = frozenset(
+        {"ServiceModel", "LinkModel", "QueuePolicy", "ClosedLoopSource"}
+    )
     _BASE_NAMES = frozenset(
         {
             "ServiceModel",
             "BatchServiceModel",
             "LinkModel",
+            "QueuePolicy",
+            "ClosedLoopSource",
             "AdvertisementPolicy",
             "PerSubscriptionPolicy",
             "CommunityPolicy",
@@ -507,6 +512,7 @@ class FrozenModelRule(ScopedRule):
             "FifoScheduling",
             "PriorityScheduling",
             "DeadlineScheduling",
+            "WeightedFairScheduling",
         }
     )
 

@@ -46,9 +46,11 @@ Module map:
   after any interleaving of churn;
 * :mod:`repro.routing.policy` — the first-class routing policies:
   :class:`AdvertisementPolicy` strategies (per-subscription, community,
-  hybrid) consumed by ``BrokerOverlay.advertise``, and
-  :class:`SchedulingPolicy` disciplines (FIFO, priority, deadline)
-  consumed by the delivery engine — with string-spelling shims for the
+  hybrid) consumed by ``BrokerOverlay.advertise``,
+  :class:`SchedulingPolicy` disciplines (FIFO, priority with optional
+  aging, deadline, weighted-fair) consumed by the delivery engine, and
+  :class:`QueuePolicy` bounding broker queues with drop-new /
+  drop-oldest / nack overflow — with string-spelling shims for the
   legacy flag API;
 * :mod:`repro.routing.builder` — :class:`OverlayBuilder`, the fluent
   façade composing topology, membership, estimator provider,
@@ -60,11 +62,15 @@ Module map:
   :class:`SchedulingPolicy` (:class:`ServiceModel` maps match operations
   to service time; :class:`BatchServiceModel` drains several queued
   documents per interval under a measured non-affine cost curve),
-  per-link forwarding latencies (:class:`LinkModel`)
-  and :class:`LatencyStats` reporting latency percentiles — overall and
-  per subscriber class — queue-depth peaks and throughput — it replays
-  the same ``BrokerOverlay.process_at`` steps as the synchronous path,
-  so delivery sets are identical by construction;
+  per-link forwarding latencies (:class:`LinkModel`), bounded queues
+  with drop/NACK accounting under a conservation ledger
+  (offered == completed + dropped + nacked + in-flight), closed-loop
+  AIMD publishers (:class:`ClosedLoopSource`, reported per source by
+  :class:`SourceReport`), and :class:`LatencyStats` reporting latency
+  percentiles — overall and per subscriber class — queue-depth peaks,
+  admitted-vs-offered throughput and per-class drop counts — it
+  replays the same ``BrokerOverlay.process_at`` steps as the
+  synchronous path, so delivery sets are identical by construction;
 * :mod:`repro.routing.inclusion` — containment-based inclusion forests,
   the baseline structure the paper's introduction argues is the wrong
   proximity notion for communities.
@@ -86,9 +92,11 @@ from repro.routing.community import (
 )
 from repro.routing.engine import (
     BatchServiceModel,
+    ClosedLoopSource,
     DeliveryEngine,
     LinkModel,
     ServiceModel,
+    SourceReport,
     TopologyEvent,
 )
 from repro.routing.inclusion import InclusionForest, InclusionNode
@@ -100,8 +108,11 @@ from repro.routing.policy import (
     HybridPolicy,
     PerSubscriptionPolicy,
     PriorityScheduling,
+    QueuePolicy,
     SchedulingPolicy,
+    WeightedFairScheduling,
     resolve_advertisement,
+    resolve_queue_policy,
     resolve_scheduling,
 )
 from repro.routing.overlay import (
@@ -142,6 +153,8 @@ __all__ = [
     "ServiceModel",
     "BatchServiceModel",
     "LinkModel",
+    "ClosedLoopSource",
+    "SourceReport",
     "LatencyStats",
     "ClassLatency",
     "percentile",
@@ -155,6 +168,9 @@ __all__ = [
     "FifoScheduling",
     "PriorityScheduling",
     "DeadlineScheduling",
+    "WeightedFairScheduling",
     "resolve_scheduling",
+    "QueuePolicy",
+    "resolve_queue_policy",
     "OverlayBuilder",
 ]

@@ -182,6 +182,29 @@ class LatencyStats:
     #: populated by the engine whenever publishes carry priority classes
     #: (a run without classes reports everything under class 0).
     latency_by_class: dict[int, ClassLatency] = field(default_factory=dict)
+    #: Document copies born: publishes plus forwards.  The conservation
+    #: ledger's left-hand side — ``offered == completed + dropped +
+    #: nacked + in-flight`` at every drain point, bounded queues or not.
+    offered_jobs: int = 0
+    #: Copies whose broker service completed (deliveries applied,
+    #: forwards scheduled).  Unlike ``serviced_documents`` — which
+    #: counts service *starts* and may double-count work a topology
+    #: leave aborted and restarted — this counts each copy's death
+    #: exactly once, so it balances the ledger.
+    completed_jobs: int = 0
+    #: Copies silently discarded by a bounded queue (``drop-new`` /
+    #: ``drop-oldest`` overflow).
+    dropped_jobs: int = 0
+    #: Copies rejected with a NACK (``nack`` overflow) — the signal
+    #: closed-loop sources shrink their window on.
+    nacked_jobs: int = 0
+    offered_by_class: dict[int, int] = field(default_factory=dict)
+    completed_by_class: dict[int, int] = field(default_factory=dict)
+    dropped_by_class: dict[int, int] = field(default_factory=dict)
+    nacked_by_class: dict[int, int] = field(default_factory=dict)
+    #: Per broker: copies its bounded queue dropped — where the
+    #: overload actually landed.
+    dropped_by_broker: dict[int, int] = field(default_factory=dict)
 
     @property
     def throughput(self) -> float:
@@ -217,6 +240,60 @@ class LatencyStats:
         return {
             broker_id: busy / self.makespan
             for broker_id, busy in self.busy_time.items()
+        }
+
+    @property
+    def in_flight_jobs(self) -> int:
+        """Copies born but not yet dead: scheduled arrivals plus queued
+        plus in-service work.  Zero after a full :meth:`run` drain —
+        the conservation identity the property suite pins."""
+        return (
+            self.offered_jobs
+            - self.completed_jobs
+            - self.dropped_jobs
+            - self.nacked_jobs
+        )
+
+    @property
+    def admitted_jobs(self) -> int:
+        """Copies the queues accepted: offered minus dropped minus
+        nacked.  Latency percentiles describe these — a dropped copy
+        never contributes a sample."""
+        return self.offered_jobs - self.dropped_jobs - self.nacked_jobs
+
+    @property
+    def admission_ratio(self) -> float:
+        """Admitted fraction of offered copies (1.0 when nothing was
+        offered, so an idle run reads as lossless)."""
+        if self.offered_jobs <= 0:
+            return 1.0
+        return self.admitted_jobs / self.offered_jobs
+
+    @property
+    def offered_throughput(self) -> float:
+        """Copies born per simulated time unit."""
+        if self.makespan <= 0.0:
+            return 0.0
+        return self.offered_jobs / self.makespan
+
+    @property
+    def admitted_throughput(self) -> float:
+        """Admitted copies per simulated time unit — the offered curve
+        with the overload shed by the queue policy taken out."""
+        if self.makespan <= 0.0:
+            return 0.0
+        return self.admitted_jobs / self.makespan
+
+    @property
+    def completed_share_by_class(self) -> dict[int, float]:
+        """Per class: its fraction of all completed copies ({} when
+        nothing completed).  The long-run shares weighted-fair
+        scheduling drives towards the configured weights."""
+        if self.completed_jobs <= 0:
+            return {}
+        return {
+            priority_class: count / self.completed_jobs
+            for priority_class, count in self.completed_by_class.items()
         }
 
 

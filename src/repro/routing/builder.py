@@ -18,6 +18,7 @@ composes them declaratively:
 >>> #     .service(ServiceModel(base=0.2, per_match=0.05))
 >>> #     .links(LinkModel(default=1.0))
 >>> #     .scheduling(PriorityScheduling())
+>>> #     .queue_policy(64, overflow="nack")         # bounded queues
 >>> #     .build()
 >>> # )
 
@@ -38,12 +39,19 @@ from typing import Iterable, Optional
 from repro.core.candidates import CandidateGenerator, resolve_candidates
 from repro.core.pattern import TreePattern
 from repro.core.similarity import SelectivityProvider
-from repro.routing.engine import DeliveryEngine, LinkModel, ServiceModel
+from repro.routing.engine import (
+    ClosedLoopSource,
+    DeliveryEngine,
+    LinkModel,
+    ServiceModel,
+)
 from repro.routing.overlay import TOPOLOGIES, BrokerOverlay
 from repro.routing.policy import (
     AdvertisementSpec,
+    QueuePolicySpec,
     SchedulingSpec,
     resolve_advertisement,
+    resolve_queue_policy,
     resolve_scheduling,
 )
 
@@ -74,6 +82,8 @@ class OverlayBuilder:
         self._service: Optional[ServiceModel] = None
         self._links: Optional[LinkModel] = None
         self._scheduling = resolve_scheduling("fifo")
+        self._queue_policy = resolve_queue_policy(None)
+        self._sources: list[ClosedLoopSource] = []
         self._allow_topology_churn = False
         self._matching = "trie"
 
@@ -171,6 +181,32 @@ class OverlayBuilder:
         self._scheduling = resolve_scheduling(policy, **overrides)
         return self
 
+    def queue_policy(
+        self, policy: QueuePolicySpec, **overrides: object
+    ) -> "OverlayBuilder":
+        """Queue admission at every broker (instance, capacity, or None).
+
+        Accepts a :class:`~repro.routing.policy.QueuePolicy` instance, a
+        bare capacity (``queue_policy(64, overflow="nack")``), or
+        ``None`` for the unbounded default, resolved through
+        :func:`~repro.routing.policy.resolve_queue_policy`.
+        """
+        self._queue_policy = resolve_queue_policy(policy, **overrides)
+        return self
+
+    def sources(self, *sources: ClosedLoopSource) -> "OverlayBuilder":
+        """Closed-loop publishers to attach to every built engine.
+
+        Each :class:`~repro.routing.engine.ClosedLoopSource` is
+        registered via
+        :meth:`~repro.routing.engine.DeliveryEngine.attach_source` in
+        the given order (source indices follow it); calling again
+        appends.  Open-loop ``publish_corpus`` remains available on the
+        built engine alongside.
+        """
+        self._sources.extend(sources)
+        return self
+
     def matching(self, mode: str) -> "OverlayBuilder":
         """The broker matching mode: ``"trie"`` (default) or ``"linear"``.
 
@@ -239,13 +275,17 @@ class OverlayBuilder:
         a stream under different rates or schedules without paying the
         advertisement flood again.
         """
-        return DeliveryEngine(
+        engine = DeliveryEngine(
             overlay,
             service=self._service,
             links=self._links,
             scheduling=self._scheduling,
+            queue_policy=self._queue_policy,
             allow_topology_churn=self._allow_topology_churn,
         )
+        for source in self._sources:
+            engine.attach_source(source)
+        return engine
 
     def build(self) -> tuple[BrokerOverlay, DeliveryEngine]:
         """The configured ``(overlay, engine)`` pair, freshly built."""

@@ -62,16 +62,41 @@ service curve is observed from the matching layer, never modelled.
 Under the default affine :class:`ServiceModel` the engine's schedule is
 unchanged, event for event.
 
+Overload is likewise first-class, not an open loop that silently
+diverges.  A :class:`~repro.routing.policy.QueuePolicy` bounds every
+broker's service queue (``capacity=``) and selects the overflow
+behaviour — drop the arriving copy, evict the oldest queued one, or
+reject the arrival with a NACK; every dropped or nacked copy is
+accounted per class and per broker in
+:class:`~repro.routing.broker.LatencyStats`, so ``offered ==
+completed + dropped + nacked + in-flight`` holds at every drain point
+(the conservation invariant the overload property suite pins).  The
+default ``capacity=None`` replays the unbounded engine byte-identically.
+On the publishing side, :class:`ClosedLoopSource` closes the loop: a
+window-based (TCP-like AIMD) publisher registered through
+:meth:`DeliveryEngine.attach_source` keeps at most ``window``
+publications outstanding, grows the window additively on clean
+absorptions and halves it on NACK back-pressure — both signals carried
+on the same deterministic ``(time, seq)`` event queue as every arrival.
+:class:`~repro.routing.policy.WeightedFairScheduling` and
+:class:`~repro.routing.policy.PriorityScheduling` with ``aging=`` keep
+low classes from starving while all of this saturates.
+
 Remaining extension points: subclass :class:`ServiceModel` /
 :class:`BatchServiceModel` for other service-time shapes (e.g.
 load-dependent coefficients), subclass :class:`LinkModel` for
-heterogeneous or load-dependent links, and implement
-:class:`~repro.routing.policy.SchedulingPolicy` for bespoke
-disciplines.
+heterogeneous or load-dependent links, implement
+:class:`~repro.routing.policy.SchedulingPolicy` for bespoke disciplines
+(set ``uses_service_shares`` to receive per-class service history), and
+subclass or wrap :class:`ClosedLoopSource` semantics for other
+congestion responses (retransmitting sources, pacing, ECN-style early
+signals) — queue policy and closed-loop publishing themselves are now
+part of the engine, not extension points.
 
->>> # engine = DeliveryEngine(overlay, scheduling=PriorityScheduling())
->>> # engine.publish_corpus(corpus, rate=2.0, classes=(0, 1, 2))
->>> # stats = engine.run()          # LatencyStats, incl. latency_by_class
+>>> # engine = DeliveryEngine(overlay, scheduling=PriorityScheduling(),
+>>> #                         queue_policy=QueuePolicy(64, "nack"))
+>>> # engine.attach_source(ClosedLoopSource(corpus, at_broker=0))
+>>> # stats = engine.run()          # LatencyStats, incl. drop accounting
 >>> # engine.delivered_sets()       # per published document, for checking
 """
 
@@ -86,8 +111,11 @@ from typing import Callable, Optional, Sequence, Union
 from repro.routing.broker import ClassLatency, LatencyStats, ordered_percentile
 from repro.routing.overlay import BrokerOverlay, BrokerStep
 from repro.routing.policy import (
+    QueuePolicy,
+    QueuePolicySpec,
     SchedulingPolicy,
     SchedulingSpec,
+    resolve_queue_policy,
     resolve_scheduling,
 )
 from repro.xmltree.corpus import DocumentCorpus
@@ -97,6 +125,8 @@ __all__ = [
     "ServiceModel",
     "BatchServiceModel",
     "LinkModel",
+    "ClosedLoopSource",
+    "SourceReport",
     "DeliveryEngine",
     "TopologyEvent",
 ]
@@ -214,6 +244,9 @@ class LinkModel:
 _ARRIVAL = "arrival"
 _COMPLETE = "complete"
 _TOPOLOGY = "topology"
+#: Back-pressure feedback to a :class:`ClosedLoopSource` — rides the same
+#: ``(time, seq)`` queue as traffic, so closed-loop runs replay exactly.
+_SIGNAL = "signal"
 
 
 @dataclass(frozen=True)
@@ -270,6 +303,10 @@ class _Job:
     #: Absolute delivery deadline, if the publisher set one —
     #: :class:`~repro.routing.policy.DeadlineScheduling` orders on it.
     deadline: Optional[float] = None
+    #: Index of the :class:`ClosedLoopSource` that published the
+    #: document (None for open-loop publishes).  Every forwarded copy
+    #: inherits it, so copy deaths feed back to the right window.
+    source: Optional[int] = None
 
 
 @dataclass
@@ -284,6 +321,126 @@ class _Batch:
 
     jobs: list[_Job]
     steps: list[BrokerStep]
+
+
+@dataclass(frozen=True)
+class _Signal:
+    """One back-pressure feedback event for an attached source.
+
+    ``kind`` is ``"pump"`` (the source's start trigger), ``"nack"`` (a
+    bounded queue rejected one copy of *doc_index*) or ``"done"`` (the
+    last in-flight copy of *doc_index* died; ``clean`` tells the source
+    whether every copy completed or some were dropped/nacked).
+    """
+
+    source: int
+    doc_index: int
+    kind: str
+    clean: bool = True
+
+
+@dataclass(frozen=True)
+class ClosedLoopSource:
+    """A window-based (TCP-like AIMD) closed-loop publisher.
+
+    Where :meth:`DeliveryEngine.publish_corpus` injects documents
+    open-loop at a fixed rate no matter how far behind the brokers
+    fall, a closed-loop source watches its own traffic: it keeps at
+    most ``window`` publications outstanding, publishes the next corpus
+    document only when the window has room, and adapts the window to
+    the back-pressure the overlay reports —
+
+    * a publication is *absorbed* once every in-flight copy has died
+      (completed, dropped, or nacked).  A clean absorption (all copies
+      completed) grows the window additively:
+      ``window += additive_increase / window``;
+    * the first NACK for a document multiplicatively shrinks it:
+      ``window = max(1, window * decrease_factor)`` — classic AIMD;
+    * silent drops (``drop-new`` / ``drop-oldest`` overflow) mark the
+      document dirty: no growth on absorption, but no shrink either —
+      loss without detection, exactly as an unacknowledged datagram.
+
+    Feedback rides the engine's ``(time, seq)`` event queue, delayed by
+    ``feedback_delay``; ``jitter`` adds a seeded uniform gap before
+    each publish.  Everything is drawn from ``random.Random(seed)``,
+    so closed-loop runs replay bit-identically across processes.
+    """
+
+    corpus: DocumentCorpus
+    at_broker: int = 0
+    start: float = 0.0
+    initial_window: float = 1.0
+    max_window: float = 64.0
+    additive_increase: float = 1.0
+    decrease_factor: float = 0.5
+    priority_class: int = 0
+    deadline_slack: Optional[float] = None
+    feedback_delay: float = 0.0
+    jitter: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.start < 0.0:
+            raise ValueError("source start time must be >= 0")
+        if self.initial_window < 1.0:
+            raise ValueError("initial_window must be >= 1")
+        if self.max_window < self.initial_window:
+            raise ValueError("max_window must be >= initial_window")
+        if self.additive_increase < 0.0:
+            raise ValueError("additive_increase must be >= 0")
+        if not 0.0 < self.decrease_factor <= 1.0:
+            raise ValueError("decrease_factor must be in (0, 1]")
+        if self.deadline_slack is not None and self.deadline_slack < 0.0:
+            raise ValueError("deadline_slack must be >= 0")
+        if self.feedback_delay < 0.0:
+            raise ValueError("feedback_delay must be >= 0")
+        if self.jitter < 0.0:
+            raise ValueError("jitter must be >= 0")
+
+
+@dataclass(frozen=True)
+class SourceReport:
+    """Loop outcome of one attached :class:`ClosedLoopSource`.
+
+    ``published``/``pending`` split the corpus into documents injected
+    so far and documents still gated behind the window; ``acked``
+    counts absorbed publications (``clean_acks`` of them loss-free).
+    ``nacked_documents`` is how many distinct publications hit at least
+    one NACK (each shrank the window once); ``nack_signals`` counts
+    every NACK received.  ``window`` and ``outstanding`` are the loop
+    state at report time.
+    """
+
+    published: int
+    pending: int
+    acked: int
+    clean_acks: int
+    nacked_documents: int
+    nack_signals: int
+    outstanding: int
+    window: float
+
+
+class _SourceState:
+    """Mutable engine-side loop state of one attached source."""
+
+    def __init__(self, index: int, source: ClosedLoopSource) -> None:
+        self.index = index
+        self.source = source
+        self.window: float = source.initial_window
+        #: Publications injected but not yet absorbed.
+        self.outstanding = 0
+        #: Next corpus position to publish.
+        self.next_position = 0
+        #: Publish indices minted so far, in corpus order.
+        self.published: list[int] = []
+        self.acked = 0
+        self.clean_acks = 0
+        self.nack_signals = 0
+        #: Documents whose first NACK already shrank the window
+        #: (membership tests only — never iterated).
+        self.nacked_docs: set[int] = set()
+        self.rng = random.Random(source.seed)
 
 
 class DeliveryEngine:
@@ -302,6 +459,7 @@ class DeliveryEngine:
         service: Optional[ServiceModel] = None,
         links: Optional[LinkModel] = None,
         scheduling: Optional[SchedulingSpec] = None,
+        queue_policy: QueuePolicySpec = None,
         allow_topology_churn: bool = False,
     ) -> None:
         if overlay.mode is None:
@@ -320,6 +478,10 @@ class DeliveryEngine:
         self.scheduling: SchedulingPolicy = resolve_scheduling(
             scheduling if scheduling is not None else "fifo"
         )
+        #: Queue admission: the default ``QueuePolicy()`` (unbounded)
+        #: replays the pre-overload engine byte-identically; a capacity
+        #: activates the drop-new / drop-oldest / nack overflow path.
+        self.queue_policy: QueuePolicy = resolve_queue_policy(queue_policy)
         #: Whether :meth:`schedule_join` / :meth:`schedule_leave` are
         #: permitted.  Topology churn mid-simulation re-routes in-flight
         #: documents (their timing restarts at the merge target), so it
@@ -332,15 +494,16 @@ class DeliveryEngine:
         #: ``(time, event, resulting broker id)`` per applied topology
         #: event — the join entries record the id the overlay minted.
         self.topology_log: list[tuple[float, TopologyEvent, int]] = []
-        #: (time, seq, kind, broker_id, job-or-topology-event,
-        #: step-at-completion)
+        #: (time, seq, kind, broker_id, payload, step-at-completion);
+        #: the payload is the job/batch/topology-event/source-signal the
+        #: event applies.
         self._events: list[
             tuple[
                 float,
                 int,
                 str,
                 int,
-                Union[_Job, _Batch, TopologyEvent, None],
+                Union[_Job, _Batch, TopologyEvent, _Signal, None],
                 Optional[BrokerStep],
             ]
         ] = []
@@ -368,6 +531,31 @@ class DeliveryEngine:
         self._forwards = 0
         self._service_batches = 0
         self._serviced_documents = 0
+        # -- conservation ledger: every document copy is counted once at
+        # birth (publish or forward) and once at death (completion,
+        # drop, or nack), so offered == completed + dropped + nacked +
+        # in-flight at every drain point, bounded queues or not.
+        self._offered_jobs = 0
+        self._completed_jobs = 0
+        self._dropped_jobs = 0
+        self._nacked_jobs = 0
+        self._offered_by_class: dict[int, int] = {}
+        self._completed_by_class: dict[int, int] = {}
+        self._dropped_by_class: dict[int, int] = {}
+        self._nacked_by_class: dict[int, int] = {}
+        self._dropped_by_broker: dict[int, int] = {}
+        #: Per-broker, per-class count of service starts — the share
+        #: history :class:`~repro.routing.policy.WeightedFairScheduling`
+        #: reads.  Engine-owned so frozen policies stay replay-safe.
+        self._class_service: dict[int, dict[int, int]] = {
+            broker_id: {} for broker_id in overlay.brokers
+        }
+        self._sources: list[_SourceState] = []
+        #: Per closed-loop-published document: live copy count, and the
+        #: set of such documents that lost at least one copy (membership
+        #: tests only — never iterated).
+        self._outstanding_copies: dict[int, int] = {}
+        self._dirty_docs: set[int] = set()
 
     # ------------------------------------------------------------------
     # workload injection
@@ -391,6 +579,24 @@ class DeliveryEngine:
         with every forwarded copy of the document.  Returns the publish
         index identifying the document in :meth:`delivered_sets`.
         """
+        return self._publish(
+            document,
+            at_broker,
+            time,
+            priority_class=priority_class,
+            deadline=deadline,
+            source=None,
+        )
+
+    def _publish(
+        self,
+        document: XMLTree,
+        at_broker: int,
+        time: float,
+        priority_class: int,
+        deadline: Optional[float],
+        source: Optional[int],
+    ) -> int:
         if at_broker not in self.overlay.brokers:
             raise ValueError(f"no broker {at_broker}")
         if time < 0.0:
@@ -409,9 +615,19 @@ class DeliveryEngine:
             origin=None,
             priority_class=priority_class,
             deadline=deadline,
+            source=source,
         )
+        self._offer(job)
         self._schedule(time, _ARRIVAL, at_broker, job)
         return index
+
+    def _offer(self, job: _Job) -> None:
+        """Record the birth of one document copy in the conservation
+        ledger."""
+        self._offered_jobs += 1
+        self._offered_by_class[job.priority_class] = (
+            self._offered_by_class.get(job.priority_class, 0) + 1
+        )
 
     def publish_corpus(
         self,
@@ -484,6 +700,98 @@ class DeliveryEngine:
             else:
                 time += 1.0 / rate
         return indices
+
+    def attach_source(self, source: ClosedLoopSource) -> int:
+        """Register a :class:`ClosedLoopSource` and return its index.
+
+        The source starts pumping at ``source.start`` through a signal
+        event on the engine's queue — publishing, window updates, and
+        feedback all happen inside the deterministic event loop.  The
+        returned index identifies the source in :meth:`source_report`
+        (and ties the loop's publications to it internally).
+        """
+        if source.at_broker not in self.overlay.brokers:
+            raise ValueError(f"no broker {source.at_broker}")
+        index = len(self._sources)
+        self._sources.append(_SourceState(index, source))
+        self._schedule(
+            source.start, _SIGNAL, -1, _Signal(index, -1, "pump")
+        )
+        return index
+
+    def source_report(self, index: int) -> SourceReport:
+        """The :class:`SourceReport` of attached source *index*."""
+        if not 0 <= index < len(self._sources):
+            raise ValueError(f"no attached source {index}")
+        state = self._sources[index]
+        return SourceReport(
+            published=len(state.published),
+            pending=len(state.source.corpus.documents) - state.next_position,
+            acked=state.acked,
+            clean_acks=state.clean_acks,
+            nacked_documents=len(state.nacked_docs),
+            nack_signals=state.nack_signals,
+            outstanding=state.outstanding,
+            window=state.window,
+        )
+
+    def _pump_source(self, state: _SourceState, now: float) -> None:
+        """Publish corpus documents while the source's window has room."""
+        source = state.source
+        documents = source.corpus.documents
+        while (
+            state.next_position < len(documents)
+            and state.outstanding < state.window
+        ):
+            document = documents[state.next_position]
+            state.next_position += 1
+            gap = (
+                state.rng.uniform(0.0, source.jitter)
+                if source.jitter > 0.0
+                else 0.0
+            )
+            time = now + gap
+            index = self._publish(
+                document,
+                self._resolve_broker(source.at_broker),
+                time,
+                priority_class=source.priority_class,
+                deadline=(
+                    None
+                    if source.deadline_slack is None
+                    else time + source.deadline_slack
+                ),
+                source=state.index,
+            )
+            state.published.append(index)
+            state.outstanding += 1
+            self._outstanding_copies[index] = 1
+
+    def _on_signal(self, signal: _Signal, now: float) -> None:
+        """Apply one feedback event to its source's AIMD loop, then let
+        the source publish into whatever window room resulted."""
+        state = self._sources[signal.source]
+        source = state.source
+        if signal.kind == "nack":
+            state.nack_signals += 1
+            if signal.doc_index not in state.nacked_docs:
+                # Multiplicative decrease, once per document no matter
+                # how many of its copies bounce.
+                state.nacked_docs.add(signal.doc_index)
+                state.window = max(
+                    1.0, state.window * source.decrease_factor
+                )
+        elif signal.kind == "done":
+            state.outstanding -= 1
+            state.acked += 1
+            if signal.clean:
+                state.clean_acks += 1
+                state.window = min(
+                    source.max_window,
+                    state.window
+                    + source.additive_increase / max(1.0, state.window),
+                )
+        self._pump_source(state, now)
 
     # ------------------------------------------------------------------
     # topology churn
@@ -598,6 +906,7 @@ class DeliveryEngine:
         self._retired[retiring] = target
         reinject: list[_Job] = list(self._queues.pop(retiring, ()))
         self._busy.pop(retiring, None)
+        self._class_service.pop(retiring, None)
         retained = []
         for entry in self._events:
             time, seq, kind, broker_id, payload, step = entry
@@ -653,6 +962,7 @@ class DeliveryEngine:
             self._busy[broker_id] = False
             self._depth_peaks[broker_id] = 0
             self._busy_time[broker_id] = 0.0
+            self._class_service[broker_id] = {}
 
     # ------------------------------------------------------------------
     # event loop
@@ -663,7 +973,7 @@ class DeliveryEngine:
         time: float,
         kind: str,
         broker_id: int,
-        job: Union[_Job, _Batch, TopologyEvent],
+        job: Union[_Job, _Batch, TopologyEvent, _Signal],
         step: Optional[BrokerStep] = None,
     ) -> None:
         self._sequence += 1
@@ -683,7 +993,12 @@ class DeliveryEngine:
         queue = self._queues[broker_id]
         if not queue:
             return None
-        choice = self.scheduling.select(queue, now)
+        if self.scheduling.uses_service_shares:
+            choice = self.scheduling.select_shares(
+                queue, now, self._class_service.setdefault(broker_id, {})
+            )
+        else:
+            choice = self.scheduling.select(queue, now)
         if not 0 <= choice < len(queue):
             raise ValueError(
                 f"{type(self.scheduling).__name__}.select returned "
@@ -691,7 +1006,15 @@ class DeliveryEngine:
             )
         job = queue[choice]
         del queue[choice]
+        self._account_service(broker_id, job)
         return job
+
+    def _account_service(self, broker_id: int, job: _Job) -> None:
+        """Charge one service start to the broker's per-class share
+        history (what :meth:`_next_job` hands share-aware policies);
+        selections within one batched drain see each other's charges."""
+        shares = self._class_service.setdefault(broker_id, {})
+        shares[job.priority_class] = shares.get(job.priority_class, 0) + 1
 
     def _next_batch(self, broker_id: int, now: float) -> list[_Job]:
         """Drain up to ``max_batch`` jobs for one batched service
@@ -745,6 +1068,11 @@ class DeliveryEngine:
     def _on_arrival(self, broker_id: int, job: _Job, now: float) -> None:
         self._ensure_broker(broker_id)
         job.arrived_at = now
+        if self._busy[broker_id] and not self.queue_policy.admits(
+            len(self._queues[broker_id])
+        ):
+            self._on_overflow(broker_id, job, now)
+            return
         depth = len(self._queues[broker_id]) + (
             1 if self._busy[broker_id] else 0
         ) + 1
@@ -753,9 +1081,85 @@ class DeliveryEngine:
         if self._busy[broker_id]:
             self._queues[broker_id].append(job)
         elif self._batching:
+            self._account_service(broker_id, job)
             self._start_batch(broker_id, [job], now)
         else:
+            self._account_service(broker_id, job)
             self._start_service(broker_id, job, now)
+
+    def _on_overflow(self, broker_id: int, job: _Job, now: float) -> None:
+        """Resolve one arrival at a full queue per the queue policy.
+
+        ``drop-new`` discards the arriving copy; ``drop-oldest`` evicts
+        the longest-queued copy to admit the arrival (at ``capacity=0``
+        there is nothing queued to evict, so it degrades to dropping
+        the arrival); ``nack`` rejects the arrival and, when the copy
+        belongs to a closed-loop source, schedules the back-pressure
+        signal the source's window reacts to.  The queue-depth peak
+        never moves here: occupancy is at its bound already.
+        """
+        queue = self._queues[broker_id]
+        if self.queue_policy.overflow == "nack":
+            self._record_nack(broker_id, job, now)
+        elif self.queue_policy.overflow == "drop-oldest" and queue:
+            victim = queue.popleft()
+            self._record_drop(broker_id, victim, now)
+            queue.append(job)
+        else:
+            self._record_drop(broker_id, job, now)
+
+    def _record_drop(self, broker_id: int, job: _Job, now: float) -> None:
+        """Account the silent death of one document copy at
+        *broker_id*."""
+        self._dropped_jobs += 1
+        self._dropped_by_class[job.priority_class] = (
+            self._dropped_by_class.get(job.priority_class, 0) + 1
+        )
+        self._dropped_by_broker[broker_id] = (
+            self._dropped_by_broker.get(broker_id, 0) + 1
+        )
+        self._copy_dead(job, now, clean=False)
+
+    def _record_nack(self, broker_id: int, job: _Job, now: float) -> None:
+        """Account one rejected copy and signal its source, if any."""
+        self._nacked_jobs += 1
+        self._nacked_by_class[job.priority_class] = (
+            self._nacked_by_class.get(job.priority_class, 0) + 1
+        )
+        if job.source is not None:
+            delay = self._sources[job.source].source.feedback_delay
+            self._schedule(
+                now + delay,
+                _SIGNAL,
+                -1,
+                _Signal(job.source, job.doc_index, "nack"),
+            )
+        self._copy_dead(job, now, clean=False)
+
+    def _copy_dead(self, job: _Job, now: float, clean: bool) -> None:
+        """Retire one copy of a closed-loop document; when the last
+        copy dies, schedule the source's absorption ("done") signal."""
+        if job.source is None:
+            return
+        if not clean:
+            self._dirty_docs.add(job.doc_index)
+        remaining = self._outstanding_copies[job.doc_index] - 1
+        self._outstanding_copies[job.doc_index] = remaining
+        if remaining > 0:
+            return
+        del self._outstanding_copies[job.doc_index]
+        delay = self._sources[job.source].source.feedback_delay
+        self._schedule(
+            now + delay,
+            _SIGNAL,
+            -1,
+            _Signal(
+                job.source,
+                job.doc_index,
+                "done",
+                clean=job.doc_index not in self._dirty_docs,
+            ),
+        )
 
     def _deliver_and_forward(
         self, broker_id: int, job: _Job, step: BrokerStep, now: float
@@ -786,13 +1190,24 @@ class DeliveryEngine:
                 origin=broker_id,
                 priority_class=job.priority_class,
                 deadline=job.deadline,
+                source=job.source,
             )
+            self._offer(forwarded)
+            if job.source is not None:
+                # Forwarded copies are born before the serviced copy
+                # dies below, so absorption can't fire spuriously.
+                self._outstanding_copies[job.doc_index] += 1
             self._schedule(
                 now + self.links.latency(broker_id, destination),
                 _ARRIVAL,
                 destination,
                 forwarded,
             )
+        self._completed_jobs += 1
+        self._completed_by_class[job.priority_class] = (
+            self._completed_by_class.get(job.priority_class, 0) + 1
+        )
+        self._copy_dead(job, now, clean=True)
 
     def _finish_service(self, broker_id: int, now: float) -> None:
         """Free the broker and start its next service interval."""
@@ -828,6 +1243,8 @@ class DeliveryEngine:
             self._last_event = max(self._last_event, time)
             if kind == _TOPOLOGY:
                 self._on_topology(job, time)
+            elif kind == _SIGNAL:
+                self._on_signal(job, time)
             elif kind == _ARRIVAL:
                 self._on_arrival(broker_id, job, time)
             elif isinstance(job, _Batch):
@@ -882,6 +1299,19 @@ class DeliveryEngine:
                     self._latencies_by_class.items()
                 )
             },
+            offered_jobs=self._offered_jobs,
+            completed_jobs=self._completed_jobs,
+            dropped_jobs=self._dropped_jobs,
+            nacked_jobs=self._nacked_jobs,
+            offered_by_class=dict(sorted(self._offered_by_class.items())),
+            completed_by_class=dict(
+                sorted(self._completed_by_class.items())
+            ),
+            dropped_by_class=dict(sorted(self._dropped_by_class.items())),
+            nacked_by_class=dict(sorted(self._nacked_by_class.items())),
+            dropped_by_broker=dict(
+                sorted(self._dropped_by_broker.items())
+            ),
         )
 
     def __repr__(self) -> str:

@@ -27,8 +27,22 @@ Scheduling policies (consumed by ``DeliveryEngine``):
 
 * :class:`FifoScheduling` — first come, first served (the baseline);
 * :class:`PriorityScheduling` — strict priority by subscriber-class
-  weight, FIFO within a class;
-* :class:`DeadlineScheduling` — earliest deadline first.
+  weight, FIFO within a class, with optional *aging* (``aging=``) so a
+  queued low class's effective weight grows with its wait and starvation
+  under sustained overload stays bounded;
+* :class:`DeadlineScheduling` — earliest deadline first;
+* :class:`WeightedFairScheduling` — long-run class throughput shares
+  proportional to configured weights: each selection serves the backlogged
+  class furthest below its weighted fair share of the broker's service
+  history (which the engine supplies to :meth:`SchedulingPolicy.select_shares`).
+
+Queue admission is a third axis, orthogonal to service order:
+:class:`QueuePolicy` bounds each broker's service queue (``capacity=``)
+and picks the overflow behaviour — silently drop the arriving document
+(``"drop-new"``), evict the oldest queued one (``"drop-oldest"``), or
+reject the arrival with a NACK back-pressure signal to its publisher
+(``"nack"``).  ``capacity=None`` (the default) is the historical
+unbounded queue, byte-identical in replay.
 
 The legacy string spellings stay accepted everywhere policies are:
 :func:`resolve_advertisement` maps ``"per_subscription"`` /
@@ -45,7 +59,7 @@ keep working unchanged.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Optional, Protocol, Sequence, Union
+from typing import ClassVar, Mapping, Optional, Protocol, Sequence, Union
 
 from repro.core.candidates import CandidateGenerator, resolve_candidates
 from repro.core.pattern import TreePattern
@@ -66,9 +80,13 @@ __all__ = [
     "FifoScheduling",
     "PriorityScheduling",
     "DeadlineScheduling",
+    "WeightedFairScheduling",
     "resolve_scheduling",
     "QueuedJob",
+    "QueuePolicy",
+    "resolve_queue_policy",
     "LINKAGES",
+    "OVERFLOW_MODES",
 ]
 
 #: One aggregated advertisement: the pattern a broker announces and the
@@ -411,11 +429,38 @@ class SchedulingPolicy:
     and the current simulated time, and returns the *queue position* of
     the job to service next.  Policies must be pure functions of their
     arguments — the engine's bit-for-bit replay determinism rests on it.
+
+    Fair-share disciplines additionally need to know how much service
+    each class has already received at this broker; a policy that sets
+    ``uses_service_shares`` is called through :meth:`select_shares`
+    instead, with the engine supplying that history as a read-only
+    mapping.  History is engine-owned and reset per run, so the policy
+    object itself stays stateless (and frozen) — replays are unaffected.
     """
+
+    #: Whether the engine should call :meth:`select_shares` (passing the
+    #: broker's per-class serviced-document counts) instead of
+    #: :meth:`select`.
+    uses_service_shares: ClassVar[bool] = False
 
     def select(self, queue: Sequence[QueuedJob], now: float) -> int:
         """The index (into *queue*) of the job to service next."""
         raise NotImplementedError
+
+    def select_shares(
+        self,
+        queue: Sequence[QueuedJob],
+        now: float,
+        shares: Mapping[int, int],
+    ) -> int:
+        """Like :meth:`select`, with the broker's service history.
+
+        ``shares`` maps ``priority_class`` to the number of documents of
+        that class this broker has already started servicing.  The
+        default delegates to :meth:`select`, so history-blind policies
+        never see it.
+        """
+        return self.select(queue, now)
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}()"
@@ -439,11 +484,24 @@ class PriorityScheduling(SchedulingPolicy):
     uses its own numeric value, so with no weights at all a higher class
     number simply outranks a lower one.  Ties keep arrival order, which
     makes the policy a drop-in FIFO when every job carries one class.
+
+    ``aging`` bounds starvation: a queued job's effective weight is
+    ``weight(class) + aging * (now - arrived_at)``, so a low class's
+    claim grows linearly with its wait and any job is eventually served
+    no matter how heavy the high-class stream — strict priority is the
+    ``aging=0`` (default) limit.  Within equal effective weights the
+    earliest queue position wins, and queue order is arrival order,
+    i.e. the engine's deterministic ``(time, seq)`` order.
     """
 
     weights: Optional[dict[int, float]] = None
+    #: Effective-weight growth per simulated time unit of queue wait;
+    #: 0.0 (the default) is historical strict priority, byte-identical.
+    aging: float = 0.0
 
     def __post_init__(self) -> None:
+        if self.aging < 0.0:
+            raise ValueError("aging rate must be >= 0")
         object.__setattr__(self, "weights", dict(self.weights or {}))
 
     def weight(self, priority_class: int) -> float:
@@ -451,20 +509,33 @@ class PriorityScheduling(SchedulingPolicy):
         assert self.weights is not None  # normalised in __post_init__
         return self.weights.get(priority_class, float(priority_class))
 
+    def effective_weight(self, job: QueuedJob, now: float) -> float:
+        """The class weight plus the job's accumulated aging credit."""
+        if self.aging == 0.0:
+            return self.weight(job.priority_class)
+        return self.weight(job.priority_class) + self.aging * max(
+            0.0, now - job.arrived_at
+        )
+
     def select(self, queue: Sequence[QueuedJob], now: float) -> int:
-        """The queue position carrying the highest class weight."""
+        """The queue position carrying the highest effective weight."""
         # enumerate, not indexing: the engine queues are deques, where
         # positional access is O(position).
         best = 0
         best_weight: Optional[float] = None
         for position, job in enumerate(queue):
-            weight = self.weight(job.priority_class)
+            weight = self.effective_weight(job, now)
             if best_weight is None or weight > best_weight:
                 best = position
                 best_weight = weight
         return best
 
     def __repr__(self) -> str:
+        if self.aging:
+            return (
+                f"{type(self).__name__}(weights={self.weights}, "
+                f"aging={self.aging})"
+            )
         return f"{type(self).__name__}(weights={self.weights})"
 
 
@@ -503,6 +574,88 @@ class DeadlineScheduling(SchedulingPolicy):
         return f"{type(self).__name__}(default_slack={self.default_slack})"
 
 
+@dataclass(frozen=True)
+class WeightedFairScheduling(SchedulingPolicy):
+    """Weighted-fair service: class shares converge to configured weights.
+
+    Each selection serves the backlogged class with the smallest
+    *normalised share* — the broker's serviced-document count for the
+    class divided by the class's weight — FIFO within the class.  When
+    every class stays backlogged this is deficit-round-robin in spirit:
+    long-run per-class service counts converge to the weight proportions,
+    so under sustained overload the low class keeps a guaranteed fraction
+    of the broker instead of starving (the failure mode of strict
+    :class:`PriorityScheduling`).
+
+    ``weights`` maps ``priority_class`` to its fair share weight (> 0);
+    classes not listed use ``default_weight``.  Service history is
+    engine-owned and passed per call (``uses_service_shares``), so the
+    policy object itself stays stateless and replays stay bit-identical.
+    Ties — equal normalised shares — serve the earliest queue position,
+    which is arrival order, i.e. ``(time, seq)`` order.
+    """
+
+    weights: Optional[dict[int, float]] = None
+    default_weight: float = 1.0
+
+    uses_service_shares: ClassVar[bool] = True
+
+    def __post_init__(self) -> None:
+        if self.default_weight <= 0.0:
+            raise ValueError("default_weight must be positive")
+        normalised = dict(self.weights or {})
+        for priority_class, weight in normalised.items():
+            if weight <= 0.0:
+                raise ValueError(
+                    f"fair-share weight of class {priority_class} must be "
+                    "positive"
+                )
+        object.__setattr__(self, "weights", normalised)
+
+    def weight(self, priority_class: int) -> float:
+        """The fair-share weight of one subscriber class."""
+        assert self.weights is not None  # normalised in __post_init__
+        return self.weights.get(priority_class, self.default_weight)
+
+    def select(self, queue: Sequence[QueuedJob], now: float) -> int:
+        """History-blind fallback: fair selection over an empty history.
+
+        Every queued class then has normalised share 0, so the head of
+        the queue (earliest arrival) is served — FIFO.  Engines that
+        track shares call :meth:`select_shares` instead.
+        """
+        return self.select_shares(queue, now, {})
+
+    def select_shares(
+        self,
+        queue: Sequence[QueuedJob],
+        now: float,
+        shares: Mapping[int, int],
+    ) -> int:
+        """The earliest job of the most under-served class."""
+        best = 0
+        best_share: Optional[float] = None
+        seen: dict[int, float] = {}
+        for position, job in enumerate(queue):
+            if job.priority_class in seen:
+                # FIFO within a class: only its earliest position counts.
+                continue
+            share = shares.get(job.priority_class, 0) / self.weight(
+                job.priority_class
+            )
+            seen[job.priority_class] = share
+            if best_share is None or share < best_share:
+                best = position
+                best_share = share
+        return best
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(weights={self.weights}, "
+            f"default_weight={self.default_weight})"
+        )
+
+
 #: Anything ``DeliveryEngine`` accepts as its scheduling argument.
 SchedulingSpec = Union[SchedulingPolicy, str]
 
@@ -510,6 +663,7 @@ _SCHEDULING_NAMES = {
     "fifo": FifoScheduling,
     "priority": PriorityScheduling,
     "deadline": DeadlineScheduling,
+    "weighted_fair": WeightedFairScheduling,
 }
 
 
@@ -538,3 +692,112 @@ def resolve_scheduling(spec: SchedulingSpec, **overrides: object) -> SchedulingP
             ) from None
         return factory(**overrides)
     raise TypeError(f"expected a SchedulingPolicy or policy name, got {spec!r}")
+
+
+# ----------------------------------------------------------------------
+# queue admission
+# ----------------------------------------------------------------------
+
+
+#: Accepted :attr:`QueuePolicy.overflow` behaviours.
+OVERFLOW_MODES = ("drop-new", "drop-oldest", "nack")
+
+
+@dataclass(frozen=True)
+class QueuePolicy:
+    """Admission control for a broker's service queue.
+
+    ``capacity`` bounds how many documents may *wait* at a broker (the
+    one in service is not counted; ``capacity=0`` is a pure loss system
+    with no waiting room).  ``None`` — the default — is the historical
+    unbounded queue: the engine's schedule is then byte-identical to the
+    pre-queue-policy engine, which the overload property suite pins.
+
+    ``overflow`` picks what happens to an arrival at a full queue:
+
+    * ``"drop-new"`` — the arriving document copy is discarded;
+    * ``"drop-oldest"`` — the oldest *queued* copy is evicted to make
+      room (the arrival is admitted), so the queue favours fresh data —
+      the streaming/telemetry trade;
+    * ``"nack"`` — the arrival is rejected and a NACK back-pressure
+      signal is scheduled to its publishing source (if it has one; see
+      :class:`~repro.routing.engine.ClosedLoopSource`), which is what a
+      window-based publisher reacts to.
+
+    Every dropped or nacked copy is accounted per class and per broker in
+    :class:`~repro.routing.broker.LatencyStats`, preserving the
+    conservation invariant ``offered == completed + dropped + nacked +
+    in-flight`` at every drain point.
+    """
+
+    capacity: Optional[int] = None
+    overflow: str = "drop-new"
+
+    def __post_init__(self) -> None:
+        if self.capacity is not None and self.capacity < 0:
+            raise ValueError("queue capacity must be >= 0 (or None)")
+        if self.overflow not in OVERFLOW_MODES:
+            raise ValueError(
+                f"unknown overflow behaviour {self.overflow!r}; choose "
+                f"from {OVERFLOW_MODES}"
+            )
+
+    @property
+    def bounded(self) -> bool:
+        """Whether this policy can ever reject or evict a document."""
+        return self.capacity is not None
+
+    def admits(self, queued: int) -> bool:
+        """Whether a queue currently holding *queued* documents admits
+        one more without overflow handling."""
+        return self.capacity is None or queued < self.capacity
+
+    def __repr__(self) -> str:
+        if self.capacity is None:
+            return f"{type(self).__name__}(capacity=None)"
+        return (
+            f"{type(self).__name__}(capacity={self.capacity}, "
+            f"overflow={self.overflow!r})"
+        )
+
+
+#: Anything ``DeliveryEngine`` accepts as its queue-policy argument: a
+#: policy instance, a bare capacity (``drop-new`` overflow), or None for
+#: the unbounded default.
+QueuePolicySpec = Union[QueuePolicy, int, None]
+
+
+def resolve_queue_policy(spec: QueuePolicySpec, **overrides: object) -> QueuePolicy:
+    """Resolve a queue-policy spelling to a :class:`QueuePolicy`.
+
+    ``None`` yields the unbounded default, a bare ``int`` is shorthand
+    for ``QueuePolicy(capacity=n)`` (keyword overrides such as
+    ``overflow=`` are forwarded), and an instance passes through
+    unchanged — rejecting overrides, since it already carries its
+    configuration.
+    """
+    if isinstance(spec, QueuePolicy):
+        if overrides:
+            raise ValueError(
+                "queue-policy overrides only apply to capacity shorthands; "
+                "configure QueuePolicy directly instead"
+            )
+        return spec
+    if spec is None:
+        if overrides:
+            raise ValueError(
+                "queue-policy overrides need a capacity; pass a "
+                "QueuePolicy instance instead"
+            )
+        return QueuePolicy()
+    if isinstance(spec, int) and not isinstance(spec, bool):
+        overflow = overrides.pop("overflow", "drop-new")
+        if overrides:
+            raise ValueError(
+                f"unknown queue-policy overrides {sorted(overrides)}; "
+                "only overflow= applies to a capacity shorthand"
+            )
+        return QueuePolicy(capacity=spec, overflow=str(overflow))
+    raise TypeError(
+        f"expected a QueuePolicy, a capacity int or None, got {spec!r}"
+    )

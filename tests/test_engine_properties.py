@@ -10,12 +10,25 @@ its stats and schedule bit for bit.
 
 from __future__ import annotations
 
+import hashlib
+import pathlib
+import subprocess
+import sys
+
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.routing.engine import DeliveryEngine, LinkModel, ServiceModel
+from repro.core.pattern_parser import parse_xpath
+from repro.routing.engine import (
+    ClosedLoopSource,
+    DeliveryEngine,
+    LinkModel,
+    ServiceModel,
+)
 from repro.routing.overlay import TOPOLOGIES, BrokerOverlay
+from repro.routing.policy import QueuePolicy, WeightedFairScheduling
 from repro.xmltree.corpus import DocumentCorpus
+from repro.xmltree.parser import parse_xml
 from tests.strategies import tree_patterns
 from tests.test_selectivity_properties import corpora
 
@@ -107,3 +120,75 @@ class TestSyncAsyncEquivalence:
             overlay, corpus, 1.0, ServiceModel(), LinkModel()
         )
         assert stats.match_operations == expected_operations
+
+
+def closed_loop_digest() -> str:
+    """Digest of a fixed closed-loop scenario, for cross-process replay.
+
+    Exercises every seeded path at once: the source's jitter RNG, NACK
+    back-pressure through a capacity-1 queue, AIMD window moves, and
+    weighted-fair service selection.  Any hidden nondeterminism (hash
+    randomisation, set ordering, wall clock) changes the digest.
+    """
+    overlay = BrokerOverlay.chain(3)
+    overlay.attach(0, parse_xpath("/a/b"))
+    overlay.attach(1, parse_xpath("//b"))
+    overlay.attach(2, parse_xpath("/a"))
+    overlay.advertise_subscriptions()
+    shapes = ("<a><b/></a>", "<a><c/></a>", "<b/>", "<a><a><b/></a></a>")
+    corpus = DocumentCorpus(
+        [parse_xml(shapes[i % len(shapes)], doc_id=i) for i in range(16)]
+    )
+    engine = DeliveryEngine(
+        overlay,
+        service=ServiceModel(base=0.4, per_match=0.1),
+        links=LinkModel(default=0.6),
+        scheduling=WeightedFairScheduling({0: 2.0, 1: 1.0}),
+        queue_policy=QueuePolicy(1, "nack"),
+    )
+    engine.attach_source(
+        ClosedLoopSource(
+            corpus,
+            at_broker=0,
+            initial_window=2.0,
+            feedback_delay=0.3,
+            jitter=0.5,
+            seed=17,
+        )
+    )
+    stats = engine.run()
+    canonical = repr(
+        (
+            stats,
+            sorted(
+                (index, sorted(ids))
+                for index, ids in engine.delivered_sets().items()
+            ),
+            engine.source_report(0),
+        )
+    )
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+class TestClosedLoopDeterminism:
+    def test_seeded_source_replays_across_processes(self):
+        # In-process replay can hide nondeterminism that only shows up
+        # across interpreter boundaries (PYTHONHASHSEED, import order);
+        # a fresh interpreter must reproduce the digest exactly.
+        local = closed_loop_digest()
+        assert local == closed_loop_digest()
+        repo_root = pathlib.Path(__file__).resolve().parent.parent
+        result = subprocess.run(
+            [
+                sys.executable,
+                "-c",
+                "from tests.test_engine_properties import closed_loop_digest;"
+                "print(closed_loop_digest())",
+            ],
+            cwd=repo_root,
+            env={"PYTHONPATH": str(repo_root / "src"), "PYTHONHASHSEED": "random"},
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        assert result.stdout.strip() == local
